@@ -1,0 +1,231 @@
+//! Criterion microbenchmarks for the hot paths of the stack: device command
+//! processing, FTL mapping, WAL framing, bloom filters and SSTable blocks.
+//!
+//! These measure *host CPU cost* of the simulation/FTL code (real time),
+//! complementing the virtual-time experiment binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lsmkv::{BlockBuilder, BloomFilter};
+use ocssd::{ChunkAddr, DeviceConfig, OcssdDevice, Ppa, SECTOR_BYTES};
+use ox_core::codec::crc32c;
+use ox_core::mapping::PageMap;
+use ox_core::wal::{Wal, WalRecord};
+use ox_core::{Media, OcssdMedia};
+use ox_sim::{Prng, SimDuration, SimTime};
+use std::sync::Arc;
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+    let geo = ocssd::Geometry::paper_tlc_scaled(22, 8);
+    g.throughput(Throughput::Bytes(geo.ws_min_bytes() as u64));
+
+    g.bench_function("write_96k_unit", |b| {
+        let mut dev = OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8));
+        let data = vec![7u8; geo.ws_min_bytes()];
+        let mut t = SimTime::ZERO;
+        let mut chunk_lin = 0u64;
+        let mut sector = 0u32;
+        b.iter(|| {
+            let addr = ChunkAddr::from_linear(&geo, chunk_lin);
+            let c = dev.write(t, addr.ppa(sector), &data).unwrap();
+            t = c.done;
+            sector += geo.ws_min;
+            if sector >= geo.sectors_per_chunk {
+                sector = 0;
+                chunk_lin += 1;
+                if chunk_lin == geo.total_chunks() {
+                    chunk_lin = 0;
+                    dev = OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8));
+                    t = SimTime::ZERO;
+                }
+            }
+            black_box(c.done)
+        });
+    });
+
+    g.bench_function("read_96k_block", |b| {
+        let mut dev = OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8));
+        let data = vec![7u8; geo.ws_min_bytes()];
+        let addr = ChunkAddr::new(0, 0, 0);
+        dev.write(SimTime::ZERO, addr.ppa(0), &data).unwrap();
+        let mut out = vec![0u8; geo.ws_min_bytes()];
+        let t = SimTime::from_secs(10);
+        b.iter(|| {
+            let c = dev.read(t, addr.ppa(0), geo.ws_min, &mut out).unwrap();
+            black_box(c.done)
+        });
+    });
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping");
+    let geo = ocssd::Geometry::paper_tlc_scaled(22, 8);
+
+    g.bench_function("map_update", |b| {
+        let mut map = PageMap::new(geo, 1 << 20);
+        let mut rng = Prng::seed_from_u64(1);
+        b.iter(|| {
+            let lpn = rng.gen_range(1 << 20);
+            let ppa = Ppa::from_linear(&geo, rng.gen_range(geo.total_sectors()));
+            black_box(map.map(lpn, ppa))
+        });
+    });
+
+    g.bench_function("lookup", |b| {
+        let mut map = PageMap::new(geo, 1 << 20);
+        let mut rng = Prng::seed_from_u64(2);
+        for i in 0..(1 << 18) {
+            map.map(i, Ppa::from_linear(&geo, i * 7 % geo.total_sectors()));
+        }
+        b.iter(|| {
+            let lpn = rng.gen_range(1 << 18);
+            black_box(map.lookup(lpn))
+        });
+    });
+
+    g.bench_function("snapshot_256k_entries", |b| {
+        let mut map = PageMap::new(geo, 1 << 20);
+        for i in 0..(1 << 18) {
+            map.map(i, Ppa::from_linear(&geo, i * 7 % geo.total_sectors()));
+        }
+        b.iter(|| black_box(map.snapshot().len()));
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    g.bench_function("commit_256_records", |b| {
+        let dev =
+            ocssd::SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let chunks: Vec<ChunkAddr> = (0..16).map(|i| ChunkAddr::new(0, 0, i)).collect();
+        let (mut wal, mut t) = Wal::format(media, chunks, SimTime::ZERO).unwrap();
+        let mut txid = 0u64;
+        b.iter(|| {
+            txid += 1;
+            wal.append(WalRecord::TxBegin { txid });
+            for i in 0..256u64 {
+                wal.append(WalRecord::MapUpdate {
+                    txid,
+                    lpn: i,
+                    ppa_linear: i * 13,
+                });
+            }
+            wal.append(WalRecord::TxCommit { txid });
+            t = wal.commit(t).unwrap();
+            t = wal.truncate(t, wal.durable_lsn()).unwrap();
+            black_box(t)
+        });
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for size in [64usize, 4096, 96 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("crc32c_{size}"), |b| {
+            let data = vec![0xA5u8; size];
+            b.iter(|| black_box(crc32c(&data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lsm_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsm");
+
+    g.bench_function("bloom_insert", |b| {
+        let mut f = BloomFilter::new(100_000, 10);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&i.to_le_bytes());
+        });
+    });
+
+    g.bench_function("bloom_probe", |b| {
+        let mut f = BloomFilter::new(100_000, 10);
+        for i in 0..100_000u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.maybe_contains(&i.to_le_bytes()))
+        });
+    });
+
+    g.bench_function("block_build_96k", |b| {
+        let value = vec![0u8; 1024];
+        b.iter(|| {
+            let mut builder = BlockBuilder::new(96 * 1024);
+            let mut i = 0u64;
+            while builder.fits(&i.to_be_bytes(), Some(&value)) {
+                builder.add(&i.to_be_bytes(), Some(&value));
+                i += 1;
+            }
+            black_box(builder.finish().len())
+        });
+    });
+
+    g.bench_function("block_find", |b| {
+        let value = vec![0u8; 1024];
+        let mut builder = BlockBuilder::new(96 * 1024);
+        let mut i = 0u64;
+        while builder.fits(&i.to_be_bytes(), Some(&value)) {
+            builder.add(&i.to_be_bytes(), Some(&value));
+            i += 1;
+        }
+        let data = builder.finish();
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 1) % i;
+            black_box(lsmkv::BlockIter::find(&data, &probe.to_be_bytes()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc");
+    g.sample_size(20);
+    g.bench_function("block_ftl_gc_pass", |b| {
+        // Pre-build an FTL with garbage, then measure collection passes.
+        use ox_block::{BlockFtl, BlockFtlConfig};
+        let dev =
+            ocssd::SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (mut ftl, mut t) =
+            BlockFtl::format(media, BlockFtlConfig::with_capacity(64 << 20), SimTime::ZERO)
+                .unwrap();
+        let buf = vec![0u8; 96 * SECTOR_BYTES];
+        for round in 0..2 {
+            let mut lpn = 0u64;
+            while lpn + 96 <= (64 << 20) / SECTOR_BYTES as u64 {
+                t = ftl.write(t, lpn, &buf).unwrap().done;
+                lpn += 96;
+            }
+            let _ = round;
+        }
+        b.iter(|| {
+            let pass = ftl.gc_once(t).unwrap();
+            t = pass.done.max(t) + SimDuration::from_micros(10);
+            black_box(pass.victims)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_device,
+    bench_mapping,
+    bench_wal,
+    bench_codec,
+    bench_lsm_components,
+    bench_gc
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Diagnostic: run one fill cell and dump gating statistics.
+//! Usage: probe_fill <h|v> <clients> [fill_mb]
+
+use lightlsm::Placement;
+use lsmkv::bench::{run_workload, BenchConfig, Workload};
+use ox_bench::fig5::make_db_with_store;
+use ox_sim::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let placement = if args.get(1).map(String::as_str) == Some("v") {
+        Placement::Vertical
+    } else {
+        Placement::Horizontal
+    };
+    let clients: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let fill_mb: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(96);
+
+    let (db, dev, store) = make_db_with_store(placement);
+    let ops = fill_mb * 1024 * 1024 / 1024;
+    let cfg = BenchConfig::paper(Workload::FillSequential, clients, ops);
+    let (report, t_end) = run_workload(&db, cfg, SimTime::ZERO);
+
+    println!(
+        "{} {} clients, {} MB/client: {:.1} kops/s over {:.2}s",
+        placement.label(),
+        clients,
+        fill_mb,
+        report.kops_per_sec,
+        report.duration.as_secs_f64()
+    );
+    let s = db.stats();
+    println!(
+        "puts {} stalls {} slowdowns {}",
+        s.puts, s.stalls, s.slowdowns
+    );
+    let cs = db.compaction_stats();
+    println!(
+        "flushes {} compactions {} blocks_read {} blocks_written {} shadowed {}",
+        cs.flushes, cs.compactions, cs.blocks_read, cs.blocks_written, cs.entries_shadowed
+    );
+    println!(
+        "avg flush {:.1} ms, avg compaction {:.1} ms",
+        cs.flush_nanos as f64 / cs.flushes.max(1) as f64 / 1e6,
+        cs.compaction_nanos as f64 / cs.compactions.max(1) as f64 / 1e6,
+    );
+    println!("levels: {:?}", db.level_metas());
+    let fs = store.with_ftl(|f| f.stats());
+    println!(
+        "ftl flush phases (avg ms over {} flushes): ensure {:.1} ack {:.1} barrier {:.1} commit {:.1}; dir checkpoints {}",
+        fs.flushes,
+        fs.flush_ensure_nanos as f64 / fs.flushes.max(1) as f64 / 1e6,
+        fs.flush_ack_nanos as f64 / fs.flushes.max(1) as f64 / 1e6,
+        fs.flush_barrier_nanos as f64 / fs.flushes.max(1) as f64 / 1e6,
+        fs.flush_commit_nanos as f64 / fs.flushes.max(1) as f64 / 1e6,
+        fs.dir_checkpoints,
+    );
+    dev.with(|d| {
+        let st = d.stats();
+        println!(
+            "device: writes {} ({} MB) media_reads {} ({} MB) cache_reads {} resets {} cache_stalls {}",
+            st.writes.ops(),
+            st.writes.bytes() >> 20,
+            st.media_reads.ops(),
+            st.media_reads.bytes() >> 20,
+            st.cache_reads.ops(),
+            st.resets.ops(),
+            st.cache_stalls,
+        );
+        let utils = d.pu_utilizations(t_end);
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        let max = utils.iter().cloned().fold(0.0, f64::max);
+        println!("PU utilization over run: mean {:.0}% max {:.0}%", mean * 100.0, max * 100.0);
+        let delays = d.pu_queue_delays();
+        let total: u64 = delays.iter().map(|d| d.as_millis()).sum();
+        println!("total PU queueing delay: {total} ms across {} PUs", delays.len());
+    });
+}

@@ -1,0 +1,130 @@
+//! Bad-media bookkeeping.
+//!
+//! The device retires chunks (factory-bad, program/erase failures, wear-out)
+//! and reports grown failures asynchronously. The FTL's bad-block table
+//! ingests these events, removes the chunks from provisioning, and records
+//! which logical pages were orphaned so the data path can re-place them
+//! ("bad block information may be updated at any time", paper §4.1).
+
+use crate::mapping::PageMap;
+use crate::provision::Provisioner;
+use ocssd::{ChunkAddr, Geometry, MediaEvent};
+use std::collections::HashSet;
+
+/// FTL-side table of retired chunks.
+#[derive(Default)]
+pub struct BadBlockTable {
+    retired: HashSet<(u32, u32, u32)>,
+    events_seen: u64,
+}
+
+impl BadBlockTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retired chunks.
+    pub fn len(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// True if no chunks are retired.
+    pub fn is_empty(&self) -> bool {
+        self.retired.is_empty()
+    }
+
+    /// Whether a chunk is known bad.
+    pub fn contains(&self, addr: ChunkAddr) -> bool {
+        self.retired.contains(&(addr.group, addr.pu, addr.chunk))
+    }
+
+    /// Total media events ingested.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Ingests device events: retires the chunks in the provisioner, unmaps
+    /// any logical pages that lived there, and returns the orphaned LPNs so
+    /// the caller can re-write them from higher-level redundancy.
+    pub fn ingest(
+        &mut self,
+        geo: &Geometry,
+        events: &[MediaEvent],
+        prov: &mut Provisioner,
+        map: &mut PageMap,
+    ) -> Vec<u64> {
+        let mut orphans = Vec::new();
+        for ev in events {
+            self.events_seen += 1;
+            let addr = ev.chunk;
+            if !self.retired.insert((addr.group, addr.pu, addr.chunk)) {
+                continue;
+            }
+            prov.mark_offline(addr);
+            for (_ppa, lpn) in map.valid_sectors(addr.linear(geo)) {
+                map.unmap(lpn);
+                orphans.push(lpn);
+            }
+        }
+        orphans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocssd::{MediaEventKind, Ppa};
+    use ox_sim::SimTime;
+
+    fn geo() -> Geometry {
+        Geometry::paper_tlc_scaled(22, 8)
+    }
+
+    fn event(addr: ChunkAddr) -> MediaEvent {
+        MediaEvent {
+            at: SimTime::ZERO,
+            chunk: addr,
+            kind: MediaEventKind::ProgramFail,
+        }
+    }
+
+    #[test]
+    fn ingest_retires_and_orphans() {
+        let g = geo();
+        let mut table = BadBlockTable::new();
+        let mut prov = Provisioner::fresh(g, &[]);
+        let mut map = PageMap::new(g, 1000);
+        let bad = ChunkAddr::new(1, 2, 3);
+        map.map(10, bad.ppa(0));
+        map.map(11, bad.ppa(1));
+        map.map(12, Ppa::new(0, 0, 0, 0));
+        let orphans = table.ingest(&g, &[event(bad)], &mut prov, &mut map);
+        assert_eq!(orphans, vec![10, 11]);
+        assert!(table.contains(bad));
+        assert_eq!(table.len(), 1);
+        assert_eq!(map.lookup(10), None);
+        assert_eq!(map.lookup(12), Some(Ppa::new(0, 0, 0, 0)));
+        assert_eq!(prov.offline_chunks(), 1);
+    }
+
+    #[test]
+    fn duplicate_events_ingested_once() {
+        let g = geo();
+        let mut table = BadBlockTable::new();
+        let mut prov = Provisioner::fresh(g, &[]);
+        let mut map = PageMap::new(g, 10);
+        let bad = ChunkAddr::new(0, 0, 0);
+        table.ingest(&g, &[event(bad), event(bad)], &mut prov, &mut map);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.events_seen(), 2);
+        assert_eq!(prov.offline_chunks(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = BadBlockTable::new();
+        assert!(table.is_empty());
+        assert!(!table.contains(ChunkAddr::new(0, 0, 0)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Binary codec utilities for on-media formats.
+//!
+//! All persistent structures (WAL frames, checkpoint snapshots, SSTable
+//! blocks in `lsmkv`) use explicit little-endian encoding with CRC32C
+//! integrity — no serde on the data path, as in production storage engines.
+
+/// CRC-32C (Castagnoli), the checksum used by most storage engines.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_extend(!0u32, data) ^ !0u32
+}
+
+/// Extends a raw (pre-finalization) CRC-32C state over more data.
+fn crc32c_extend(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0x82F6_3B78 & mask);
+        }
+    }
+    state
+}
+
+/// Little-endian append-only encoder.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An encoder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed byte string (u32 length).
+    pub fn var_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.bytes(v)
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow of the bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Decode error: ran out of bytes or structural mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Little-endian cursor decoder.
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.data.len() {
+            return Err(DecodeError("unexpected end of input"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn var_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let data = b"hello world".to_vec();
+        let c = crc32c(&data);
+        let mut corrupted = data.clone();
+        corrupted[3] ^= 0x01;
+        assert_ne!(crc32c(&corrupted), c);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(7).u16(300).u32(70_000).u64(1 << 40).var_bytes(b"abc");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.var_bytes().unwrap(), b"abc");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn decoder_reports_truncation() {
+        let buf = [1u8, 2];
+        let mut d = Decoder::new(&buf);
+        assert!(d.u32().is_err());
+        // Failed take does not consume.
+        assert_eq!(d.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn var_bytes_guards_length() {
+        let mut e = Encoder::new();
+        e.u32(1000); // claims 1000 bytes, provides none
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.var_bytes().is_err());
+    }
+
+    #[test]
+    fn encoder_capacity_and_empty() {
+        let e = Encoder::with_capacity(64);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let mut e = e;
+        e.bytes(b"xy");
+        assert_eq!(e.as_slice(), b"xy");
+        assert_eq!(e.len(), 2);
+    }
+}

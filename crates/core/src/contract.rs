@@ -1,0 +1,237 @@
+//! Performance contracts (paper §5: "Require a performance contract, not a
+//! warranty").
+//!
+//! The paper argues that co-designing a data system with an Open-Channel SSD
+//! requires agreeing on *performance contracts* across components — latency
+//! and throughput bounds, plus wear expectations — instead of the
+//! manufacturer's lifetime warranty. This module provides a contract type,
+//! an evaluator over measured latency distributions and device wear, and a
+//! monitor that FTLs can feed.
+
+use ocssd::{ChunkState, Geometry, OcssdDevice};
+use ox_sim::stats::Histogram;
+use ox_sim::SimDuration;
+
+/// A latency/throughput/wear contract for a storage component.
+#[derive(Clone, Copy, Debug)]
+pub struct PerformanceContract {
+    /// Bound on p99 read latency.
+    pub read_p99: SimDuration,
+    /// Bound on p99 write (acknowledge) latency.
+    pub write_p99: SimDuration,
+    /// Minimum sustained throughput in operations per second.
+    pub min_ops_per_sec: f64,
+    /// Fraction of rated endurance that may be consumed before the device
+    /// must be declared end-of-life ("fail early rather than compensating
+    /// for bit errors").
+    pub max_wear_fraction: f64,
+}
+
+impl PerformanceContract {
+    /// A contract matching the paper's dual-plane TLC drive class: reads
+    /// bounded by a few page reads, writes by the cache path, moderate
+    /// sustained throughput.
+    pub fn paper_tlc_class() -> Self {
+        PerformanceContract {
+            read_p99: SimDuration::from_micros(1500),
+            write_p99: SimDuration::from_micros(500),
+            min_ops_per_sec: 10_000.0,
+            max_wear_fraction: 0.8,
+        }
+    }
+}
+
+/// A detected contract violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// Read p99 exceeded the bound (observed nanoseconds given).
+    ReadLatency(u64),
+    /// Write p99 exceeded the bound.
+    WriteLatency(u64),
+    /// Sustained throughput fell below the bound.
+    Throughput(f64),
+    /// A chunk crossed the wear budget (max observed wear fraction given).
+    Wear(f64),
+}
+
+/// Evaluation of a contract over a measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct ContractReport {
+    /// Violations found (empty = compliant).
+    pub violations: Vec<Violation>,
+    /// Observed read p99 (ns).
+    pub read_p99_ns: u64,
+    /// Observed write p99 (ns).
+    pub write_p99_ns: u64,
+    /// Observed throughput (ops/s).
+    pub ops_per_sec: f64,
+    /// Worst per-chunk wear fraction observed.
+    pub max_wear_fraction: f64,
+}
+
+impl ContractReport {
+    /// True when no violations were found.
+    pub fn compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Evaluates a contract against measured latency histograms, an operation
+/// count over a window, and the device's wear state.
+pub fn evaluate(
+    contract: &PerformanceContract,
+    reads: &Histogram,
+    writes: &Histogram,
+    ops: u64,
+    window: SimDuration,
+    device: &OcssdDevice,
+) -> ContractReport {
+    let mut report = ContractReport {
+        read_p99_ns: reads.quantile(0.99),
+        write_p99_ns: writes.quantile(0.99),
+        ops_per_sec: if window.is_zero() {
+            0.0
+        } else {
+            ops as f64 / window.as_secs_f64()
+        },
+        max_wear_fraction: max_wear_fraction(device),
+        ..Default::default()
+    };
+    if reads.count() > 0 && report.read_p99_ns > contract.read_p99.as_nanos() {
+        report.violations.push(Violation::ReadLatency(report.read_p99_ns));
+    }
+    if writes.count() > 0 && report.write_p99_ns > contract.write_p99.as_nanos() {
+        report
+            .violations
+            .push(Violation::WriteLatency(report.write_p99_ns));
+    }
+    if ops > 0 && report.ops_per_sec < contract.min_ops_per_sec {
+        report.violations.push(Violation::Throughput(report.ops_per_sec));
+    }
+    if report.max_wear_fraction > contract.max_wear_fraction {
+        report.violations.push(Violation::Wear(report.max_wear_fraction));
+    }
+    report
+}
+
+/// Worst per-chunk wear fraction on the device (erase count ÷ endurance),
+/// counting offline chunks as fully worn.
+pub fn max_wear_fraction(device: &OcssdDevice) -> f64 {
+    let geo: &Geometry = device.geometry();
+    device
+        .report_all_chunks()
+        .iter()
+        .map(|(_, info)| {
+            if info.state == ChunkState::Offline {
+                1.0
+            } else {
+                info.wear as f64 / geo.endurance as f64
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocssd::{ChunkAddr, DeviceConfig};
+    use ox_sim::SimTime as _ST;
+
+    fn device() -> OcssdDevice {
+        OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8))
+    }
+
+    fn hist(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn compliant_workload_passes() {
+        let dev = device();
+        let c = PerformanceContract::paper_tlc_class();
+        let reads = hist(&[400_000, 500_000, 600_000]); // ns
+        let writes = hist(&[20_000, 30_000]);
+        let r = evaluate(&c, &reads, &writes, 100_000, SimDuration::from_secs(1), &dev);
+        assert!(r.compliant(), "{:?}", r.violations);
+        assert!(r.ops_per_sec > 10_000.0);
+    }
+
+    #[test]
+    fn latency_violations_detected() {
+        let dev = device();
+        let c = PerformanceContract::paper_tlc_class();
+        let reads = hist(&[5_000_000]); // 5 ms read
+        let writes = hist(&[2_000_000]); // 2 ms write
+        let r = evaluate(&c, &reads, &writes, 100_000, SimDuration::from_secs(1), &dev);
+        assert!(!r.compliant());
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::ReadLatency(_))));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WriteLatency(_))));
+    }
+
+    #[test]
+    fn throughput_violation_detected() {
+        let dev = device();
+        let c = PerformanceContract::paper_tlc_class();
+        let r = evaluate(
+            &c,
+            &hist(&[1000]),
+            &hist(&[1000]),
+            100,
+            SimDuration::from_secs(1),
+            &dev,
+        );
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::Throughput(_))));
+    }
+
+    #[test]
+    fn wear_tracks_erases_and_flags_budget() {
+        let mut dev = device();
+        let geo = *dev.geometry();
+        assert_eq!(max_wear_fraction(&dev), 0.0);
+        // Wear one chunk a few cycles.
+        let addr = ChunkAddr::new(0, 0, 0);
+        let data = vec![1u8; geo.ws_min_bytes()];
+        let mut t = _ST::ZERO;
+        for _ in 0..3 {
+            t = dev.write(t, addr.ppa(0), &data).unwrap().done;
+            t = dev.reset_chunk(t + SimDuration::from_secs(1), addr).unwrap().done;
+        }
+        let frac = max_wear_fraction(&dev);
+        assert!((frac - 3.0 / geo.endurance as f64).abs() < 1e-9);
+
+        // A tight wear budget flags it.
+        let mut c = PerformanceContract::paper_tlc_class();
+        c.max_wear_fraction = 0.0005;
+        let r = evaluate(
+            &c,
+            &hist(&[1000]),
+            &hist(&[1000]),
+            1_000_000,
+            SimDuration::from_secs(1),
+            &dev,
+        );
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::Wear(_))));
+    }
+
+    #[test]
+    fn empty_histograms_do_not_false_positive() {
+        let dev = device();
+        let c = PerformanceContract::paper_tlc_class();
+        let r = evaluate(
+            &c,
+            &Histogram::new(),
+            &Histogram::new(),
+            0,
+            SimDuration::ZERO,
+            &dev,
+        );
+        assert!(r.compliant());
+    }
+}

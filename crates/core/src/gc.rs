@@ -1,0 +1,429 @@
+//! Garbage collection with group-marked locality.
+//!
+//! OX-Block "marks a group for collection; then background threads recycle
+//! victim chunks within that group. This guarantees locality of
+//! interferences from garbage collection" (paper §4.3): on an SSD with N
+//! independent groups, (N−1)/N of user I/O never queues behind GC — 93.75 %
+//! at 16 groups, 87.5 % at 8.
+//!
+//! The collector is greedy (min-valid-count victim), relocates live sectors
+//! with the device-internal copy command, journals the resulting map changes
+//! as a WAL transaction *before* resetting the victim (so a crash between
+//! relocation and checkpoint cannot resurrect stale mappings), and returns
+//! reclaimed chunks to the provisioner.
+
+use crate::mapping::PageMap;
+use crate::media::Media;
+use crate::provision::Provisioner;
+use crate::wal::{Wal, WalError, WalRecord};
+use ocssd::{ChunkAddr, ChunkState, Ppa};
+use ox_sim::SimTime;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// GC policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct GcConfig {
+    /// Run GC when device-wide free chunks drop below this.
+    pub low_watermark: u32,
+    /// Victims to recycle per collection pass.
+    pub chunks_per_pass: u32,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            low_watermark: 8,
+            chunks_per_pass: 2,
+        }
+    }
+}
+
+/// Result of one collection pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcPass {
+    /// Chunks reclaimed.
+    pub victims: u32,
+    /// Live sectors relocated.
+    pub moved_sectors: u64,
+    /// Padding sectors written to satisfy `ws_min` (dead on arrival).
+    pub padded_sectors: u64,
+    /// Completion time of the pass.
+    pub done: SimTime,
+}
+
+/// Cumulative GC statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcStats {
+    /// Collection passes run.
+    pub passes: u64,
+    /// Total victims reclaimed.
+    pub victims: u64,
+    /// Total live sectors moved.
+    pub moved_sectors: u64,
+    /// Total padding sectors.
+    pub padded_sectors: u64,
+}
+
+/// The garbage collector.
+pub struct GarbageCollector {
+    config: GcConfig,
+    /// Group currently marked for collection (GC activity is confined here).
+    marked_group: u32,
+    reserved: HashSet<u64>,
+    next_txid: u64,
+    stats: GcStats,
+}
+
+impl GarbageCollector {
+    /// Creates a collector. `reserved` chunks (linear) are never victims.
+    pub fn new(config: GcConfig, reserved: &[u64]) -> Self {
+        GarbageCollector {
+            config,
+            marked_group: 0,
+            reserved: reserved.iter().copied().collect(),
+            next_txid: 1 << 48, // disjoint from user transaction ids
+            stats: GcStats::default(),
+        }
+    }
+
+    /// The group currently marked for collection.
+    pub fn marked_group(&self) -> u32 {
+        self.marked_group
+    }
+
+    /// Marks a specific group for collection.
+    pub fn mark_group(&mut self, group: u32) {
+        self.marked_group = group;
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> GcStats {
+        self.stats
+    }
+
+    /// Whether a pass is warranted given the provisioner's pools.
+    pub fn needs_gc(&self, prov: &Provisioner) -> bool {
+        prov.free_chunks() < self.config.low_watermark
+    }
+
+    /// Picks the emptiest closed data chunk in the marked group. Marks the
+    /// next group if the current one has no victims (rotating the GC focus,
+    /// as OX does between passes).
+    fn select_victim(
+        &mut self,
+        media: &Arc<dyn Media>,
+        map: &PageMap,
+    ) -> Option<(ChunkAddr, u32)> {
+        let geo = media.geometry();
+        for _ in 0..geo.num_groups {
+            let group = self.marked_group;
+            let mut best: Option<(ChunkAddr, u32)> = None;
+            for pu in 0..geo.pus_per_group {
+                for chunk in 0..geo.chunks_per_pu {
+                    let addr = ChunkAddr::new(group, pu, chunk);
+                    let lin = addr.linear(&geo);
+                    if self.reserved.contains(&lin) {
+                        continue;
+                    }
+                    if media.chunk_info(addr).state != ChunkState::Closed {
+                        continue;
+                    }
+                    let valid = map.valid_count(lin);
+                    if valid == geo.sectors_per_chunk {
+                        continue; // nothing to reclaim
+                    }
+                    if best.is_none_or(|(_, v)| valid < v) {
+                        best = Some((addr, valid));
+                    }
+                }
+            }
+            if best.is_some() {
+                return best;
+            }
+            // Nothing collectible here: rotate the marked group.
+            self.marked_group = (self.marked_group + 1) % geo.num_groups;
+        }
+        None
+    }
+
+    /// Runs one collection pass at `now`. Relocations stay inside the marked
+    /// group; map changes are journaled through `wal` before the victim is
+    /// reset. Returns what was reclaimed.
+    pub fn collect(
+        &mut self,
+        now: SimTime,
+        media: &Arc<dyn Media>,
+        map: &mut PageMap,
+        prov: &mut Provisioner,
+        wal: &mut Wal,
+    ) -> Result<GcPass, WalError> {
+        let geo = media.geometry();
+        let mut pass = GcPass {
+            done: now,
+            ..Default::default()
+        };
+        for _ in 0..self.config.chunks_per_pass {
+            let Some((victim, _valid)) = self.select_victim(media, map) else {
+                break;
+            };
+            let group = victim.group;
+            let victim_lin = victim.linear(&geo);
+            let live = map.valid_sectors(victim_lin);
+            let txid = self.next_txid;
+            self.next_txid += 1;
+
+            let mut t = pass.done;
+            if !live.is_empty() {
+                wal.append(WalRecord::TxBegin { txid });
+                let mut cursor = 0usize;
+                while cursor < live.len() {
+                    // One ws_min batch: pad with repeats of the last live
+                    // sector if the tail is short.
+                    let mut batch: Vec<Ppa> = Vec::with_capacity(geo.ws_min as usize);
+                    let mut lpns: Vec<Option<u64>> = Vec::with_capacity(geo.ws_min as usize);
+                    for k in 0..geo.ws_min as usize {
+                        if let Some(&(ppa, lpn)) = live.get(cursor + k) {
+                            batch.push(ppa);
+                            lpns.push(Some(lpn));
+                        } else {
+                            batch.push(live[live.len() - 1].0);
+                            lpns.push(None);
+                            pass.padded_sectors += 1;
+                        }
+                    }
+                    cursor += geo.ws_min as usize;
+
+                    // Destination in the same group, never the victim chunk.
+                    let slot = loop {
+                        let Some(slot) = prov.allocate_in_group(group) else {
+                            // Group out of space: fall back to any group.
+                            match prov.allocate_horizontal() {
+                                Some(s) => break s,
+                                None => return Err(WalError::LogFull),
+                            }
+                        };
+                        if slot.chunk != victim {
+                            break slot;
+                        }
+                    };
+                    let comp = media.copy(t, &batch, slot.chunk)?;
+                    t = comp.done;
+                    for (k, lpn) in lpns.iter().enumerate() {
+                        if let Some(lpn) = lpn {
+                            let dst = slot.chunk.ppa(slot.sector + k as u32);
+                            map.map(*lpn, dst);
+                            wal.append(WalRecord::MapUpdate {
+                                txid,
+                                lpn: *lpn,
+                                ppa_linear: dst.linear(&geo),
+                            });
+                            pass.moved_sectors += 1;
+                        }
+                    }
+                }
+                wal.append(WalRecord::TxCommit { txid });
+                t = wal.commit(t)?;
+            }
+
+            // Victim is now dead; erase and recycle.
+            let comp = media.reset(t, victim)?;
+            t = comp.done;
+            prov.release_chunk(victim);
+            pass.victims += 1;
+            pass.done = t;
+        }
+        self.stats.passes += 1;
+        self.stats.victims += pass.victims as u64;
+        self.stats.moved_sectors += pass.moved_sectors;
+        self.stats.padded_sectors += pass.padded_sectors;
+        Ok(pass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Layout, LayoutConfig};
+    use crate::media::OcssdMedia;
+    use ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice};
+
+    struct Rig {
+        media: Arc<dyn Media>,
+        geo: Geometry,
+        map: PageMap,
+        prov: Provisioner,
+        wal: Wal,
+        layout: Layout,
+        gc: GarbageCollector,
+        t: SimTime,
+    }
+
+    fn rig() -> Rig {
+        let geo = Geometry::paper_tlc_scaled(22, 8);
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geo)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let layout = Layout::plan(&geo, LayoutConfig::default());
+        let reserved = layout.reserved_linear(&geo);
+        let prov = Provisioner::fresh(geo, &reserved);
+        let map = PageMap::new(geo, 100_000);
+        let (wal, t) = Wal::format(media.clone(), layout.wal_chunks.clone(), SimTime::ZERO).unwrap();
+        let gc = GarbageCollector::new(
+            GcConfig {
+                chunks_per_pass: 1,
+                ..GcConfig::default()
+            },
+            &reserved,
+        );
+        Rig {
+            media,
+            geo,
+            map,
+            prov,
+            wal,
+            layout,
+            gc,
+            t,
+        }
+    }
+
+    /// Writes `lpns` sequentially onto the first PU of `group`, so chunks
+    /// fill (and close) one at a time.
+    fn fill(r: &mut Rig, lpns: std::ops::Range<u64>, group: u32) {
+        let data = vec![0x5Au8; r.geo.ws_min_bytes()];
+        let pu = group * r.geo.pus_per_group;
+        let mut lpn_iter = lpns.into_iter();
+        'outer: loop {
+            let Some(slot) = r.prov.allocate_on_pu(pu) else {
+                panic!("out of space during fill");
+            };
+            let comp = r.media.write(r.t, slot.chunk.ppa(slot.sector), &data).unwrap();
+            r.t = comp.done;
+            for k in 0..r.geo.ws_min {
+                let Some(lpn) = lpn_iter.next() else {
+                    break 'outer;
+                };
+                r.map.map(lpn, slot.chunk.ppa(slot.sector + k));
+            }
+        }
+        let f = r.media.flush(r.t);
+        r.t = f.done;
+    }
+
+    #[test]
+    fn collect_reclaims_empty_closed_chunks_without_copies() {
+        let mut r = rig();
+        let units = r.geo.ws_min as u64;
+        let chunk_lpns = r.geo.sectors_per_chunk as u64;
+        // Fill exactly one chunk worth in group 0, then overwrite everything
+        // (all sectors of the first chunk become invalid).
+        fill(&mut r, 0..chunk_lpns, 0);
+        fill(&mut r, 0..chunk_lpns, 0);
+        let free_before = r.prov.free_chunks();
+        r.gc.mark_group(0);
+        let pass = r
+            .gc
+            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+            .unwrap();
+        assert!(pass.victims >= 1);
+        assert_eq!(pass.moved_sectors, 0, "fully-invalid victim needs no copies");
+        assert!(r.prov.free_chunks() > free_before);
+        let _ = units;
+    }
+
+    #[test]
+    fn collect_relocates_live_data_and_remaps() {
+        let mut r = rig();
+        let chunk_lpns = r.geo.sectors_per_chunk as u64;
+        let ws = r.geo.ws_min as u64;
+        fill(&mut r, 0..chunk_lpns, 0);
+        // Overwrite all but the first write unit: the victim keeps ws_min
+        // live sectors.
+        fill(&mut r, ws..chunk_lpns, 0);
+        r.gc.mark_group(0);
+        let before: Vec<_> = (0..r.geo.ws_min as u64)
+            .map(|l| r.map.lookup(l).unwrap())
+            .collect();
+        let pass = r
+            .gc
+            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+            .unwrap();
+        assert!(pass.victims >= 1);
+        assert_eq!(pass.moved_sectors, r.geo.ws_min as u64);
+        for (l, old) in (0..r.geo.ws_min as u64).zip(before) {
+            let new = r.map.lookup(l).expect("still mapped");
+            assert_ne!(new, old, "lpn {l} relocated");
+            // Relocation stays in the marked group.
+            assert_eq!(new.group, 0);
+            // And the data is readable there.
+            let mut out = vec![0u8; ocssd::SECTOR_BYTES];
+            r.media.read(pass.done, new, 1, &mut out).unwrap();
+            assert_eq!(out[0], 0x5A);
+        }
+    }
+
+    #[test]
+    fn gc_moves_are_journaled_before_reset() {
+        let mut r = rig();
+        let chunk_lpns = r.geo.sectors_per_chunk as u64;
+        let ws = r.geo.ws_min as u64;
+        fill(&mut r, 0..chunk_lpns, 0);
+        fill(&mut r, ws..chunk_lpns, 0);
+        r.gc.mark_group(0);
+        let frames_before = r.wal.frames_written();
+        r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+            .unwrap();
+        assert!(
+            r.wal.frames_written() > frames_before,
+            "GC must commit a WAL transaction for its moves"
+        );
+        // The journaled moves replay correctly.
+        let (frames, _, _) = crate::wal::scan(&r.media, &r.layout.wal_chunks, r.t);
+        let has_gc_commit = frames.iter().flat_map(|f| &f.records).any(
+            |rec| matches!(rec, WalRecord::TxCommit { txid } if *txid >= (1 << 48)),
+        );
+        assert!(has_gc_commit);
+    }
+
+    #[test]
+    fn needs_gc_tracks_watermark() {
+        let mut r = rig();
+        assert!(!r.gc.needs_gc(&r.prov));
+        // Exhaust nearly all free chunks.
+        let total = r.prov.free_chunks();
+        for _ in 0..total.saturating_sub(4) {
+            let pu = 0;
+            let _ = r.prov.take_free_chunk(pu % r.geo.total_pus()).is_some()
+                || (1..r.geo.total_pus()).any(|p| r.prov.take_free_chunk(p).is_some());
+        }
+        assert!(r.gc.needs_gc(&r.prov));
+    }
+
+    #[test]
+    fn marked_group_rotates_when_empty() {
+        let mut r = rig();
+        let chunk_lpns = r.geo.sectors_per_chunk as u64;
+        // Only group 2 has a collectible chunk.
+        fill(&mut r, 0..chunk_lpns, 2);
+        fill(&mut r, 0..chunk_lpns, 2);
+        r.gc.mark_group(0);
+        let pass = r
+            .gc
+            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+            .unwrap();
+        assert!(pass.victims >= 1, "collector rotated to the busy group");
+        assert_eq!(r.gc.marked_group(), 2);
+    }
+
+    #[test]
+    fn nothing_to_collect_is_a_clean_noop() {
+        let mut r = rig();
+        let pass = r
+            .gc
+            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+            .unwrap();
+        assert_eq!(pass.victims, 0);
+        assert_eq!(pass.moved_sectors, 0);
+        assert_eq!(pass.done, r.t);
+    }
+}

@@ -1,0 +1,382 @@
+//! The SSD landscape taxonomy (paper Figure 1 and §3.1).
+//!
+//! Figure 1 organizes SSD models along two primary axes — FTL placement and
+//! FTL abstraction — with the remaining design-space dimensions (§3.1)
+//! annotated per model. This module encodes the taxonomy as data so the
+//! `landscape` example can regenerate the figure as a text grid, and so
+//! tests can assert the paper's observations (e.g. traditional SSDs and
+//! SmartSSD share a quadrant).
+
+use std::fmt;
+
+/// Storage-chip class (§3.1 "Storage chip").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChipClass {
+    /// Low-latency chips (SLC, Z-NAND).
+    LowLatency,
+    /// MLC.
+    Mlc,
+    /// TLC.
+    Tlc,
+    /// QLC (high capacity).
+    Qlc,
+    /// Model makes no chip assumption.
+    Any,
+}
+
+/// Where the FTL runs (§3.1 "FTL placement").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// On the host CPU.
+    Host,
+    /// On the storage controller (computational storage).
+    Controller,
+}
+
+/// How the FTL is integrated (§3.1 "FTL integration").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Integration {
+    /// Inside device firmware.
+    Firmware,
+    /// In the OS kernel.
+    Kernel,
+    /// In user space.
+    UserSpace,
+}
+
+/// Whether the FTL internals are visible (§3.1 "FTL transparency").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transparency {
+    /// Closed implementation.
+    BlackBox,
+    /// Open implementation.
+    WhiteBox,
+}
+
+/// The abstraction the FTL exposes (§3.1 "FTL abstraction").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Abstraction {
+    /// Classic block device.
+    BlockDevice,
+    /// Zoned namespaces (append-only zones).
+    Zns,
+    /// Application-specific interface.
+    AppSpecific,
+}
+
+/// Where the FTL is accessed from (§3.1 "FTL access").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Accessed from the host.
+    Host,
+    /// Accessed from the storage controller.
+    Controller,
+}
+
+/// One SSD model positioned in the landscape.
+#[derive(Clone, Debug)]
+pub struct SsdModel {
+    /// Display name.
+    pub name: &'static str,
+    /// FTL placement (row of Figure 1).
+    pub placement: Placement,
+    /// FTL abstraction (column of Figure 1).
+    pub abstraction: Abstraction,
+    /// Storage chips the model targets.
+    pub chips: &'static [ChipClass],
+    /// FTL integration.
+    pub integration: Integration,
+    /// FTL transparency.
+    pub transparency: Transparency,
+    /// FTL access point.
+    pub access: Access,
+    /// Whether the model was fully available when the paper was written
+    /// (lighter color in Figure 1 = not fully available).
+    pub available: bool,
+}
+
+/// The thirteen models of Figure 1, verbatim from the paper.
+pub fn figure1_models() -> Vec<SsdModel> {
+    use Abstraction::*;
+    use Access as Ac;
+    use ChipClass::*;
+    use Integration::*;
+    use Placement::*;
+    use Transparency::*;
+    vec![
+        SsdModel {
+            name: "Fusion-IO",
+            placement: Host,
+            abstraction: BlockDevice,
+            chips: &[LowLatency, Mlc],
+            integration: Kernel,
+            transparency: BlackBox,
+            access: Ac::Host,
+            available: true,
+        },
+        SsdModel {
+            name: "pblk",
+            placement: Host,
+            abstraction: BlockDevice,
+            chips: &[Mlc, Tlc],
+            integration: Kernel,
+            transparency: WhiteBox,
+            access: Ac::Host,
+            available: true,
+        },
+        SsdModel {
+            name: "SPDK",
+            placement: Host,
+            abstraction: BlockDevice,
+            chips: &[Mlc, Tlc],
+            integration: UserSpace,
+            transparency: WhiteBox,
+            access: Ac::Host,
+            available: true,
+        },
+        SsdModel {
+            name: "LightNVM target for ZNS",
+            placement: Host,
+            abstraction: Zns,
+            chips: &[Tlc],
+            integration: Kernel,
+            transparency: WhiteBox,
+            access: Ac::Host,
+            available: false,
+        },
+        SsdModel {
+            name: "RocksDB NVM engine",
+            placement: Host,
+            abstraction: AppSpecific,
+            chips: &[Mlc, Tlc],
+            integration: UserSpace,
+            transparency: WhiteBox,
+            access: Ac::Host,
+            available: true,
+        },
+        SsdModel {
+            name: "Traditional SSDs",
+            placement: Controller,
+            abstraction: BlockDevice,
+            chips: &[Any],
+            integration: Firmware,
+            transparency: BlackBox,
+            access: Ac::Host,
+            available: true,
+        },
+        SsdModel {
+            name: "Smart SSD",
+            placement: Controller,
+            abstraction: BlockDevice,
+            chips: &[Qlc],
+            integration: Firmware,
+            transparency: BlackBox,
+            access: Ac::Controller,
+            available: true,
+        },
+        SsdModel {
+            name: "OX-Block",
+            placement: Controller,
+            abstraction: BlockDevice,
+            chips: &[Mlc],
+            integration: UserSpace,
+            transparency: WhiteBox,
+            access: Ac::Controller,
+            available: true,
+        },
+        SsdModel {
+            name: "ZNS SSD",
+            placement: Controller,
+            abstraction: Zns,
+            chips: &[Any],
+            integration: Firmware,
+            transparency: BlackBox,
+            access: Ac::Host,
+            available: false,
+        },
+        SsdModel {
+            name: "OX-ZNS",
+            placement: Controller,
+            abstraction: Zns,
+            chips: &[Tlc],
+            integration: UserSpace,
+            transparency: WhiteBox,
+            access: Ac::Controller,
+            available: false,
+        },
+        SsdModel {
+            name: "KV-SSD",
+            placement: Controller,
+            abstraction: AppSpecific,
+            chips: &[Qlc],
+            integration: Firmware,
+            transparency: BlackBox,
+            access: Ac::Host,
+            available: true,
+        },
+        SsdModel {
+            name: "Pliops",
+            placement: Controller,
+            abstraction: AppSpecific,
+            chips: &[Tlc],
+            integration: UserSpace,
+            transparency: BlackBox,
+            access: Ac::Controller,
+            available: true,
+        },
+        SsdModel {
+            name: "OX-Eleos, LightLSM",
+            placement: Controller,
+            abstraction: AppSpecific,
+            chips: &[Mlc],
+            integration: UserSpace,
+            transparency: WhiteBox,
+            access: Ac::Controller,
+            available: true,
+        },
+    ]
+}
+
+impl fmt::Display for Abstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Abstraction::BlockDevice => "Block-device",
+            Abstraction::Zns => "ZNS",
+            Abstraction::AppSpecific => "App-specific",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Placement::Host => "Host",
+            Placement::Controller => "Controller",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Renders the Figure 1 grid (placement × abstraction) as text.
+pub fn render_figure1(models: &[SsdModel]) -> String {
+    let mut out = String::new();
+    let abstractions = [
+        Abstraction::BlockDevice,
+        Abstraction::Zns,
+        Abstraction::AppSpecific,
+    ];
+    out.push_str(&format!(
+        "{:<12} | {:<34} | {:<28} | {:<34}\n",
+        "FTL place.", "Block-device", "ZNS", "App-specific"
+    ));
+    out.push_str(&"-".repeat(118));
+    out.push('\n');
+    for placement in [Placement::Host, Placement::Controller] {
+        let cells: Vec<String> = abstractions
+            .iter()
+            .map(|&a| {
+                models
+                    .iter()
+                    .filter(|m| m.placement == placement && m.abstraction == a)
+                    .map(|m| {
+                        if m.available {
+                            m.name.to_string()
+                        } else {
+                            format!("({})", m.name)
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<12} | {:<34} | {:<28} | {:<34}\n",
+            placement.to_string(),
+            cells[0],
+            cells[1],
+            cells[2]
+        ));
+    }
+    out.push_str("(parentheses: not fully available as of the paper)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_models_as_in_figure1() {
+        assert_eq!(figure1_models().len(), 13);
+    }
+
+    #[test]
+    fn every_quadrant_populated() {
+        let models = figure1_models();
+        for placement in [Placement::Host, Placement::Controller] {
+            for abstraction in [
+                Abstraction::BlockDevice,
+                Abstraction::Zns,
+                Abstraction::AppSpecific,
+            ] {
+                // The Host×ZNS cell holds only the unreleased LightNVM
+                // target, and that's the paper's point — still non-empty.
+                assert!(
+                    models
+                        .iter()
+                        .any(|m| m.placement == placement && m.abstraction == abstraction),
+                    "{placement:?} × {abstraction:?} empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traditional_and_smartssd_share_a_quadrant() {
+        // "Interestingly, traditional SSDs and SmartSSD … are in the same
+        // quadrant using those two dimensions."
+        let models = figure1_models();
+        let trad = models.iter().find(|m| m.name == "Traditional SSDs").unwrap();
+        let smart = models.iter().find(|m| m.name == "Smart SSD").unwrap();
+        assert_eq!(trad.placement, smart.placement);
+        assert_eq!(trad.abstraction, smart.abstraction);
+        // But they differ in access — the hidden dimension.
+        assert_ne!(trad.access, smart.access);
+    }
+
+    #[test]
+    fn ox_ftls_are_white_box_controller_user_space() {
+        for name in ["OX-Block", "OX-Eleos, LightLSM"] {
+            let models = figure1_models();
+            let m = models.iter().find(|m| m.name == name).unwrap();
+            assert_eq!(m.placement, Placement::Controller);
+            assert_eq!(m.integration, Integration::UserSpace);
+            assert_eq!(m.transparency, Transparency::WhiteBox);
+        }
+    }
+
+    #[test]
+    fn unavailable_models_match_paper() {
+        let models = figure1_models();
+        let unavailable: Vec<&str> = models
+            .iter()
+            .filter(|m| !m.available)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(
+            unavailable,
+            vec!["LightNVM target for ZNS", "ZNS SSD", "OX-ZNS"]
+        );
+    }
+
+    #[test]
+    fn render_contains_all_models() {
+        let models = figure1_models();
+        let grid = render_figure1(&models);
+        for m in &models {
+            assert!(grid.contains(m.name), "missing {}", m.name);
+        }
+        assert!(grid.contains("(OX-ZNS)"));
+    }
+}

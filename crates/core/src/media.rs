@@ -1,0 +1,151 @@
+//! Media-manager abstraction (the bottom layer of the OX architecture).
+//!
+//! OX's media manager presents "a common representation of the physical
+//! address space" over whatever storage media sits underneath (paper §4.1).
+//! FTL components are written against the [`Media`] trait; [`OcssdMedia`]
+//! implements it over the simulated Open-Channel SSD, and tests substitute
+//! fault-injecting wrappers.
+
+use ocssd::{ChunkAddr, ChunkInfo, Completion, Geometry, Ppa, Result, SharedDevice};
+use ox_sim::SimTime;
+
+/// A physical address space with OCSSD-style chunk discipline.
+pub trait Media: Send + Sync {
+    /// Device geometry.
+    fn geometry(&self) -> Geometry;
+
+    /// Vector write of contiguous sectors at the chunk write pointer
+    /// (completes at cache acknowledge).
+    fn write(&self, now: SimTime, ppa: Ppa, data: &[u8]) -> Result<Completion>;
+
+    /// Read of contiguous written sectors.
+    fn read(&self, now: SimTime, ppa: Ppa, sectors: u32, out: &mut [u8]) -> Result<Completion>;
+
+    /// Chunk reset (erase).
+    fn reset(&self, now: SimTime, chunk: ChunkAddr) -> Result<Completion>;
+
+    /// Device-internal scatter copy to a destination chunk's write pointer.
+    fn copy(&self, now: SimTime, srcs: &[Ppa], dst: ChunkAddr) -> Result<Completion>;
+
+    /// Barrier: all acknowledged writes durable.
+    fn flush(&self, now: SimTime) -> Completion;
+
+    /// Barrier: all acknowledged writes *to one chunk* durable.
+    fn flush_chunk(&self, now: SimTime, chunk: ChunkAddr) -> Completion;
+
+    /// *Report chunk* for one chunk.
+    fn chunk_info(&self, chunk: ChunkAddr) -> ChunkInfo;
+
+    /// *Report chunk* for the whole device (recovery scan).
+    fn report_all(&self) -> Vec<(ChunkAddr, ChunkInfo)>;
+
+    /// Drains asynchronous media events (program/erase failures, wear-out).
+    fn drain_events(&self) -> Vec<ocssd::MediaEvent>;
+}
+
+/// [`Media`] over the simulated Open-Channel SSD.
+#[derive(Clone)]
+pub struct OcssdMedia {
+    device: SharedDevice,
+}
+
+impl OcssdMedia {
+    /// Wraps a shared device.
+    pub fn new(device: SharedDevice) -> Self {
+        OcssdMedia { device }
+    }
+
+    /// Access to the underlying shared device (for experiment harnesses).
+    pub fn device(&self) -> &SharedDevice {
+        &self.device
+    }
+}
+
+impl Media for OcssdMedia {
+    fn geometry(&self) -> Geometry {
+        self.device.geometry()
+    }
+
+    fn write(&self, now: SimTime, ppa: Ppa, data: &[u8]) -> Result<Completion> {
+        self.device.write(now, ppa, data)
+    }
+
+    fn read(&self, now: SimTime, ppa: Ppa, sectors: u32, out: &mut [u8]) -> Result<Completion> {
+        self.device.read(now, ppa, sectors, out)
+    }
+
+    fn reset(&self, now: SimTime, chunk: ChunkAddr) -> Result<Completion> {
+        self.device.reset_chunk(now, chunk)
+    }
+
+    fn copy(&self, now: SimTime, srcs: &[Ppa], dst: ChunkAddr) -> Result<Completion> {
+        self.device.copy(now, srcs, dst)
+    }
+
+    fn flush(&self, now: SimTime) -> Completion {
+        self.device.flush(now)
+    }
+
+    fn flush_chunk(&self, now: SimTime, chunk: ChunkAddr) -> Completion {
+        self.device.with(|d| d.flush_chunk(now, chunk))
+    }
+
+    fn chunk_info(&self, chunk: ChunkAddr) -> ChunkInfo {
+        self.device.chunk_info(chunk)
+    }
+
+    fn report_all(&self) -> Vec<(ChunkAddr, ChunkInfo)> {
+        self.device.with(|d| d.report_all_chunks())
+    }
+
+    fn drain_events(&self) -> Vec<ocssd::MediaEvent> {
+        self.device.with(|d| d.drain_events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocssd::{DeviceConfig, OcssdDevice};
+
+    fn media() -> OcssdMedia {
+        OcssdMedia::new(SharedDevice::new(OcssdDevice::new(
+            DeviceConfig::paper_tlc_scaled(22, 8),
+        )))
+    }
+
+    #[test]
+    fn media_trait_round_trip() {
+        let m = media();
+        let geo = m.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        let data = vec![5u8; geo.ws_min_bytes()];
+        let w = m.write(SimTime::ZERO, addr.ppa(0), &data).unwrap();
+        let mut out = vec![0u8; geo.ws_min_bytes()];
+        m.read(w.done, addr.ppa(0), geo.ws_min, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(m.chunk_info(addr).write_ptr, geo.ws_min);
+    }
+
+    #[test]
+    fn flush_chunk_and_report_all() {
+        let m = media();
+        let geo = m.geometry();
+        let addr = ChunkAddr::new(1, 2, 3);
+        let w = m
+            .write(SimTime::ZERO, addr.ppa(0), &vec![1u8; geo.ws_min_bytes()])
+            .unwrap();
+        let f = m.flush_chunk(w.done, addr);
+        assert!(f.done >= w.done);
+        let all = m.report_all();
+        assert_eq!(all.len(), geo.total_chunks() as usize);
+        assert!(m.drain_events().is_empty());
+    }
+
+    #[test]
+    fn media_is_object_safe() {
+        let m = media();
+        let obj: &dyn Media = &m;
+        assert_eq!(obj.geometry().num_groups, 8);
+    }
+}

@@ -1,0 +1,527 @@
+//! # ox-kvssd — a KV-SSD-style key-value FTL
+//!
+//! The paper's §5 poses an open issue: "NVMe is standardizing a KV
+//! interface, inspired by KV-SSD. How does it compare to LightLSM that
+//! supports flush and probe?" This crate implements the KV-SSD side of that
+//! comparison: a key-value FTL in the style of Samsung's KV-SSD [Kang et
+//! al., SYSTOR'19] running directly on the Open-Channel device —
+//! `put`/`get`/`delete` over an append-only value log with an in-memory
+//! hash index, journaled through the OX WAL and compacted by the
+//! group-marked garbage collector.
+//!
+//! Contrast with LightLSM (the other side of the comparison):
+//!
+//! * **KV-SSD**: point lookups read exactly the sectors a value occupies —
+//!   no 96 KB block tax, no multi-level probes. But the device-side index
+//!   must be journaled per operation, range scans are unsupported, and
+//!   space reclamation needs valid-page copies (real GC).
+//! * **LightLSM**: reads pay the block-sized transfer and level probes, but
+//!   flush/erase-only reclamation never copies a page, and sorted scans are
+//!   natural.
+//!
+//! The `ablation_kv_interface` bench in `ox-bench` measures both.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use ocssd::{DeviceError, Geometry, Ppa, SECTOR_BYTES};
+use ox_core::layout::{Layout, LayoutConfig};
+use ox_core::mapping::PageMap;
+use ox_core::provision::Provisioner;
+use ox_core::stats::FtlStats;
+use ox_core::wal::{Wal, WalError, WalRecord};
+use ox_core::Media;
+use ox_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// KV-SSD configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KvSsdConfig {
+    /// Metadata layout.
+    pub layout: LayoutConfig,
+    /// Largest value accepted (values span whole sectors in the value log).
+    pub max_value_bytes: usize,
+    /// Free-chunk watermark that triggers value-log garbage collection.
+    pub gc_watermark: u32,
+    /// CPU cost charged per command (device-side index work).
+    pub command_cpu: SimDuration,
+    /// Puts/deletes per WAL group commit (durability batch; `sync` forces).
+    pub group_commit: usize,
+}
+
+impl Default for KvSsdConfig {
+    fn default() -> Self {
+        KvSsdConfig {
+            layout: LayoutConfig::default(),
+            max_value_bytes: 1024 * 1024,
+            gc_watermark: 16,
+            command_cpu: SimDuration::from_micros(2),
+            group_commit: 64,
+        }
+    }
+}
+
+/// KV-SSD failure modes.
+#[derive(Clone, Debug)]
+pub enum KvError {
+    /// Key empty or oversized.
+    BadKey(usize),
+    /// Value larger than [`KvSsdConfig::max_value_bytes`].
+    ValueTooLarge(usize),
+    /// Device out of space even after GC.
+    OutOfSpace,
+    /// Log failure.
+    Wal(WalError),
+    /// Device failure.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::BadKey(n) => write!(f, "bad key length {n}"),
+            KvError::ValueTooLarge(n) => write!(f, "value of {n} bytes too large"),
+            KvError::OutOfSpace => write!(f, "device out of space"),
+            KvError::Wal(e) => write!(f, "log error: {e}"),
+            KvError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<WalError> for KvError {
+    fn from(e: WalError) -> Self {
+        KvError::Wal(e)
+    }
+}
+
+impl From<DeviceError> for KvError {
+    fn from(e: DeviceError) -> Self {
+        KvError::Device(e)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ValueLoc {
+    /// First logical page of the value in the log window.
+    lpn: u64,
+    /// Value length in bytes.
+    len: u32,
+}
+
+/// The KV-SSD-style FTL.
+pub struct KvSsd {
+    media: Arc<dyn Media>,
+    geo: Geometry,
+    config: KvSsdConfig,
+    /// Device-side hash index: key → value location.
+    index: HashMap<Vec<u8>, ValueLoc>,
+    /// Value-log page map (log page → physical sector), shared machinery
+    /// with OX-Block so GC can relocate live values.
+    map: PageMap,
+    prov: Provisioner,
+    wal: Wal,
+    stats: FtlStats,
+    next_lpn: u64,
+    window_pages: u64,
+    next_txid: u64,
+    /// Buffered sectors awaiting a full `ws_min` unit (write coalescing).
+    staged: Vec<(u64, Vec<u8>)>,
+    /// Operations since the last group commit.
+    pending_ops: usize,
+    /// Metadata chunks excluded from the value log and from GC.
+    reserved: Vec<u64>,
+}
+
+impl KvSsd {
+    /// Formats the device as a KV-SSD.
+    pub fn format(
+        media: Arc<dyn Media>,
+        config: KvSsdConfig,
+        now: SimTime,
+    ) -> Result<(KvSsd, SimTime), KvError> {
+        let geo = media.geometry();
+        let layout = Layout::plan(&geo, config.layout);
+        let reserved = layout.reserved_linear(&geo);
+        let prov = Provisioner::fresh(geo, &reserved);
+        let window_pages = geo.total_sectors() / 2; // value-log logical window
+        let (wal, done) = Wal::format(media.clone(), layout.wal_chunks.clone(), now)?;
+        Ok((
+            KvSsd {
+                geo,
+                index: HashMap::new(),
+                map: PageMap::new(geo, window_pages),
+                prov,
+                wal,
+                stats: FtlStats::default(),
+                next_lpn: 0,
+                window_pages,
+                next_txid: 1,
+                staged: Vec::new(),
+                pending_ops: 0,
+                reserved,
+                media,
+                config,
+            },
+            done,
+        ))
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// FTL statistics.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    fn slot(&self, lpn: u64) -> u64 {
+        lpn % self.window_pages
+    }
+
+    /// Flushes staged sectors as `ws_min` units. With `pad_tail`, a partial
+    /// final unit is zero-padded out (sync path); otherwise only full units
+    /// are written (write coalescing across puts).
+    fn flush_staged(&mut self, now: SimTime, txid: u64, pad_tail: bool) -> Result<SimTime, KvError> {
+        let unit_sectors = self.geo.ws_min as usize;
+        let unit_bytes = self.geo.ws_min_bytes();
+        let mut t = now;
+        while self.staged.len() >= unit_sectors || (pad_tail && !self.staged.is_empty()) {
+            let batch: Vec<(u64, Vec<u8>)> = self
+                .staged
+                .drain(..unit_sectors.min(self.staged.len()))
+                .collect();
+            let slot = self
+                .prov
+                .allocate_horizontal()
+                .ok_or(KvError::OutOfSpace)?;
+            let mut buf = vec![0u8; unit_bytes];
+            for (i, (_, sector)) in batch.iter().enumerate() {
+                buf[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES].copy_from_slice(sector);
+            }
+            let comp = self.media.write(t, slot.chunk.ppa(slot.sector), &buf)?;
+            t = comp.done;
+            for (i, (lpn, _)) in batch.iter().enumerate() {
+                let ppa = slot.chunk.ppa(slot.sector + i as u32);
+                self.map.map(self.slot(*lpn), ppa);
+                self.wal.append(WalRecord::MapUpdate {
+                    txid,
+                    lpn: self.slot(*lpn),
+                    ppa_linear: ppa.linear(&self.geo),
+                });
+            }
+            self.stats.physical_user_writes.record(unit_bytes as u64);
+        }
+        Ok(t)
+    }
+
+    /// Stores a key/value pair. Returns the completion time (durable:
+    /// value written + index update committed to the WAL).
+    pub fn put(&mut self, now: SimTime, key: &[u8], value: &[u8]) -> Result<SimTime, KvError> {
+        if key.is_empty() || key.len() > 255 {
+            return Err(KvError::BadKey(key.len()));
+        }
+        if value.len() > self.config.max_value_bytes {
+            return Err(KvError::ValueTooLarge(value.len()));
+        }
+        let mut t = now + self.config.command_cpu;
+        let pages = value.len().div_ceil(SECTOR_BYTES).max(1) as u64;
+        let first_lpn = self.next_lpn;
+        self.next_lpn += pages;
+
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        self.wal.append(WalRecord::TxBegin { txid });
+        for (i, piece) in value.chunks(SECTOR_BYTES).enumerate() {
+            let mut sector = vec![0u8; SECTOR_BYTES];
+            sector[..piece.len()].copy_from_slice(piece);
+            self.staged.push((first_lpn + i as u64, sector));
+        }
+        if value.is_empty() {
+            self.staged.push((first_lpn, vec![0u8; SECTOR_BYTES]));
+        }
+        // Write out full units only; the tail coalesces with later puts.
+        t = self.flush_staged(t, txid, false)?;
+        // Journal the index update as an app-specific record.
+        let mut rec = Vec::with_capacity(key.len() + 13);
+        rec.extend_from_slice(&first_lpn.to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.push(key.len() as u8);
+        rec.extend_from_slice(key);
+        self.wal.append(WalRecord::Blob {
+            txid,
+            tag: 1,
+            data: rec,
+        });
+        self.wal.append(WalRecord::TxCommit { txid });
+        self.pending_ops += 1;
+        let done = if self.pending_ops >= self.config.group_commit {
+            self.sync(t)?
+        } else {
+            t
+        };
+
+        // Invalidate the old version's pages.
+        if let Some(old) = self.index.insert(
+            key.to_vec(),
+            ValueLoc {
+                lpn: first_lpn,
+                len: value.len() as u32,
+            },
+        ) {
+            let old_pages = (old.len as usize).div_ceil(SECTOR_BYTES).max(1) as u64;
+            for p in 0..old_pages {
+                self.map.unmap(self.slot(old.lpn + p));
+            }
+        }
+        self.stats.user_writes.record(value.len() as u64);
+        let done = self.maybe_gc(done)?;
+        Ok(done)
+    }
+
+    /// Forces durability: writes out the staged tail (zero-padded) and
+    /// group-commits the journal. Returns the durability point.
+    pub fn sync(&mut self, now: SimTime) -> Result<SimTime, KvError> {
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let t = self.flush_staged(now, txid, true)?;
+        let done = self.wal.commit(t)?;
+        self.pending_ops = 0;
+        Ok(done)
+    }
+
+    /// Retrieves a value. Reads exactly the sectors the value occupies — the
+    /// KV interface's advantage over block-granular stores.
+    pub fn get(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+    ) -> Result<(Option<Vec<u8>>, SimTime), KvError> {
+        let mut t = now + self.config.command_cpu;
+        let Some(&loc) = self.index.get(key) else {
+            return Ok((None, t));
+        };
+        let pages = (loc.len as usize).div_ceil(SECTOR_BYTES).max(1) as u64;
+        let mut value = vec![0u8; pages as usize * SECTOR_BYTES];
+        let mut done = t;
+        for p in 0..pages {
+            let lpn = loc.lpn + p;
+            let off = p as usize * SECTOR_BYTES;
+            // Read-your-writes: sectors still in the coalescing buffer are
+            // served from controller memory.
+            if let Some((_, data)) = self.staged.iter().find(|(l, _)| *l == lpn) {
+                value[off..off + SECTOR_BYTES].copy_from_slice(data);
+                continue;
+            }
+            let ppa: Ppa = self
+                .map
+                .lookup(self.slot(lpn))
+                .expect("indexed value must be mapped");
+            let comp = self
+                .media
+                .read(t, ppa, 1, &mut value[off..off + SECTOR_BYTES])?;
+            done = done.max(comp.done);
+        }
+        t = done;
+        value.truncate(loc.len as usize);
+        self.stats.user_reads.record(loc.len as u64);
+        Ok((Some(value), t))
+    }
+
+    /// Deletes a key. Returns the completion time.
+    pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<SimTime, KvError> {
+        let mut t = now + self.config.command_cpu;
+        let Some(loc) = self.index.remove(key) else {
+            return Ok(t);
+        };
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let mut rec = Vec::with_capacity(key.len() + 1);
+        rec.push(key.len() as u8);
+        rec.extend_from_slice(key);
+        self.wal.append(WalRecord::TxBegin { txid });
+        self.wal.append(WalRecord::Blob {
+            txid,
+            tag: 2,
+            data: rec,
+        });
+        self.wal.append(WalRecord::TxCommit { txid });
+        self.pending_ops += 1;
+        if self.pending_ops >= self.config.group_commit {
+            t = self.sync(t)?;
+        }
+        let pages = (loc.len as usize).div_ceil(SECTOR_BYTES).max(1) as u64;
+        for p in 0..pages {
+            self.map.unmap(self.slot(loc.lpn + p));
+        }
+        Ok(t)
+    }
+
+    /// Runs value-log GC when free chunks run low: relocates live sectors of
+    /// the emptiest closed chunks (device-internal copies) and resets them.
+    fn maybe_gc(&mut self, now: SimTime) -> Result<SimTime, KvError> {
+        if self.prov.free_chunks() >= self.config.gc_watermark {
+            return Ok(now);
+        }
+        // GC relocates mapped sectors; flush the coalescing tail first so
+        // nothing is half-staged while chunks move.
+        let now = self.sync(now)?;
+        let mut gc = ox_core::gc::GarbageCollector::new(
+            ox_core::gc::GcConfig {
+                low_watermark: self.config.gc_watermark,
+                chunks_per_pass: 4,
+            },
+            &self.reserved,
+        );
+        let pass = gc
+            .collect(now, &self.media, &mut self.map, &mut self.prov, &mut self.wal)
+            .map_err(KvError::Wal)?;
+        self.stats.gc_passes += 1;
+        self.stats
+            .gc_writes
+            .record((pass.moved_sectors + pass.padded_sectors) * SECTOR_BYTES as u64);
+        Ok(pass.done)
+    }
+
+    /// Forces a WAL checkpoint-style truncation by dropping covered frames.
+    /// (The index snapshot itself is small; production KV-SSDs persist it in
+    /// device DRAM+capacitors. We truncate after the caller confirms a
+    /// higher-level snapshot, or on demand in long benchmarks.)
+    pub fn truncate_log(&mut self, now: SimTime) -> Result<SimTime, KvError> {
+        Ok(self.wal.truncate(now, self.wal.durable_lsn())?)
+    }
+
+    /// WAL pressure in [0, 1] (live chunks over capacity).
+    pub fn log_pressure(&self) -> f64 {
+        self.wal.live_chunks() as f64 / self.wal.capacity_chunks() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocssd::{DeviceConfig, OcssdDevice, SharedDevice};
+    use ox_core::OcssdMedia;
+
+    fn setup() -> (KvSsd, SimTime) {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (kv, t) = KvSsd::format(media, KvSsdConfig::default(), SimTime::ZERO).unwrap();
+        (kv, t)
+    }
+
+    #[test]
+    fn put_get_round_trip_various_sizes() {
+        let (mut kv, mut t) = setup();
+        for (key, len) in [("tiny", 10usize), ("page", 4096), ("odd", 5000), ("big", 100_000)] {
+            let value: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            t = kv.put(t, key.as_bytes(), &value).unwrap();
+            let (got, done) = kv.get(t, key.as_bytes()).unwrap();
+            assert_eq!(got.as_deref(), Some(&value[..]), "{key}");
+            t = done;
+        }
+        assert_eq!(kv.len(), 4);
+    }
+
+    #[test]
+    fn overwrite_returns_newest_and_invalidates_old() {
+        let (mut kv, mut t) = setup();
+        t = kv.put(t, b"k", b"v1").unwrap();
+        t = kv.put(t, b"k", b"v2-longer").unwrap();
+        let (got, _) = kv.get(t, b"k").unwrap();
+        assert_eq!(got.as_deref(), Some(&b"v2-longer"[..]));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes_and_get_misses() {
+        let (mut kv, mut t) = setup();
+        t = kv.put(t, b"k", b"v").unwrap();
+        t = kv.delete(t, b"k").unwrap();
+        let (got, _) = kv.get(t, b"k").unwrap();
+        assert_eq!(got, None);
+        assert!(kv.is_empty());
+        // Deleting a missing key is a no-op.
+        kv.delete(t, b"missing").unwrap();
+    }
+
+    #[test]
+    fn validation() {
+        let (mut kv, t) = setup();
+        assert!(matches!(kv.put(t, b"", b"v"), Err(KvError::BadKey(0))));
+        let long_key = vec![b'k'; 300];
+        assert!(matches!(kv.put(t, &long_key, b"v"), Err(KvError::BadKey(300))));
+        let huge = vec![0u8; 2 * 1024 * 1024];
+        assert!(matches!(
+            kv.put(t, b"k", &huge),
+            Err(KvError::ValueTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn small_value_get_reads_one_sector() {
+        // The §5 comparison point: a 1 KB get costs one 4 KB sector read,
+        // not a 96 KB block.
+        let (mut kv, mut t) = setup();
+        let value = vec![7u8; 1024];
+        t = kv.put(t, b"key", &value).unwrap();
+        let settle = t + SimDuration::from_secs(1);
+        let (got, done) = kv.get(settle, b"key").unwrap();
+        assert_eq!(got.unwrap().len(), 1024);
+        let latency = done.saturating_since(settle);
+        // One page read ≈ tR (70 µs) + transfer + cpu, far below a 96 KB
+        // block read (~500 µs).
+        assert!(
+            latency < SimDuration::from_micros(200),
+            "1 KB get should be a single-sector read: {latency}"
+        );
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_value_log_gc() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (mut kv, mut t) = KvSsd::format(
+            media,
+            KvSsdConfig {
+                gc_watermark: 2100, // scaled device has 2144 chunks
+                ..KvSsdConfig::default()
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let value = vec![1u8; 96 * 1024];
+        for i in 0..600u64 {
+            let key = format!("k{}", i % 50);
+            t = kv.put(t, key.as_bytes(), &value).unwrap();
+            if kv.log_pressure() > 0.7 {
+                t = kv.truncate_log(t).unwrap();
+            }
+        }
+        assert!(kv.stats().gc_passes > 0, "overwrites must trigger GC");
+        // All live keys still correct after GC moved things around.
+        for i in 0..50u64 {
+            let key = format!("k{i}");
+            let (got, done) = kv.get(t, key.as_bytes()).unwrap();
+            assert_eq!(got.unwrap(), value, "{key}");
+            t = done;
+        }
+    }
+
+    #[test]
+    fn empty_value_round_trips() {
+        let (mut kv, mut t) = setup();
+        t = kv.put(t, b"empty", b"").unwrap();
+        let (got, _) = kv.get(t, b"empty").unwrap();
+        assert_eq!(got.as_deref(), Some(&b""[..]));
+    }
+}

@@ -1,0 +1,793 @@
+//! The LightLSM FTL: SSTable flush / block read / table delete, with a
+//! journaled, checkpointed table directory (no MANIFEST needed above).
+
+use crate::placement::{Placement, TableExtent};
+use ocssd::{ChunkState, DeviceError, Geometry};
+use ox_core::checkpoint::CheckpointStore;
+use ox_core::codec::{Decoder, Encoder};
+use ox_core::layout::{Layout, LayoutConfig};
+use ox_core::provision::Provisioner;
+use ox_core::wal::{self, Wal, WalError, WalRecord};
+use ox_core::Media;
+use ox_sim::{SimDuration, SimTime, Timeline};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// SSTable identifier.
+pub type TableId = u64;
+
+const TAG_TABLE_ADD: u8 = 1;
+const TAG_TABLE_DELETE: u8 = 2;
+
+/// LightLSM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LightLsmConfig {
+    /// SSTable placement policy (Figure 4).
+    pub placement: Placement,
+    /// Metadata region sizing.
+    pub layout: LayoutConfig,
+    /// Submission cost charged per block on the single dispatch thread.
+    pub dispatch_per_block: SimDuration,
+}
+
+impl Default for LightLsmConfig {
+    fn default() -> Self {
+        LightLsmConfig {
+            placement: Placement::Horizontal,
+            layout: LayoutConfig::default(),
+            dispatch_per_block: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// LightLSM failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LightLsmError {
+    /// Table data exceeds the maximum SSTable size.
+    TableTooLarge {
+        /// Bytes offered.
+        bytes: usize,
+        /// Capacity in bytes.
+        capacity: usize,
+    },
+    /// Empty table flush.
+    EmptyTable,
+    /// No such table.
+    UnknownTable(TableId),
+    /// Block index beyond the table's written blocks.
+    BlockOutOfRange {
+        /// Table queried.
+        table: TableId,
+        /// Block asked for.
+        block: u32,
+        /// Blocks available.
+        blocks: u32,
+    },
+    /// Not enough free chunks for the requested placement.
+    OutOfSpace,
+    /// Log/metadata failure.
+    Wal(WalError),
+    /// Device failure.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for LightLsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LightLsmError::TableTooLarge { bytes, capacity } => {
+                write!(f, "table of {bytes} B exceeds capacity {capacity} B")
+            }
+            LightLsmError::EmptyTable => write!(f, "empty table flush"),
+            LightLsmError::UnknownTable(id) => write!(f, "unknown table {id}"),
+            LightLsmError::BlockOutOfRange {
+                table,
+                block,
+                blocks,
+            } => write!(f, "block {block} out of range for table {table} ({blocks} blocks)"),
+            LightLsmError::OutOfSpace => write!(f, "not enough free chunks"),
+            LightLsmError::Wal(e) => write!(f, "log error: {e}"),
+            LightLsmError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LightLsmError {}
+
+impl From<WalError> for LightLsmError {
+    fn from(e: WalError) -> Self {
+        LightLsmError::Wal(e)
+    }
+}
+
+impl From<DeviceError> for LightLsmError {
+    fn from(e: DeviceError) -> Self {
+        LightLsmError::Device(e)
+    }
+}
+
+/// Cumulative LightLSM statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LightLsmStats {
+    /// SSTables flushed.
+    pub flushes: u64,
+    /// Blocks written across all flushes.
+    pub blocks_written: u64,
+    /// Block reads served.
+    pub blocks_read: u64,
+    /// Tables deleted (chunk erases only — no GC copies, §4.3).
+    pub tables_deleted: u64,
+    /// Chunk erases caused by deletions.
+    pub chunks_erased: u64,
+    /// Directory checkpoints forced by WAL pressure.
+    pub dir_checkpoints: u64,
+    /// Virtual nanos spent in flush phases (log-space, write+ack, barrier,
+    /// directory commit) — diagnostic.
+    pub flush_ensure_nanos: u64,
+    /// See `flush_ensure_nanos`.
+    pub flush_ack_nanos: u64,
+    /// See `flush_ensure_nanos`.
+    pub flush_barrier_nanos: u64,
+    /// See `flush_ensure_nanos`.
+    pub flush_commit_nanos: u64,
+}
+
+/// The LightLSM FTL.
+pub struct LightLsm {
+    media: Arc<dyn Media>,
+    geo: Geometry,
+    config: LightLsmConfig,
+    layout: Layout,
+    prov: Provisioner,
+    wal: Wal,
+    ckpt: CheckpointStore,
+    /// The single dispatch thread: every block submission serializes here.
+    dispatch: Timeline,
+    tables: BTreeMap<TableId, TableExtent>,
+    next_id: TableId,
+    next_txid: u64,
+    /// Horizontal placement: rotating PU cursor for sub-full-width tables.
+    next_pu: u32,
+    /// Vertical placement: groups are assigned round-robin per table.
+    next_group: u32,
+    stats: LightLsmStats,
+}
+
+impl LightLsm {
+    /// Formats the device for LightLSM.
+    pub fn format(
+        media: Arc<dyn Media>,
+        config: LightLsmConfig,
+        now: SimTime,
+    ) -> Result<(LightLsm, SimTime), LightLsmError> {
+        let geo = media.geometry();
+        let layout = Layout::plan(&geo, config.layout);
+        let reserved = layout.reserved_linear(&geo);
+        let (wal, done) = Wal::format(media.clone(), layout.wal_chunks.clone(), now)?;
+        let ckpt = CheckpointStore::new(
+            media.clone(),
+            layout.checkpoint_a.clone(),
+            layout.checkpoint_b.clone(),
+        );
+        Ok((
+            LightLsm {
+                geo,
+                prov: Provisioner::fresh(geo, &reserved),
+                wal,
+                ckpt,
+                dispatch: Timeline::new(),
+                tables: BTreeMap::new(),
+                next_id: 1,
+                next_txid: 1,
+                next_pu: 0,
+                next_group: 0,
+                stats: LightLsmStats::default(),
+                layout,
+                media,
+                config,
+            },
+            done,
+        ))
+    }
+
+    /// Reopens LightLSM after a crash: loads the directory checkpoint,
+    /// replays committed directory transactions from the WAL, verifies the
+    /// surviving tables against the device, rewrites a fresh checkpoint and
+    /// restarts the log. Returns the FTL, completion time, and the number of
+    /// recovered tables.
+    pub fn open(
+        media: Arc<dyn Media>,
+        config: LightLsmConfig,
+        now: SimTime,
+    ) -> Result<(LightLsm, SimTime, usize), LightLsmError> {
+        let geo = media.geometry();
+        let layout = Layout::plan(&geo, config.layout);
+
+        // Directory checkpoint.
+        let ckpt = CheckpointStore::new(
+            media.clone(),
+            layout.checkpoint_a.clone(),
+            layout.checkpoint_b.clone(),
+        );
+        let (snapshot, mut t) = ckpt.read_latest(now);
+        let mut tables: BTreeMap<TableId, TableExtent> = BTreeMap::new();
+        let mut ckpt_lsn = 0;
+        if let Some(s) = &snapshot {
+            ckpt_lsn = s.durable_lsn;
+            if let Some(decoded) = decode_directory(&s.payload) {
+                tables = decoded;
+            }
+        }
+
+        // Replay committed directory updates.
+        let (frames, scan_done, _) = wal::scan(&media, &layout.wal_chunks, t);
+        t = scan_done;
+        let mut pending: BTreeMap<u64, Vec<(u8, Vec<u8>)>> = BTreeMap::new();
+        for frame in &frames {
+            for (i, rec) in frame.records.iter().enumerate() {
+                if frame.first_lsn + i as u64 <= ckpt_lsn {
+                    continue;
+                }
+                match rec {
+                    WalRecord::TxBegin { txid } => {
+                        pending.insert(*txid, Vec::new());
+                    }
+                    WalRecord::Blob { txid, tag, data } => {
+                        pending.entry(*txid).or_default().push((*tag, data.clone()));
+                    }
+                    WalRecord::TxCommit { txid } => {
+                        if let Some(ops) = pending.remove(txid) {
+                            for (tag, data) in ops {
+                                match tag {
+                                    TAG_TABLE_ADD => {
+                                        if let Some(ext) =
+                                            TableExtent::decode(&mut Decoder::new(&data))
+                                        {
+                                            tables.insert(ext.id, ext);
+                                        }
+                                    }
+                                    TAG_TABLE_DELETE => {
+                                        if let Ok(id) = Decoder::new(&data).u64() {
+                                            tables.remove(&id);
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // A table whose chunks were rolled back by the crash (flush acked
+        // but never durable) is dropped: the directory commit is durable
+        // only after the data barrier, so this only defends against media
+        // loss, not protocol races.
+        tables.retain(|_, ext| {
+            ext.chunks.iter().all(|&c| {
+                let info = media.chunk_info(c);
+                let needed = {
+                    // Sectors this extent needs in chunk position p.
+                    let n = ext.chunks.len() as u32;
+                    let pos = ext.chunks.iter().position(|&x| x == c).unwrap() as u32;
+                    let full_rows = ext.blocks / n;
+                    let extra = u32::from(pos < ext.blocks % n);
+                    (full_rows + extra) * geo.ws_min
+                };
+                info.state != ChunkState::Offline && info.write_ptr >= needed
+            })
+        });
+
+        // Persist the recovered directory and restart the log.
+        let mut store = ckpt;
+        let payload = encode_directory(&tables);
+        let (ck_done, _) = store.write(t, u64::MAX / 2, &payload)?;
+        let (wal, wal_done) = Wal::format(media.clone(), layout.wal_chunks.clone(), ck_done)?;
+        t = wal_done;
+
+        let reserved = layout.reserved_linear(&geo);
+        let prov = Provisioner::from_report(geo, &reserved, &media.report_all());
+        let count = tables.len();
+        let max_id = tables.keys().max().copied().unwrap_or(0);
+        Ok((
+            LightLsm {
+                geo,
+                prov,
+                wal,
+                ckpt: store,
+                dispatch: Timeline::new(),
+                tables,
+                next_id: max_id + 1,
+                next_txid: 1,
+                next_pu: 0,
+                next_group: 0,
+                stats: LightLsmStats::default(),
+                layout,
+                media,
+                config,
+            },
+            t,
+            count,
+        ))
+    }
+
+    /// Block size (bytes): `ws_min` — the unit of read AND write RocksDB
+    /// forces (96 KB on the paper drive).
+    pub fn block_bytes(&self) -> usize {
+        self.geo.ws_min_bytes()
+    }
+
+    /// Maximum SSTable size: #PUs × chunk size (the paper's 768 MB rule).
+    pub fn table_capacity_bytes(&self) -> usize {
+        self.geo.total_pus() as usize * self.geo.chunk_bytes() as usize
+    }
+
+    /// The configured placement policy.
+    pub fn placement(&self) -> Placement {
+        self.config.placement
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> LightLsmStats {
+        self.stats
+    }
+
+    /// Live tables, in id order.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.tables.keys().copied().collect()
+    }
+
+    /// Extent of a table.
+    pub fn table(&self, id: TableId) -> Option<&TableExtent> {
+        self.tables.get(&id)
+    }
+
+    /// Free chunks remaining.
+    pub fn free_chunks(&self) -> u32 {
+        self.prov.free_chunks()
+    }
+
+    /// The planned metadata layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn ensure_log_space(&mut self, now: SimTime) -> Result<SimTime, LightLsmError> {
+        if self.wal.live_chunks() + 2 < self.wal.capacity_chunks() {
+            return Ok(now);
+        }
+        let payload = encode_directory(&self.tables);
+        let (done, _) = self.ckpt.write(now, self.wal.durable_lsn(), &payload)?;
+        let done = self.wal.truncate(done, self.wal.durable_lsn())?;
+        self.stats.dir_checkpoints += 1;
+        Ok(done)
+    }
+
+    /// Allocates the chunk stripe for `blocks` blocks under the placement
+    /// policy.
+    fn allocate_extent(&mut self, blocks: u32) -> Result<Vec<ocssd::ChunkAddr>, LightLsmError> {
+        let per_chunk = self.geo.write_units_per_chunk();
+        let chunks_needed = blocks.div_ceil(per_chunk);
+        let mut chunks = Vec::with_capacity(chunks_needed as usize);
+        match self.config.placement {
+            Placement::Horizontal => {
+                // One chunk per PU round-robin over the whole device (a
+                // full-size table gets exactly one chunk on every PU, as in
+                // Figure 4); a rotating cursor keeps small tables from
+                // piling on the first PUs.
+                let total = self.geo.total_pus();
+                for i in 0..chunks_needed {
+                    let pu = (self.next_pu + i) % total;
+                    match self.prov.take_free_chunk(pu) {
+                        Some(c) => chunks.push(c),
+                        None => {
+                            // Roll back this allocation.
+                            for c in chunks {
+                                self.prov.release_chunk(c);
+                            }
+                            return Err(LightLsmError::OutOfSpace);
+                        }
+                    }
+                }
+                self.next_pu = (self.next_pu + chunks_needed) % total;
+            }
+            Placement::Vertical => {
+                let group = self.next_group;
+                self.next_group = (self.next_group + 1) % self.geo.num_groups;
+                let per = self.geo.pus_per_group;
+                for i in 0..chunks_needed {
+                    let pu = group * per + (i % per);
+                    match self.prov.take_free_chunk(pu) {
+                        Some(c) => chunks.push(c),
+                        None => {
+                            for c in chunks {
+                                self.prov.release_chunk(c);
+                            }
+                            return Err(LightLsmError::OutOfSpace);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(chunks)
+    }
+
+    /// Atomically flushes an SSTable: stripes the data over a fresh chunk
+    /// extent, waits for media durability, then commits the directory
+    /// update. Returns the table id and completion time.
+    pub fn flush_table(
+        &mut self,
+        now: SimTime,
+        data: &[u8],
+    ) -> Result<(TableId, SimTime), LightLsmError> {
+        if data.is_empty() {
+            return Err(LightLsmError::EmptyTable);
+        }
+        if data.len() > self.table_capacity_bytes() {
+            return Err(LightLsmError::TableTooLarge {
+                bytes: data.len(),
+                capacity: self.table_capacity_bytes(),
+            });
+        }
+        let t = self.ensure_log_space(now)?;
+        self.stats.flush_ensure_nanos += t.saturating_since(now).as_nanos();
+        let unit = self.geo.ws_min_bytes();
+        let blocks = data.len().div_ceil(unit) as u32;
+        let chunks = self.allocate_extent(blocks)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let ext = TableExtent {
+            id,
+            placement: self.config.placement,
+            chunks,
+            blocks,
+        };
+
+        // Submit block writes through the single dispatch thread; the last
+        // block may be zero-padded to the 96 KB unit.
+        let mut ack = t;
+        let mut padded = vec![0u8; unit];
+        for b in 0..blocks {
+            let (chunk, sector) = ext.block_location(&self.geo, b);
+            let off = b as usize * unit;
+            let payload: &[u8] = if off + unit <= data.len() {
+                &data[off..off + unit]
+            } else {
+                padded.fill(0);
+                padded[..data.len() - off].copy_from_slice(&data[off..]);
+                &padded
+            };
+            let submit = self.dispatch.acquire(t, self.config.dispatch_per_block).end;
+            let comp = self.media.write(submit, chunk.ppa(sector), payload)?;
+            ack = ack.max(comp.done);
+        }
+
+        self.stats.flush_ack_nanos += ack.saturating_since(t).as_nanos();
+        // Durability barrier before the directory commit: atomic flush.
+        let mut durable = ack;
+        for &c in &ext.chunks {
+            durable = durable.max(self.media.flush_chunk(ack, c).done);
+        }
+        self.stats.flush_barrier_nanos += durable.saturating_since(ack).as_nanos();
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let mut enc = Encoder::new();
+        ext.encode(&mut enc);
+        self.wal.append(WalRecord::TxBegin { txid });
+        self.wal.append(WalRecord::Blob {
+            txid,
+            tag: TAG_TABLE_ADD,
+            data: enc.finish(),
+        });
+        self.wal.append(WalRecord::TxCommit { txid });
+        let done = self.wal.commit(durable)?;
+        self.stats.flush_commit_nanos += done.saturating_since(durable).as_nanos();
+
+        self.stats.flushes += 1;
+        self.stats.blocks_written += blocks as u64;
+        self.tables.insert(id, ext);
+        Ok((id, done))
+    }
+
+    /// Reads one 96 KB block of a table into `out` (exactly `block_bytes`).
+    pub fn read_block(
+        &mut self,
+        now: SimTime,
+        id: TableId,
+        block: u32,
+        out: &mut [u8],
+    ) -> Result<SimTime, LightLsmError> {
+        assert_eq!(out.len(), self.block_bytes(), "block-sized buffer required");
+        let ext = self
+            .tables
+            .get(&id)
+            .ok_or(LightLsmError::UnknownTable(id))?;
+        if block >= ext.blocks {
+            return Err(LightLsmError::BlockOutOfRange {
+                table: id,
+                block,
+                blocks: ext.blocks,
+            });
+        }
+        let (chunk, sector) = ext.block_location(&self.geo, block);
+        let submit = self.dispatch.acquire(now, self.config.dispatch_per_block).end;
+        let comp = self.media.read(submit, chunk.ppa(sector), self.geo.ws_min, out)?;
+        self.stats.blocks_read += 1;
+        Ok(comp.done)
+    }
+
+    /// Deletes a table: commits the directory removal, then resets the
+    /// table's chunks (erases only — never page copies) and recycles them.
+    pub fn delete_table(
+        &mut self,
+        now: SimTime,
+        id: TableId,
+    ) -> Result<SimTime, LightLsmError> {
+        let ext = self
+            .tables
+            .remove(&id)
+            .ok_or(LightLsmError::UnknownTable(id))?;
+        let t = self.ensure_log_space(now)?;
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let mut enc = Encoder::new();
+        enc.u64(id);
+        self.wal.append(WalRecord::TxBegin { txid });
+        self.wal.append(WalRecord::Blob {
+            txid,
+            tag: TAG_TABLE_DELETE,
+            data: enc.finish(),
+        });
+        self.wal.append(WalRecord::TxCommit { txid });
+        let commit_done = self.wal.commit(t)?;
+
+        // Erases are submitted together: chunks on different parallel units
+        // erase concurrently (chunks sharing a PU serialize on its timeline).
+        let mut done = commit_done;
+        for &c in &ext.chunks {
+            // Chunks are Open or Closed (the stripe may not have filled the
+            // tail row); both reset fine. Never-written chunks are just
+            // released.
+            if self.media.chunk_info(c).state != ChunkState::Free {
+                done = done.max(self.media.reset(commit_done, c)?.done);
+                self.stats.chunks_erased += 1;
+            }
+            self.prov.release_chunk(c);
+        }
+        self.stats.tables_deleted += 1;
+        Ok(done)
+    }
+}
+
+fn encode_directory(tables: &BTreeMap<TableId, TableExtent>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(tables.len() as u32);
+    for ext in tables.values() {
+        ext.encode(&mut e);
+    }
+    e.finish()
+}
+
+fn decode_directory(data: &[u8]) -> Option<BTreeMap<TableId, TableExtent>> {
+    let mut d = Decoder::new(data);
+    let n = d.u32().ok()?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let ext = TableExtent::decode(&mut d)?;
+        out.insert(ext.id, ext);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocssd::{DeviceConfig, OcssdDevice, SharedDevice};
+    use ox_core::OcssdMedia;
+
+    fn setup(placement: Placement) -> (LightLsm, SharedDevice, SimTime) {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (ftl, t) = LightLsm::format(
+            media,
+            LightLsmConfig {
+                placement,
+                ..LightLsmConfig::default()
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+        (ftl, dev, t)
+    }
+
+    fn table_data(ftl: &LightLsm, blocks: usize, seed: u8) -> Vec<u8> {
+        let unit = ftl.block_bytes();
+        (0..blocks * unit)
+            .map(|i| seed.wrapping_add((i / unit) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn flush_then_read_blocks_round_trip() {
+        let (mut ftl, _, t0) = setup(Placement::Horizontal);
+        let data = table_data(&ftl, 40, 9);
+        let (id, t1) = ftl.flush_table(t0, &data).unwrap();
+        let unit = ftl.block_bytes();
+        let mut out = vec![0u8; unit];
+        for b in 0..40 {
+            let _ = ftl
+                .read_block(t1 + SimDuration::from_secs(1), id, b as u32, &mut out)
+                .unwrap();
+            assert_eq!(&out[..], &data[b * unit..(b + 1) * unit], "block {b}");
+        }
+    }
+
+    #[test]
+    fn partial_last_block_zero_padded() {
+        let (mut ftl, _, t0) = setup(Placement::Horizontal);
+        let unit = ftl.block_bytes();
+        let data = vec![7u8; unit + 100];
+        let (id, t1) = ftl.flush_table(t0, &data).unwrap();
+        let ext = ftl.table(id).unwrap();
+        assert_eq!(ext.blocks, 2);
+        let mut out = vec![0u8; unit];
+        ftl.read_block(t1 + SimDuration::from_secs(1), id, 1, &mut out)
+            .unwrap();
+        assert_eq!(&out[..100], &[7u8; 100][..]);
+        assert!(out[100..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn horizontal_extent_spans_all_pus() {
+        let (mut ftl, _, t0) = setup(Placement::Horizontal);
+        let geo = Geometry::paper_tlc_scaled(22, 8);
+        // Full-size table: #PUs × chunk.
+        let data = table_data(&ftl, (32 * geo.write_units_per_chunk()) as usize, 1);
+        let (id, _) = ftl.flush_table(t0, &data).unwrap();
+        let ext = ftl.table(id).unwrap();
+        let pus: std::collections::HashSet<u32> =
+            ext.chunks.iter().map(|c| c.pu_linear(&geo)).collect();
+        assert_eq!(pus.len(), 32, "one chunk per PU");
+    }
+
+    #[test]
+    fn vertical_extent_stays_in_one_group_and_rotates() {
+        let (mut ftl, _, t0) = setup(Placement::Vertical);
+        let data = table_data(&ftl, 64, 1);
+        let (id1, t1) = ftl.flush_table(t0, &data).unwrap();
+        let (id2, _) = ftl.flush_table(t1, &data).unwrap();
+        let g1: std::collections::HashSet<u32> =
+            ftl.table(id1).unwrap().chunks.iter().map(|c| c.group).collect();
+        let g2: std::collections::HashSet<u32> =
+            ftl.table(id2).unwrap().chunks.iter().map(|c| c.group).collect();
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g2.len(), 1);
+        assert_ne!(g1, g2, "tables rotate across groups");
+    }
+
+    #[test]
+    fn single_flush_is_faster_horizontal_than_vertical() {
+        // Figure 5's 1-client observation: horizontal striping enjoys the
+        // whole device's program bandwidth. Full-size table: one chunk per
+        // PU (32 chunks × 32 units).
+        let blocks = 1024;
+        let (mut h, _, th) = setup(Placement::Horizontal);
+        let data = table_data(&h, blocks, 1);
+        let (_, h_done) = h.flush_table(th, &data).unwrap();
+        let (mut v, _, tv) = setup(Placement::Vertical);
+        let (_, v_done) = v.flush_table(tv, &data).unwrap();
+        let h_lat = h_done.saturating_since(th);
+        let v_lat = v_done.saturating_since(tv);
+        assert!(
+            h_lat.as_nanos() * 3 < v_lat.as_nanos(),
+            "horizontal {h_lat} should be ≫ faster than vertical {v_lat}"
+        );
+    }
+
+    #[test]
+    fn delete_only_erases_chunks() {
+        let (mut ftl, dev, t0) = setup(Placement::Horizontal);
+        let data = table_data(&ftl, 64, 2);
+        let (id, t1) = ftl.flush_table(t0, &data).unwrap();
+        let copies_before = dev.with(|d| d.stats().copies.ops());
+        let free_before = ftl.free_chunks();
+        let t2 = ftl.delete_table(t1, id).unwrap();
+        assert!(t2 > t1);
+        assert_eq!(dev.with(|d| d.stats().copies.ops()), copies_before);
+        assert!(ftl.free_chunks() > free_before);
+        assert!(ftl.stats().chunks_erased > 0);
+        assert!(ftl.table(id).is_none());
+        let mut out = vec![0u8; ftl.block_bytes()];
+        assert!(matches!(
+            ftl.read_block(t2, id, 0, &mut out),
+            Err(LightLsmError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (mut ftl, _, t0) = setup(Placement::Horizontal);
+        assert!(matches!(
+            ftl.flush_table(t0, &[]),
+            Err(LightLsmError::EmptyTable)
+        ));
+        let too_big = vec![0u8; ftl.table_capacity_bytes() + 1];
+        assert!(matches!(
+            ftl.flush_table(t0, &too_big),
+            Err(LightLsmError::TableTooLarge { .. })
+        ));
+        let data = table_data(&ftl, 4, 3);
+        let (id, t1) = ftl.flush_table(t0, &data).unwrap();
+        let mut out = vec![0u8; ftl.block_bytes()];
+        assert!(matches!(
+            ftl.read_block(t1, id, 4, &mut out),
+            Err(LightLsmError::BlockOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ftl.delete_table(t1, 999),
+            Err(LightLsmError::UnknownTable(999))
+        ));
+    }
+
+    #[test]
+    fn atomic_flush_survives_crash_and_reopen() {
+        let (mut ftl, dev, t0) = setup(Placement::Horizontal);
+        let data = table_data(&ftl, 32, 5);
+        let (id1, t1) = ftl.flush_table(t0, &data).unwrap();
+        let (id2, t2) = ftl.flush_table(t1, &data).unwrap();
+        dev.crash(t2);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (mut re, t3, count) =
+            LightLsm::open(media, LightLsmConfig::default(), t2).unwrap();
+        assert_eq!(count, 2);
+        let unit = re.block_bytes();
+        let mut out = vec![0u8; unit];
+        for id in [id1, id2] {
+            re.read_block(t3, id, 31, &mut out).unwrap();
+            assert_eq!(&out[..], &data[31 * unit..32 * unit]);
+        }
+        // New flushes pick fresh ids.
+        let (id3, _) = re.flush_table(t3, &data).unwrap();
+        assert!(id3 > id2);
+    }
+
+    #[test]
+    fn unflushed_table_is_dropped_on_reopen() {
+        let (mut ftl, dev, t0) = setup(Placement::Horizontal);
+        let data = table_data(&ftl, 32, 5);
+        let (_, t1) = ftl.flush_table(t0, &data).unwrap();
+        // Second flush: crash at submission time — neither its data nor its
+        // directory commit are durable.
+        let _ = ftl.flush_table(t1, &data);
+        dev.crash(t1);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (_, _, count) = LightLsm::open(media, LightLsmConfig::default(), t1).unwrap();
+        assert_eq!(count, 1, "only the durable table survives");
+    }
+
+    #[test]
+    fn deleted_tables_stay_deleted_after_reopen() {
+        let (mut ftl, dev, t0) = setup(Placement::Vertical);
+        let data = table_data(&ftl, 16, 1);
+        let (id1, t1) = ftl.flush_table(t0, &data).unwrap();
+        let (id2, t2) = ftl.flush_table(t1, &data).unwrap();
+        let t3 = ftl.delete_table(t2, id1).unwrap();
+        dev.crash(t3);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (re, _, count) = LightLsm::open(
+            media,
+            LightLsmConfig {
+                placement: Placement::Vertical,
+                ..LightLsmConfig::default()
+            },
+            t3,
+        )
+        .unwrap();
+        assert_eq!(count, 1);
+        assert!(re.table(id1).is_none());
+        assert!(re.table(id2).is_some());
+    }
+
+    use ox_sim::SimDuration;
+}

@@ -1,0 +1,201 @@
+//! K-way merge and leveled compaction.
+//!
+//! In LightLSM, "garbage collection is a side-effect of compaction" (§4.3):
+//! compaction reads input SSTables block by block (charging device time),
+//! merges them newest-wins, writes output tables, and deletes the inputs —
+//! which the FTL turns into chunk erases only.
+
+use crate::sstable::TableHandle;
+use crate::store::{StoreError, TableStore};
+use crate::block::BlockIter;
+use ox_sim::SimTime;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One decoded entry: key plus `Some(value)` or a tombstone.
+pub(crate) type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+/// Cumulative compaction statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactionStats {
+    /// Compactions completed.
+    pub compactions: u64,
+    /// Memtable flushes completed.
+    pub flushes: u64,
+    /// Blocks read from input tables.
+    pub blocks_read: u64,
+    /// Blocks written to output tables.
+    pub blocks_written: u64,
+    /// Entries surviving merges.
+    pub entries_out: u64,
+    /// Tombstones dropped at the bottom level.
+    pub tombstones_dropped: u64,
+    /// Entries superseded by newer versions.
+    pub entries_shadowed: u64,
+    /// Total virtual nanoseconds spent in flushes.
+    pub flush_nanos: u64,
+    /// Total virtual nanoseconds spent in compactions.
+    pub compaction_nanos: u64,
+}
+
+/// How many block reads a stream keeps in flight. RocksDB-style readahead:
+/// consecutive blocks of a striped table sit on different parallel units,
+/// so prefetch depth is what converts device parallelism into sequential
+/// read bandwidth — and what makes compaction placement-sensitive
+/// (the Figure 5/6 dynamics).
+const PREFETCH_DEPTH: usize = 4;
+
+/// A buffered, prefetching reader over one table's entries, in key order.
+pub(crate) struct TableStream {
+    pub(crate) handle: TableHandle,
+    rank: usize,
+    /// Next block to submit a read for.
+    next_block: u32,
+    /// Decoded blocks in flight: `(entries, ready_at)` in block order.
+    inflight: VecDeque<(VecDeque<Entry>, SimTime)>,
+    /// Entries of the block currently being consumed.
+    buf: VecDeque<Entry>,
+    scratch: Vec<u8>,
+}
+
+impl TableStream {
+    /// `rank` breaks ties on equal keys: smaller rank = newer data wins.
+    pub(crate) fn new(handle: TableHandle, rank: usize, block_bytes: usize) -> Self {
+        TableStream {
+            handle,
+            rank,
+            next_block: 0,
+            inflight: VecDeque::new(),
+            buf: VecDeque::new(),
+            scratch: vec![0u8; block_bytes],
+        }
+    }
+
+    /// Positions the stream at the first key ≥ `start` without reading
+    /// blocks before it.
+    pub(crate) fn seek(&mut self, start: &[u8]) {
+        debug_assert!(self.inflight.is_empty() && self.buf.is_empty());
+        let i = self
+            .handle
+            .index
+            .partition_point(|(last, _)| last.as_slice() < start);
+        self.next_block = self.handle.index.get(i).map_or(self.handle.data_blocks, |&(_, b)| b);
+    }
+
+    /// Submits prefetch reads at time `t` until the window is full.
+    fn pump(&mut self, store: &Arc<dyn TableStore>, t: SimTime) -> Result<u64, StoreError> {
+        let mut submitted = 0;
+        while self.inflight.len() < PREFETCH_DEPTH && self.next_block < self.handle.data_blocks {
+            let done = store.read_block(t, self.handle.id, self.next_block, &mut self.scratch)?;
+            let entries: VecDeque<Entry> = BlockIter::new(&self.scratch)
+                .map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec)))
+                .collect();
+            self.inflight.push_back((entries, done));
+            self.next_block += 1;
+            submitted += 1;
+        }
+        Ok(submitted)
+    }
+
+    /// Makes entries available (if any remain), waiting on the prefetched
+    /// block's arrival and topping the window back up. Returns blocks
+    /// submitted; advances `t` when the merge has to wait for media.
+    pub(crate) fn refill(
+        &mut self,
+        store: &Arc<dyn TableStore>,
+        t: &mut SimTime,
+    ) -> Result<u64, StoreError> {
+        let mut submitted = self.pump(store, *t)?;
+        while self.buf.is_empty() {
+            let Some((entries, ready_at)) = self.inflight.pop_front() else {
+                break;
+            };
+            *t = (*t).max(ready_at);
+            self.buf = entries;
+            submitted += self.pump(store, *t)?;
+        }
+        Ok(submitted)
+    }
+
+    fn peek_key(&self) -> Option<&[u8]> {
+        self.buf.front().map(|(k, _)| k.as_slice())
+    }
+}
+
+/// Merges several table streams newest-wins, charging block-read time.
+pub(crate) struct MergeIter {
+    streams: Vec<TableStream>,
+    store: Arc<dyn TableStore>,
+    blocks_read: u64,
+}
+
+impl MergeIter {
+    pub(crate) fn new(streams: Vec<TableStream>, store: Arc<dyn TableStore>) -> Self {
+        MergeIter {
+            streams,
+            store,
+            blocks_read: 0,
+        }
+    }
+
+    pub(crate) fn blocks_read(&self) -> u64 {
+        self.blocks_read
+    }
+
+    /// Next `(key, value)` in key order (`None` value = tombstone), with
+    /// shadowed duplicates dropped. Advances `t` for every block fetched.
+    /// `shadowed` counts superseded entries.
+    pub(crate) fn next(
+        &mut self,
+        t: &mut SimTime,
+        shadowed: &mut u64,
+    ) -> Result<Option<Entry>, StoreError> {
+        // Ensure every stream is either buffered or exhausted.
+        for s in &mut self.streams {
+            self.blocks_read += s.refill(&self.store, t)?;
+        }
+        // Smallest key; ties to the lowest rank.
+        let mut winner: Option<(usize, usize)> = None; // (stream idx, rank)
+        for (i, s) in self.streams.iter().enumerate() {
+            let Some(k) = s.peek_key() else { continue };
+            winner = match winner {
+                None => Some((i, s.rank)),
+                Some((wi, wr)) => {
+                    let wk = self.streams[wi].peek_key().expect("buffered");
+                    match k.cmp(wk) {
+                        std::cmp::Ordering::Less => Some((i, s.rank)),
+                        std::cmp::Ordering::Equal if s.rank < wr => Some((i, s.rank)),
+                        _ => Some((wi, wr)),
+                    }
+                }
+            };
+        }
+        let Some((wi, _)) = winner else {
+            return Ok(None);
+        };
+        let (key, value) = self.streams[wi].buf.pop_front().expect("buffered");
+        // Drop the same key from every other stream (shadowed versions).
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            if i == wi {
+                continue;
+            }
+            while s.peek_key() == Some(key.as_slice()) {
+                s.buf.pop_front();
+                *shadowed += 1;
+            }
+        }
+        Ok(Some((key, value)))
+    }
+}
+
+/// Inputs to one compaction.
+pub(crate) struct CompactionJob {
+    /// Source level.
+    pub from_level: usize,
+    /// Destination level.
+    pub to_level: usize,
+    /// Input tables (handles cloned from the version), newest first.
+    pub inputs: Vec<TableHandle>,
+    /// Whether tombstones can be dropped (no deeper data).
+    pub drop_tombstones: bool,
+}

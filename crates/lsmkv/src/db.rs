@@ -1,0 +1,808 @@
+//! The LSM key-value store.
+//!
+//! Single-writer semantics per operation (callers serialize through
+//! [`SharedDb`]); flushes and compactions are driven by background actors
+//! calling [`Db::flush_once`] / [`Db::compact_once`] with their own virtual
+//! clocks, which is how flush/compaction interference shows up in client
+//! latency (Figures 5 and 6).
+//!
+//! Rate limiting follows RocksDB: L0 buildup first *slows* writes (an added
+//! delay per put), then *stalls* them (the put must be retried later). The
+//! resulting sawtooth is the throughput oscillation of Figure 6.
+
+use crate::compaction::{CompactionJob, CompactionStats, Entry, MergeIter, TableStream};
+use crate::memtable::Memtable;
+use crate::sstable::{TableBuilder, TableHandle};
+use crate::store::{StoreError, TableStore};
+use crate::version::{LevelMeta, Version};
+use ox_sim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Database tuning knobs (RocksDB-flavoured).
+#[derive(Clone, Copy, Debug)]
+pub struct DbConfig {
+    /// Memtable budget before rotation.
+    pub memtable_bytes: usize,
+    /// Immutable memtables allowed before writes stall.
+    pub max_immutables: usize,
+    /// L0 table count triggering compaction.
+    pub l0_compaction_trigger: usize,
+    /// L0 table count adding a write delay (RocksDB "slowdown").
+    pub l0_slowdown: usize,
+    /// L0 table count stalling writes entirely.
+    pub l0_stall: usize,
+    /// Initial delayed-write rate while slowed down (bytes per virtual
+    /// second); adapts to measured compaction throughput, as RocksDB's
+    /// `delayed_write_rate` controller does.
+    pub delayed_write_rate: f64,
+    /// How long a stalled put waits before retrying.
+    pub stall_retry: SimDuration,
+    /// Target size of L1 in blocks; deeper levels multiply.
+    pub level_base_blocks: u64,
+    /// Per-level size multiplier.
+    pub level_multiplier: u64,
+    /// Number of levels (L0 included).
+    pub max_levels: usize,
+    /// Bloom bits per key.
+    pub bits_per_key: u32,
+    /// CPU cost charged per put.
+    pub put_cpu: SimDuration,
+    /// CPU cost charged per get (before device reads).
+    pub get_cpu: SimDuration,
+    /// CPU cost per entry when building/merging tables.
+    pub build_cpu_per_entry: SimDuration,
+    /// Output table size budget (bytes); clamped to the store's capacity.
+    pub table_bytes: usize,
+    /// Concurrent compactions allowed (RocksDB background workers).
+    pub max_parallel_compactions: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            memtable_bytes: 4 * 1024 * 1024,
+            max_immutables: 2,
+            l0_compaction_trigger: 4,
+            l0_slowdown: 8,
+            l0_stall: 12,
+            delayed_write_rate: 256.0 * 1024.0 * 1024.0,
+            stall_retry: SimDuration::from_millis(2),
+            level_base_blocks: 512,
+            level_multiplier: 8,
+            max_levels: 4,
+            bits_per_key: 10,
+            put_cpu: SimDuration::from_nanos(1_200),
+            get_cpu: SimDuration::from_nanos(1_000),
+            build_cpu_per_entry: SimDuration::from_nanos(250),
+            table_bytes: 24 * 1024 * 1024,
+            max_parallel_compactions: 4,
+        }
+    }
+}
+
+/// Database failure modes.
+#[derive(Clone, Debug)]
+pub enum DbError {
+    /// Backend failure.
+    Store(StoreError),
+    /// Empty key.
+    EmptyKey,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Store(e) => write!(f, "store: {e}"),
+            DbError::EmptyKey => write!(f, "empty key"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<StoreError> for DbError {
+    fn from(e: StoreError) -> Self {
+        DbError::Store(e)
+    }
+}
+
+/// Outcome of a put.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Applied; completion time given.
+    Done(SimTime),
+    /// Write stalled (L0/immutable pressure); retry at the given time.
+    Stalled(SimTime),
+}
+
+/// Operation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbStats {
+    /// Puts applied.
+    pub puts: u64,
+    /// Gets served.
+    pub gets: u64,
+    /// Gets that found a value.
+    pub hits: u64,
+    /// Puts delayed by the slowdown trigger.
+    pub slowdowns: u64,
+    /// Puts rejected with a stall.
+    pub stalls: u64,
+    /// Data blocks read on the get path.
+    pub get_blocks_read: u64,
+    /// Bloom filter negatives that skipped a table probe.
+    pub bloom_skips: u64,
+}
+
+/// The LSM store.
+pub struct Db {
+    store: Arc<dyn TableStore>,
+    config: DbConfig,
+    mem: Memtable,
+    /// Sealed memtables awaiting flush, oldest first, with flush sequence.
+    immutables: VecDeque<(u64, Memtable)>,
+    next_mem_seq: u64,
+    /// Completion times of flushes still in flight (virtual time): sealed
+    /// memtables being written count against the write-pressure gate until
+    /// their flush completes.
+    inflight_flushes: Vec<SimTime>,
+    /// Shared delayed-write token line: while L0 is over the slowdown
+    /// trigger, puts serialize through this at the adaptive drain rate.
+    throttle: ox_sim::Timeline,
+    /// EMA of compaction output throughput (bytes per virtual second) —
+    /// the rate the throttle admits writes at.
+    drain_rate: f64,
+    version: Version,
+    stats: DbStats,
+    cstats: CompactionStats,
+    scratch: Vec<u8>,
+    compaction_cursor: Vec<usize>,
+    /// In-flight incremental compactions (≤ `max_parallel_compactions`).
+    actives: Vec<ActiveCompaction>,
+    active_cursor: usize,
+    /// Table ids owned by an in-flight compaction.
+    compacting: std::collections::HashSet<u64>,
+}
+
+/// State of one incremental compaction.
+struct ActiveCompaction {
+    from: usize,
+    to: usize,
+    removed: Vec<u64>,
+    drop_tombstones: bool,
+    merge: MergeIter,
+    builder: TableBuilder,
+    outputs: Vec<TableHandle>,
+    frontier: SimTime,
+    started: SimTime,
+    entries_out: u64,
+    tombstones_dropped: u64,
+    shadowed: u64,
+    blocks_written: u64,
+}
+
+impl Db {
+    /// Opens an empty database over a table store.
+    pub fn new(store: Arc<dyn TableStore>, mut config: DbConfig) -> Self {
+        config.table_bytes = config.table_bytes.min(store.table_capacity_bytes());
+        let block = store.block_bytes();
+        Db {
+            config,
+            mem: Memtable::new(),
+            immutables: VecDeque::new(),
+            next_mem_seq: 1,
+            inflight_flushes: Vec::new(),
+            throttle: ox_sim::Timeline::new(),
+            drain_rate: config.delayed_write_rate,
+            version: Version::new(config.max_levels),
+            stats: DbStats::default(),
+            cstats: CompactionStats::default(),
+            scratch: vec![0u8; block],
+            compaction_cursor: vec![0; config.max_levels],
+            actives: Vec::new(),
+            active_cursor: 0,
+            compacting: std::collections::HashSet::new(),
+            store,
+        }
+    }
+
+    /// Reopens a database from tables surviving in the backend after a
+    /// crash (see `LightLsmStore::surviving_tables`). Each table's meta
+    /// region is read back from media (charging virtual time) to rebuild
+    /// its index and bloom filter; recovered tables enter L0 newest-first
+    /// and compaction re-forms the levels. Returns the database and the
+    /// recovery completion time.
+    pub fn open_with_tables(
+        store: Arc<dyn TableStore>,
+        config: DbConfig,
+        tables: &[(u64, u32)],
+        now: SimTime,
+    ) -> Result<(Db, SimTime), DbError> {
+        let mut db = Db::new(store.clone(), config);
+        let block_bytes = store.block_bytes();
+        let mut t = now;
+        // Newest (highest id) first, so L0 probe order favours fresh data.
+        let mut sorted: Vec<(u64, u32)> = tables.to_vec();
+        sorted.sort_by_key(|&(id, _)| std::cmp::Reverse(id));
+        let mut buf = vec![0u8; block_bytes];
+        for &(id, blocks) in &sorted {
+            // Gather the whole table to parse its embedded meta region.
+            let mut bytes = Vec::with_capacity(blocks as usize * block_bytes);
+            for b in 0..blocks {
+                let done = store.read_block(t, id, b, &mut buf)?;
+                t = done;
+                bytes.extend_from_slice(&buf);
+            }
+            match TableHandle::from_bytes(id, block_bytes, &bytes) {
+                Some(handle) => db.version.add_l0(handle),
+                None => {
+                    // Unparseable table (should not happen for tables the
+                    // FTL committed): drop it from the backend.
+                    t = store.delete_table(t, id)?;
+                }
+            }
+        }
+        Ok((db, t))
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Flush/compaction counters.
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.cstats
+    }
+
+    /// Per-level table layout.
+    pub fn level_metas(&self) -> Vec<LevelMeta> {
+        self.version.level_metas()
+    }
+
+    /// Whether background work is pending (immutables to flush or a
+    /// compaction-worthy level).
+    pub fn has_background_work(&self) -> bool {
+        !self.immutables.is_empty() || !self.actives.is_empty() || self.pick_compaction().is_some()
+    }
+
+    fn write_pressure(&mut self, now: SimTime) -> Option<PutOutcome> {
+        self.inflight_flushes.retain(|&done| done > now);
+        let sealed = self.immutables.len() + self.inflight_flushes.len();
+        if sealed >= self.config.max_immutables
+            || self.version.l0_count() >= self.config.l0_stall
+        {
+            return Some(PutOutcome::Stalled(now + self.config.stall_retry));
+        }
+        None
+    }
+
+    /// Inserts a key/value pair.
+    pub fn put(&mut self, now: SimTime, key: &[u8], value: &[u8]) -> Result<PutOutcome, DbError> {
+        self.write_internal(now, key, Some(value))
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<PutOutcome, DbError> {
+        self.write_internal(now, key, None)
+    }
+
+    fn write_internal(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+        value: Option<&[u8]>,
+    ) -> Result<PutOutcome, DbError> {
+        if key.is_empty() {
+            return Err(DbError::EmptyKey);
+        }
+        if let Some(stall) = self.write_pressure(now) {
+            self.stats.stalls += 1;
+            return Ok(stall);
+        }
+        let mut t = now + self.config.put_cpu;
+        if self.version.l0_count() >= self.config.l0_slowdown {
+            // Delayed writes: admit bytes at the adaptive drain rate,
+            // shared across all writers (RocksDB's write controller). The
+            // aggregate drain scales with the compactions in flight.
+            let bytes = (key.len() + value.map_or(0, <[u8]>::len)).max(1);
+            let aggregate = self.drain_rate * self.actives.len().max(1) as f64;
+            let service =
+                SimDuration::from_nanos((bytes as f64 * 1e9 / aggregate.max(1.0)) as u64);
+            t = self.throttle.acquire(t, service).end;
+            self.stats.slowdowns += 1;
+        }
+        match value {
+            Some(v) => self.mem.put(key, v),
+            None => self.mem.delete(key),
+        }
+        self.stats.puts += 1;
+        if self.mem.approximate_bytes() >= self.config.memtable_bytes {
+            let full = std::mem::take(&mut self.mem);
+            let seq = self.next_mem_seq;
+            self.next_mem_seq += 1;
+            self.immutables.push_back((seq, full));
+        }
+        Ok(PutOutcome::Done(t))
+    }
+
+    /// Looks up a key. Returns the value (if any) and the completion time.
+    pub fn get(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+    ) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
+        if key.is_empty() {
+            return Err(DbError::EmptyKey);
+        }
+        self.stats.gets += 1;
+        let mut t = now + self.config.get_cpu;
+
+        // Memory first: active memtable, then immutables newest-first.
+        if let Some(v) = self.mem.get(key) {
+            if v.is_some() {
+                self.stats.hits += 1;
+            }
+            return Ok((v.map(<[u8]>::to_vec), t));
+        }
+        for (_, imm) in self.immutables.iter().rev() {
+            if let Some(v) = imm.get(key) {
+                if v.is_some() {
+                    self.stats.hits += 1;
+                }
+                return Ok((v.map(<[u8]>::to_vec), t));
+            }
+        }
+
+        // Tables: L0 newest-first, then one candidate per level. The data
+        // block is read from the device every time (no block cache, per the
+        // paper's benchmark configuration); index and bloom live in memory.
+        let candidates: Vec<(u64, Option<u32>, bool)> = self
+            .version
+            .tables_for_get(key)
+            .into_iter()
+            .map(|h| {
+                let maybe = h.bloom.maybe_contains(key);
+                (h.id, h.block_for(key), maybe)
+            })
+            .collect();
+        for (id, block, maybe) in candidates {
+            t += SimDuration::from_nanos(150); // bloom probe
+            if !maybe {
+                self.stats.bloom_skips += 1;
+                continue;
+            }
+            let Some(block) = block else { continue };
+            let done = self
+                .store
+                .read_block(t, id, block, &mut self.scratch)
+                .map_err(DbError::from)?;
+            t = done;
+            self.stats.get_blocks_read += 1;
+            if let Some(v) = crate::block::BlockIter::find(&self.scratch, key) {
+                if v.is_some() {
+                    self.stats.hits += 1;
+                }
+                return Ok((v.map(<[u8]>::to_vec), t));
+            }
+        }
+        Ok((None, t))
+    }
+
+    /// Rotates the active memtable into the immutable queue (e.g. before a
+    /// read-only phase). No-op when empty.
+    pub fn seal_memtable(&mut self) {
+        if !self.mem.is_empty() {
+            let full = std::mem::take(&mut self.mem);
+            let seq = self.next_mem_seq;
+            self.next_mem_seq += 1;
+            self.immutables.push_back((seq, full));
+        }
+    }
+
+    /// Flushes the oldest immutable memtable into an L0 table. Returns the
+    /// completion time, or `None` when there is nothing to flush. Called by
+    /// the background flusher actor.
+    pub fn flush_once(&mut self, now: SimTime) -> Result<Option<SimTime>, DbError> {
+        let Some((seq, imm)) = self.immutables.pop_front() else {
+            return Ok(None);
+        };
+        let mut t = now + self.config.build_cpu_per_entry * imm.len() as u64;
+        let mut builder = TableBuilder::new(self.store.block_bytes(), self.config.bits_per_key);
+        for (k, v) in imm.iter() {
+            builder.add(k, v);
+        }
+        let (bytes, mut handle) = builder.finish();
+        let (id, done) = self.store.flush_table(t, &bytes)?;
+        t = done;
+        handle.id = id;
+        handle.seq = seq;
+        self.cstats.flushes += 1;
+        self.cstats.flush_nanos += t.saturating_since(now).as_nanos();
+        self.cstats.blocks_written += handle.data_blocks as u64;
+        self.version.add_l0(handle);
+        self.inflight_flushes.push(t);
+        Ok(Some(t))
+    }
+
+    fn level_target_blocks(&self, level: usize) -> u64 {
+        self.config.level_base_blocks
+            * self
+                .config
+                .level_multiplier
+                .pow(level.saturating_sub(1) as u32)
+    }
+
+    fn pick_compaction(&self) -> Option<CompactionJob> {
+        // L0 pressure first (skipped while any L0 input is being compacted).
+        if self.version.l0_count() >= self.config.l0_compaction_trigger {
+            let l0: Vec<TableHandle> = self.version.level(0).to_vec();
+            let min = l0.iter().map(|t| t.min_key.clone()).min()?;
+            let max = l0.iter().map(|t| t.max_key.clone()).max()?;
+            let mut inputs = l0;
+            inputs.extend(self.version.overlapping(1, &min, &max).into_iter().cloned());
+            if inputs.iter().all(|h| !self.compacting.contains(&h.id)) {
+                return Some(CompactionJob {
+                    from_level: 0,
+                    to_level: 1,
+                    inputs,
+                    drop_tombstones: self.bottom_is(1),
+                });
+            }
+        }
+        // Size pressure on deeper levels.
+        for level in 1..self.version.max_levels() - 1 {
+            if self.version.level_blocks(level) <= self.level_target_blocks(level) {
+                continue;
+            }
+            let tables = self.version.level(level);
+            if tables.is_empty() {
+                continue;
+            }
+            // Try each table starting at the cursor until a conflict-free
+            // job is found.
+            for probe in 0..tables.len() {
+                let pick = (self.compaction_cursor[level] + probe) % tables.len();
+                let input = tables[pick].clone();
+                if self.compacting.contains(&input.id) {
+                    continue;
+                }
+                let mut inputs = vec![input.clone()];
+                inputs.extend(
+                    self.version
+                        .overlapping(level + 1, &input.min_key, &input.max_key)
+                        .into_iter()
+                        .cloned(),
+                );
+                if inputs.iter().any(|h| self.compacting.contains(&h.id)) {
+                    continue;
+                }
+                return Some(CompactionJob {
+                    from_level: level,
+                    to_level: level + 1,
+                    inputs,
+                    drop_tombstones: self.bottom_is(level + 1),
+                });
+            }
+        }
+        None
+    }
+
+    fn bottom_is(&self, level: usize) -> bool {
+        (level + 1..self.version.max_levels()).all(|l| self.version.level(l).is_empty())
+    }
+
+    /// Advances background compaction by one bounded step and returns the
+    /// virtual time reached, or `None` when no compaction work exists.
+    ///
+    /// Compactions are *incremental*: each call merges a bounded slice of
+    /// input (so a multi-second compaction does not execute as one atomic
+    /// virtual-time block, which would starve concurrent flushes of device
+    /// resources), and several compactions can be in flight at once — one
+    /// per background worker, as in RocksDB. Input tables stay readable
+    /// until their compaction completes.
+    pub fn compact_once(&mut self, now: SimTime) -> Result<Option<SimTime>, DbError> {
+        // Start a new compaction if a trigger fires on conflict-free inputs.
+        if self.actives.len() < self.config.max_parallel_compactions {
+            if let Some(job) = self.pick_compaction() {
+                if job.from_level > 0 {
+                    self.compaction_cursor[job.from_level] =
+                        self.compaction_cursor[job.from_level].wrapping_add(1);
+                }
+                let block_bytes = self.store.block_bytes();
+                for h in &job.inputs {
+                    self.compacting.insert(h.id);
+                }
+                let streams: Vec<TableStream> = job
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, h)| TableStream::new(h.clone(), rank, block_bytes))
+                    .collect();
+                self.actives.push(ActiveCompaction {
+                    from: job.from_level,
+                    to: job.to_level,
+                    removed: job.inputs.iter().map(|h| h.id).collect(),
+                    drop_tombstones: job.drop_tombstones,
+                    merge: MergeIter::new(streams, self.store.clone()),
+                    builder: TableBuilder::new(block_bytes, self.config.bits_per_key),
+                    outputs: Vec::new(),
+                    frontier: now,
+                    started: now,
+                    entries_out: 0,
+                    tombstones_dropped: 0,
+                    shadowed: 0,
+                    blocks_written: 0,
+                });
+            }
+        }
+        if self.actives.is_empty() {
+            return Ok(None);
+        }
+
+        // Advance one active compaction (round-robin across workers).
+        let idx = self.active_cursor % self.actives.len();
+        self.active_cursor = self.active_cursor.wrapping_add(1);
+        let mut ac = self.actives.swap_remove(idx);
+        let mut t = ac.frontier.max(now);
+        let block_bytes = self.store.block_bytes();
+        let budget_entries = 4 * block_bytes / 1024; // ≈ 4 blocks of 1 KB entries
+        let mut processed = 0usize;
+        let mut finished = false;
+        loop {
+            if processed >= budget_entries {
+                break;
+            }
+            match ac.merge.next(&mut t, &mut ac.shadowed).map_err(DbError::from)? {
+                Some((key, value)) => {
+                    processed += 1;
+                    t += self.config.build_cpu_per_entry;
+                    if value.is_none() && ac.drop_tombstones {
+                        ac.tombstones_dropped += 1;
+                        continue;
+                    }
+                    if ac.builder.projected_total_bytes() + block_bytes
+                        > self.config.table_bytes
+                        && !ac.builder.is_empty()
+                    {
+                        let b = std::mem::replace(
+                            &mut ac.builder,
+                            TableBuilder::new(block_bytes, self.config.bits_per_key),
+                        );
+                        let h = Self::flush_output(&self.store, b, &mut t)?;
+                        ac.blocks_written += h.data_blocks as u64;
+                        ac.outputs.push(h);
+                    }
+                    ac.builder.add(&key, value.as_deref());
+                    ac.entries_out += 1;
+                }
+                None => {
+                    finished = true;
+                    break;
+                }
+            }
+        }
+
+        if finished {
+            if !ac.builder.is_empty() {
+                let b = std::mem::replace(
+                    &mut ac.builder,
+                    TableBuilder::new(block_bytes, self.config.bits_per_key),
+                );
+                let h = Self::flush_output(&self.store, b, &mut t)?;
+                ac.blocks_written += h.data_blocks as u64;
+                ac.outputs.push(h);
+            }
+            for id in &ac.removed {
+                t = self.store.delete_table(t, *id)?;
+                self.compacting.remove(id);
+            }
+            self.version
+                .apply_edit(ac.from, ac.to, &ac.removed, std::mem::take(&mut ac.outputs));
+            // Track compaction drain speed for the write controller.
+            let duration = t.saturating_since(ac.started).as_secs_f64();
+            if duration > 0.0 && ac.blocks_written > 0 {
+                let rate = ac.blocks_written as f64 * block_bytes as f64 / duration;
+                self.drain_rate = 0.7 * self.drain_rate + 0.3 * rate;
+            }
+            self.cstats.compactions += 1;
+            self.cstats.compaction_nanos += t.saturating_since(ac.started).as_nanos();
+            self.cstats.blocks_read += ac.merge.blocks_read();
+            self.cstats.blocks_written += ac.blocks_written;
+            self.cstats.entries_out += ac.entries_out;
+            self.cstats.tombstones_dropped += ac.tombstones_dropped;
+            self.cstats.entries_shadowed += ac.shadowed;
+        } else {
+            ac.frontier = t;
+            self.actives.push(ac);
+        }
+        Ok(Some(t))
+    }
+
+    fn flush_output(
+        store: &Arc<dyn TableStore>,
+        builder: TableBuilder,
+        t: &mut SimTime,
+    ) -> Result<TableHandle, DbError> {
+        let (bytes, mut handle) = builder.finish();
+        let (id, done) = store.flush_table(*t, &bytes)?;
+        *t = done;
+        handle.id = id;
+        Ok(handle)
+    }
+
+    /// Creates a snapshot iterator over the whole database starting at
+    /// `start` (inclusive). Block reads charge time to the iterator's clock.
+    pub fn scan_from(&self, start: &[u8]) -> DbIter {
+        let block_bytes = self.store.block_bytes();
+        let mut mem: Vec<Entry> = Vec::new();
+        for (k, v) in self.mem.range_from(start) {
+            mem.push((k.to_vec(), v.map(<[u8]>::to_vec)));
+        }
+        for (_, imm) in &self.immutables {
+            for (k, v) in imm.range_from(start) {
+                mem.push((k.to_vec(), v.map(<[u8]>::to_vec)));
+            }
+        }
+        mem.sort_by(|a, b| a.0.cmp(&b.0));
+        mem.dedup_by(|a, b| a.0 == b.0); // keep first = newest? see note below
+        let mut streams = Vec::new();
+        // Rank 0 is freshest; memory entries are handled separately and win
+        // ties outright.
+        for (rank, h) in self.version.all_tables().into_iter().enumerate() {
+            let mut s = TableStream::new(h.clone(), rank, block_bytes);
+            s.seek(start);
+            streams.push(s);
+        }
+        DbIter {
+            merge: MergeIter::new(streams, self.store.clone()),
+            mem: mem.into(),
+            start: start.to_vec(),
+            last_key: None,
+            table_pending: None,
+        }
+    }
+}
+
+/// A key/value pair returned by iteration.
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
+/// A merged snapshot iterator (read-sequential workloads).
+pub struct DbIter {
+    merge: MergeIter,
+    mem: VecDeque<Entry>,
+    start: Vec<u8>,
+    last_key: Option<Vec<u8>>,
+    table_pending: Option<Entry>,
+}
+
+impl DbIter {
+    fn next_table(&mut self, t: &mut SimTime) -> Result<Option<Entry>, DbError> {
+        if let Some(kv) = self.table_pending.take() {
+            return Ok(Some(kv));
+        }
+        let mut shadowed = 0u64;
+        loop {
+            match self.merge.next(t, &mut shadowed)? {
+                Some((k, _)) if k.as_slice() < self.start.as_slice() => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Next live entry in key order; advances `t` for block reads. Returns
+    /// `None` at the end of the keyspace.
+    pub fn next(&mut self, t: &mut SimTime) -> Result<Option<KvPair>, DbError> {
+        loop {
+            let table_next = self.next_table(t)?;
+            // Memory wins ties (it is always newer than any table).
+            let use_mem = match (self.mem.front(), &table_next) {
+                (Some((mk, _)), Some((tk, _))) => mk <= tk,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let (key, value) = if use_mem {
+                let (mk, mv) = self.mem.pop_front().expect("checked");
+                if let Some((tk, tv)) = table_next {
+                    if tk != mk {
+                        self.table_pending = Some((tk, tv));
+                    }
+                    // tk == mk: the table's version is shadowed; drop it.
+                }
+                (mk, mv)
+            } else {
+                match table_next {
+                    Some(kv) => kv,
+                    None => return Ok(None),
+                }
+            };
+            // Skip shadowed repeats and tombstones.
+            if self.last_key.as_deref() == Some(key.as_slice()) {
+                continue;
+            }
+            self.last_key = Some(key.clone());
+            match value {
+                Some(v) => return Ok(Some((key, v))),
+                None => continue,
+            }
+        }
+    }
+}
+
+/// A database shared between simulation actors.
+#[derive(Clone)]
+pub struct SharedDb(Arc<Mutex<Db>>);
+
+impl SharedDb {
+    /// Wraps a database for shared use.
+    pub fn new(db: Db) -> Self {
+        SharedDb(Arc::new(Mutex::new(db)))
+    }
+
+    /// Runs `f` with exclusive access.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Db) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    /// See [`Db::put`].
+    pub fn put(&self, now: SimTime, key: &[u8], value: &[u8]) -> Result<PutOutcome, DbError> {
+        self.0.lock().put(now, key, value)
+    }
+
+    /// See [`Db::get`].
+    pub fn get(&self, now: SimTime, key: &[u8]) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
+        self.0.lock().get(now, key)
+    }
+
+    /// See [`Db::delete`].
+    pub fn delete(&self, now: SimTime, key: &[u8]) -> Result<PutOutcome, DbError> {
+        self.0.lock().delete(now, key)
+    }
+
+    /// See [`Db::flush_once`].
+    pub fn flush_once(&self, now: SimTime) -> Result<Option<SimTime>, DbError> {
+        self.0.lock().flush_once(now)
+    }
+
+    /// See [`Db::compact_once`].
+    pub fn compact_once(&self, now: SimTime) -> Result<Option<SimTime>, DbError> {
+        self.0.lock().compact_once(now)
+    }
+
+    /// See [`Db::seal_memtable`].
+    pub fn seal_memtable(&self) {
+        self.0.lock().seal_memtable()
+    }
+
+    /// See [`Db::scan_from`].
+    pub fn scan_from(&self, start: &[u8]) -> DbIter {
+        self.0.lock().scan_from(start)
+    }
+
+    /// See [`Db::has_background_work`].
+    pub fn has_background_work(&self) -> bool {
+        self.0.lock().has_background_work()
+    }
+
+    /// See [`Db::stats`].
+    pub fn stats(&self) -> DbStats {
+        self.0.lock().stats()
+    }
+
+    /// See [`Db::compaction_stats`].
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.0.lock().compaction_stats()
+    }
+
+    /// See [`Db::level_metas`].
+    pub fn level_metas(&self) -> Vec<LevelMeta> {
+        self.0.lock().level_metas()
+    }
+}

@@ -1,0 +1,121 @@
+//! In-memory write buffer (memtable).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted in-memory buffer; `None` values are tombstones.
+#[derive(Default)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.insert(key, Some(value.to_vec()));
+    }
+
+    /// Records a deletion.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.insert(key, None);
+    }
+
+    fn insert(&mut self, key: &[u8], value: Option<Vec<u8>>) {
+        let add = key.len() + value.as_ref().map_or(0, Vec::len) + 32;
+        if let Some(old) = self.map.insert(key.to_vec(), value) {
+            self.bytes -= key.len() + old.map_or(0, |v| v.len()) + 32;
+        }
+        self.bytes += add;
+    }
+
+    /// Looks a key up: `Some(Some(v))` live, `Some(None)` tombstone, `None`
+    /// not present.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.map.get(key).map(|v| v.as_deref())
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Iterates entries with keys ≥ `start`.
+    pub fn range_from<'a>(
+        &'a self,
+        start: &[u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Unbounded))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = Memtable::new();
+        assert_eq!(m.get(b"a"), None);
+        m.put(b"a", b"1");
+        assert_eq!(m.get(b"a"), Some(Some(&b"1"[..])));
+        m.put(b"a", b"2");
+        assert_eq!(m.get(b"a"), Some(Some(&b"2"[..])));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_shadow() {
+        let mut m = Memtable::new();
+        m.put(b"k", b"v");
+        m.delete(b"k");
+        assert_eq!(m.get(b"k"), Some(None));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_overwrites() {
+        let mut m = Memtable::new();
+        m.put(b"key", &[0u8; 100]);
+        let b1 = m.approximate_bytes();
+        m.put(b"key", &[0u8; 10]);
+        let b2 = m.approximate_bytes();
+        assert!(b2 < b1);
+        m.put(b"key2", &[0u8; 100]);
+        assert!(m.approximate_bytes() > b2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Memtable::new();
+        for k in ["c", "a", "b"] {
+            m.put(k.as_bytes(), b"v");
+        }
+        let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"b", b"c"]);
+        let from_b: Vec<&[u8]> = m.range_from(b"b").map(|(k, _)| k).collect();
+        assert_eq!(from_b, vec![&b"b"[..], b"c"]);
+    }
+}

@@ -1,0 +1,392 @@
+//! SSTable format: data blocks + an embedded meta region (index + bloom).
+//!
+//! ```text
+//! table := data_block*  meta_block+
+//! meta  := index(count, [last_key, block_idx]*) bloom stats
+//! trailer (last 20 bytes of the final block):
+//!         meta_first_block:u32 | meta_len:u32 | entries:u64 | crc:u32
+//! ```
+//!
+//! Every block is one LightLSM block (96 KB on the paper drive). The index
+//! and bloom are kept in memory by the version set after a flush or
+//! compaction builds them; [`TableHandle::from_bytes`] re-parses them when a
+//! table is reopened after recovery.
+
+use crate::block::BlockBuilder;
+use crate::bloom::BloomFilter;
+use ox_core::codec::{crc32c, Decoder, Encoder};
+
+const TRAILER_BYTES: usize = 20;
+
+/// In-memory metadata of one SSTable.
+#[derive(Clone, Debug)]
+pub struct TableHandle {
+    /// Backend table id (assigned at flush).
+    pub id: u64,
+    /// Flush sequence (newer memtables have higher seq); 0 for compaction
+    /// outputs, which never sit in L0.
+    pub seq: u64,
+    /// Number of data blocks.
+    pub data_blocks: u32,
+    /// `(last key of block, block index)` in key order.
+    pub index: Vec<(Vec<u8>, u32)>,
+    /// Bloom filter over all keys.
+    pub bloom: BloomFilter,
+    /// Entry count (tombstones included).
+    pub entries: u64,
+    /// Smallest key.
+    pub min_key: Vec<u8>,
+    /// Largest key.
+    pub max_key: Vec<u8>,
+}
+
+impl TableHandle {
+    /// Data block that may contain `key`, or `None` if out of range.
+    pub fn block_for(&self, key: &[u8]) -> Option<u32> {
+        if self.index.is_empty() || key < self.min_key.as_slice() || key > self.max_key.as_slice()
+        {
+            return None;
+        }
+        let i = self
+            .index
+            .partition_point(|(last, _)| last.as_slice() < key);
+        self.index.get(i).map(|&(_, b)| b)
+    }
+
+    /// Whether `key` overlaps this table's key range.
+    pub fn overlaps(&self, min: &[u8], max: &[u8]) -> bool {
+        !(self.max_key.as_slice() < min || self.min_key.as_slice() > max)
+    }
+
+    /// Rebuilds a handle from full table bytes (recovery path).
+    pub fn from_bytes(id: u64, block_bytes: usize, data: &[u8]) -> Option<TableHandle> {
+        if data.len() < TRAILER_BYTES || !data.len().is_multiple_of(block_bytes) {
+            return None;
+        }
+        let t = &data[data.len() - TRAILER_BYTES..];
+        let mut d = Decoder::new(t);
+        let meta_first = d.u32().ok()? as usize;
+        let meta_len = d.u32().ok()? as usize;
+        let entries = d.u64().ok()?;
+        let crc = d.u32().ok()?;
+        let meta_start = meta_first * block_bytes;
+        if meta_start + meta_len > data.len() {
+            return None;
+        }
+        let meta = &data[meta_start..meta_start + meta_len];
+        if crc32c(meta) != crc {
+            return None;
+        }
+        let mut d = Decoder::new(meta);
+        let count = d.u32().ok()? as usize;
+        let mut index = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = d.var_bytes().ok()?.to_vec();
+            let block = d.u32().ok()?;
+            index.push((key, block));
+        }
+        let bloom = BloomFilter::decode(&mut d)?;
+        let min_key = d.var_bytes().ok()?.to_vec();
+        let max_key = d.var_bytes().ok()?.to_vec();
+        Some(TableHandle {
+            id,
+            seq: 0,
+            data_blocks: meta_first as u32,
+            index,
+            bloom,
+            entries,
+            min_key,
+            max_key,
+        })
+    }
+}
+
+/// Streams sorted entries into SSTable bytes.
+pub struct TableBuilder {
+    block_bytes: usize,
+    bits_per_key: u32,
+    blocks: Vec<Vec<u8>>,
+    current: BlockBuilder,
+    index: Vec<(Vec<u8>, u32)>,
+    keys: Vec<Vec<u8>>,
+    min_key: Vec<u8>,
+    last_key: Vec<u8>,
+    entries: u64,
+}
+
+impl TableBuilder {
+    /// A builder emitting `block_bytes`-sized blocks.
+    pub fn new(block_bytes: usize, bits_per_key: u32) -> Self {
+        TableBuilder {
+            block_bytes,
+            bits_per_key,
+            blocks: Vec::new(),
+            current: BlockBuilder::new(block_bytes),
+            index: Vec::new(),
+            keys: Vec::new(),
+            min_key: Vec::new(),
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Appends an entry; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        debug_assert!(
+            self.entries == 0 || key > self.last_key.as_slice(),
+            "keys must be strictly increasing"
+        );
+        if !self.current.fits(key, value) {
+            self.cut_block();
+        }
+        if self.entries == 0 {
+            self.min_key = key.to_vec();
+        }
+        self.current.add(key, value);
+        self.last_key = key.to_vec();
+        self.keys.push(key.to_vec());
+        self.entries += 1;
+    }
+
+    fn cut_block(&mut self) {
+        let finished = std::mem::replace(&mut self.current, BlockBuilder::new(self.block_bytes));
+        debug_assert!(!finished.is_empty(), "cutting an empty block");
+        self.index
+            .push((self.last_key.clone(), self.blocks.len() as u32));
+        self.blocks.push(finished.finish());
+    }
+
+    /// Entries added so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Approximate finished size in bytes (data blocks only).
+    pub fn estimated_bytes(&self) -> usize {
+        (self.blocks.len() + 1) * self.block_bytes
+    }
+
+    /// Conservative estimate of the finished table size *including* the
+    /// meta region (index, bloom, trailer). Used to cut output tables so
+    /// they never exceed a backend's capacity.
+    pub fn projected_total_bytes(&self) -> usize {
+        let key_len = self.last_key.len().max(16);
+        let meta_bytes = 4
+            + (self.index.len() + 2) * (12 + key_len) // index entries (+ the open block's)
+            + self.keys.len() * (self.bits_per_key as usize) / 8
+            + 64 // bloom header + slack
+            + 2 * (4 + key_len) // min/max keys
+            + TRAILER_BYTES;
+        let meta_blocks = meta_bytes.div_ceil(self.block_bytes).max(1);
+        (self.blocks.len() + 1 + meta_blocks) * self.block_bytes
+    }
+
+    /// True if nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Finishes the table: returns the full table bytes and the in-memory
+    /// handle (with `id` = 0, to be set after the flush).
+    pub fn finish(mut self) -> (Vec<u8>, TableHandle) {
+        assert!(self.entries > 0, "empty table");
+        if !self.current.is_empty() {
+            self.cut_block();
+        }
+        let data_blocks = self.blocks.len() as u32;
+
+        let mut bloom = BloomFilter::new(self.keys.len(), self.bits_per_key);
+        for k in &self.keys {
+            bloom.insert(k);
+        }
+
+        let mut meta = Encoder::new();
+        meta.u32(self.index.len() as u32);
+        for (key, block) in &self.index {
+            meta.var_bytes(key).u32(*block);
+        }
+        bloom.encode(&mut meta);
+        meta.var_bytes(&self.min_key);
+        meta.var_bytes(&self.last_key);
+        let meta = meta.finish();
+        let crc = crc32c(&meta);
+
+        // Pack meta into trailing blocks, reserving the trailer in the last.
+        let total_meta = meta.len() + TRAILER_BYTES;
+        let meta_blocks = total_meta.div_ceil(self.block_bytes).max(1);
+        let mut out =
+            Vec::with_capacity((data_blocks as usize + meta_blocks) * self.block_bytes);
+        for b in &self.blocks {
+            out.extend_from_slice(b);
+        }
+        let meta_region_start = out.len();
+        out.extend_from_slice(&meta);
+        out.resize(meta_region_start + meta_blocks * self.block_bytes, 0);
+        let trailer_at = out.len() - TRAILER_BYTES;
+        let mut tr = Encoder::new();
+        tr.u32(data_blocks)
+            .u32(meta.len() as u32)
+            .u64(self.entries)
+            .u32(crc);
+        out[trailer_at..].copy_from_slice(tr.as_slice());
+
+        let handle = TableHandle {
+            id: 0,
+            seq: 0,
+            data_blocks,
+            index: self.index,
+            bloom,
+            entries: self.entries,
+            min_key: self.min_key,
+            max_key: self.last_key,
+        };
+        (out, handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockIter;
+
+    const BLOCK: usize = 8192;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("{i:016}").into_bytes()
+    }
+
+    fn build(n: u64, vlen: usize) -> (Vec<u8>, TableHandle) {
+        let mut b = TableBuilder::new(BLOCK, 10);
+        for i in 0..n {
+            let v = vec![(i % 251) as u8; vlen];
+            b.add(&key(i), Some(&v));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn table_layout_is_block_aligned() {
+        let (bytes, h) = build(100, 100);
+        assert_eq!(bytes.len() % BLOCK, 0);
+        assert!(h.data_blocks >= 1);
+        assert_eq!(h.entries, 100);
+        assert_eq!(h.min_key, key(0));
+        assert_eq!(h.max_key, key(99));
+        assert_eq!(h.index.len(), h.data_blocks as usize);
+    }
+
+    #[test]
+    fn every_key_locatable_through_index() {
+        let (bytes, h) = build(500, 100);
+        for i in 0..500 {
+            let k = key(i);
+            let b = h.block_for(&k).expect("in range") as usize;
+            let block = &bytes[b * BLOCK..(b + 1) * BLOCK];
+            let found = BlockIter::find(block, &k);
+            assert_eq!(found, Some(Some(&vec![(i % 251) as u8; 100][..])), "key {i}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_keys_skip_table() {
+        let (_, h) = build(10, 10);
+        assert_eq!(h.block_for(b"0000000000000100"), None); // beyond max
+        assert!(h.block_for(&key(5)).is_some());
+        // A key below min is out of range too (all keys are 16 digits).
+        assert_eq!(h.block_for(b"!"), None);
+    }
+
+    #[test]
+    fn bloom_covers_all_keys() {
+        let (_, h) = build(300, 50);
+        for i in 0..300 {
+            assert!(h.bloom.maybe_contains(&key(i)));
+        }
+        let fps = (1000..2000).filter(|&i| h.bloom.maybe_contains(&key(i))).count();
+        assert!(fps < 60, "{fps} false positives");
+    }
+
+    #[test]
+    fn handle_round_trips_through_bytes() {
+        let (bytes, h) = build(500, 100);
+        let back = TableHandle::from_bytes(7, BLOCK, &bytes).expect("parse");
+        assert_eq!(back.id, 7);
+        assert_eq!(back.data_blocks, h.data_blocks);
+        assert_eq!(back.index, h.index);
+        assert_eq!(back.entries, h.entries);
+        assert_eq!(back.min_key, h.min_key);
+        assert_eq!(back.max_key, h.max_key);
+        assert_eq!(back.bloom, h.bloom);
+    }
+
+    #[test]
+    fn corrupt_meta_rejected() {
+        let (mut bytes, _) = build(50, 100);
+        let len = bytes.len();
+        bytes[len - TRAILER_BYTES + 2] ^= 0x7F; // mangle meta_len
+        assert!(TableHandle::from_bytes(1, BLOCK, &bytes).is_none());
+        let (mut bytes2, _) = build(50, 100);
+        // Flip a meta byte (first byte of the meta region).
+        let h = TableHandle::from_bytes(1, BLOCK, &bytes2).unwrap();
+        let meta_start = h.data_blocks as usize * BLOCK;
+        bytes2[meta_start] ^= 0xFF;
+        assert!(TableHandle::from_bytes(1, BLOCK, &bytes2).is_none());
+    }
+
+    #[test]
+    fn overlaps_semantics() {
+        let (_, h) = build(100, 10); // keys 0..100
+        assert!(h.overlaps(&key(50), &key(150)));
+        assert!(h.overlaps(&key(0), &key(0)));
+        assert!(!h.overlaps(&key(100), &key(200)));
+        assert!(h.overlaps(b"!", &key(0)));
+        assert!(!h.overlaps(b"!", b"0"));
+    }
+
+    #[test]
+    fn tombstones_survive_the_format() {
+        let mut b = TableBuilder::new(BLOCK, 10);
+        b.add(b"alive", Some(b"v"));
+        b.add(b"dead", None);
+        let (bytes, h) = b.finish();
+        let block = &bytes[..BLOCK];
+        assert_eq!(BlockIter::find(block, b"dead"), Some(None));
+        assert_eq!(h.entries, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_table_panics() {
+        TableBuilder::new(BLOCK, 10).finish();
+    }
+
+    #[test]
+    fn projection_never_underestimates() {
+        for (block, n, vlen) in [(8192usize, 400u64, 100usize), (96 * 1024, 5000, 1024), (512, 300, 50)] {
+            let mut b = TableBuilder::new(block, 10);
+            for i in 0..n {
+                b.add(&key(i), Some(&vec![1u8; vlen]));
+            }
+            let projected = b.projected_total_bytes();
+            let (bytes, _) = b.finish();
+            assert!(
+                projected >= bytes.len(),
+                "block={block} n={n}: projected {projected} < actual {}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_block_meta_for_huge_index() {
+        // Tiny blocks force a large index relative to block size.
+        let mut b = TableBuilder::new(512, 10);
+        for i in 0..2000u64 {
+            b.add(&key(i), Some(&[1u8; 100]));
+        }
+        let (bytes, h) = b.finish();
+        let back = TableHandle::from_bytes(3, 512, &bytes).unwrap();
+        assert_eq!(back.index, h.index);
+        assert!(bytes.len() / 512 > h.data_blocks as usize + 1, "meta spans blocks");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property test: the LSM store agrees with a `BTreeMap` model under random
+//! interleavings of puts, deletes, gets, scans, flushes and compactions.
+
+use lightlsm::{LightLsm, LightLsmConfig};
+use lsmkv::{Db, DbConfig, LightLsmStore, PutOutcome, TableStore};
+use ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice};
+use ox_core::{Media, OcssdMedia};
+use ox_sim::SimTime;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Flush,
+    Compact,
+    Scan(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u16>().prop_map(Op::Delete),
+        3 => any::<u16>().prop_map(Op::Get),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => any::<u16>().prop_map(Op::Scan),
+    ]
+}
+
+fn key(k: u16) -> [u8; 16] {
+    let mut out = [b'0'; 16];
+    out[11..].copy_from_slice(format!("{k:05}").as_bytes());
+    out
+}
+
+fn value(k: u16, v: u8) -> Vec<u8> {
+    let mut out = vec![0u8; 200];
+    out[..16].copy_from_slice(&key(k));
+    out[16] = v;
+    out
+}
+
+fn drain(db: &mut Db, mut t: SimTime) -> SimTime {
+    loop {
+        if let Some(done) = db.flush_once(t).unwrap() {
+            t = done;
+            continue;
+        }
+        if let Some(done) = db.compact_once(t).unwrap() {
+            t = done;
+            continue;
+        }
+        break;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn db_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
+            Geometry::paper_tlc_scaled(22, 32),
+        )));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (ftl, _) = LightLsm::format(media, LightLsmConfig::default(), SimTime::ZERO).unwrap();
+        let store: Arc<dyn TableStore> = Arc::new(LightLsmStore::new(ftl));
+        let mut db = Db::new(
+            store,
+            DbConfig {
+                memtable_bytes: 8 * 1024, // tiny: rotations happen constantly
+                level_base_blocks: 4,
+                level_multiplier: 4,
+                max_levels: 3,
+                ..DbConfig::default()
+            },
+        );
+        let mut model: BTreeMap<u16, u8> = BTreeMap::new();
+        let mut t = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    loop {
+                        match db.put(t, &key(k), &value(k, v)).unwrap() {
+                            PutOutcome::Done(done) => {
+                                t = done;
+                                break;
+                            }
+                            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+                        }
+                    }
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    loop {
+                        match db.delete(t, &key(k)).unwrap() {
+                            PutOutcome::Done(done) => {
+                                t = done;
+                                break;
+                            }
+                            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+                        }
+                    }
+                    model.remove(&k);
+                }
+                Op::Get(k) => {
+                    let (got, done) = db.get(t, &key(k)).unwrap();
+                    t = done;
+                    match model.get(&k) {
+                        Some(&v) => {
+                            let got = got.unwrap_or_else(|| panic!("key {k} missing"));
+                            prop_assert_eq!(got[16], v, "key {} wrong version", k);
+                        }
+                        None => prop_assert_eq!(got, None, "key {} resurrected", k),
+                    }
+                }
+                Op::Flush => {
+                    db.seal_memtable();
+                    if let Some(done) = db.flush_once(t).unwrap() {
+                        t = done;
+                    }
+                }
+                Op::Compact => {
+                    if let Some(done) = db.compact_once(t).unwrap() {
+                        t = done;
+                    }
+                }
+                Op::Scan(from) => {
+                    let mut iter = db.scan_from(&key(from));
+                    let mut tt = t;
+                    let expect: Vec<(u16, u8)> = model
+                        .range(from..)
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    let mut got = Vec::new();
+                    while let Some((k, v)) = iter.next(&mut tt).unwrap() {
+                        got.push((k, v));
+                    }
+                    prop_assert_eq!(got.len(), expect.len(), "scan length");
+                    for ((gk, gv), (ek, ev)) in got.iter().zip(expect.iter()) {
+                        let ek_bytes = key(*ek);
+                        prop_assert_eq!(gk.as_slice(), &ek_bytes[..]);
+                        prop_assert_eq!(gv[16], *ev);
+                    }
+                    t = tt;
+                }
+            }
+        }
+
+        // Final full agreement after draining all background work.
+        t = drain(&mut db, t);
+        for (&k, &v) in &model {
+            let (got, done) = db.get(t, &key(k)).unwrap();
+            t = done;
+            let got = got.unwrap_or_else(|| panic!("key {k} lost at end"));
+            prop_assert_eq!(got[16], v);
+        }
+    }
+}

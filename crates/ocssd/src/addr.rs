@@ -1,0 +1,236 @@
+//! Physical addressing: PPAs (physical page addresses) and chunk addresses.
+//!
+//! OCSSD 2.0 addresses a logical block by `(group, parallel unit, chunk,
+//! logical block within chunk)`. We also provide dense linear indices used by
+//! mapping tables and the media store.
+
+use crate::geometry::Geometry;
+use std::fmt;
+
+/// Address of a chunk: `(group, pu, chunk)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkAddr {
+    /// Group index.
+    pub group: u32,
+    /// Parallel unit index within the group.
+    pub pu: u32,
+    /// Chunk index within the parallel unit.
+    pub chunk: u32,
+}
+
+/// Full physical address of one logical block (sector).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppa {
+    /// Group index.
+    pub group: u32,
+    /// Parallel unit index within the group.
+    pub pu: u32,
+    /// Chunk index within the parallel unit.
+    pub chunk: u32,
+    /// Logical block (sector) index within the chunk.
+    pub sector: u32,
+}
+
+impl ChunkAddr {
+    /// Creates a chunk address.
+    pub const fn new(group: u32, pu: u32, chunk: u32) -> Self {
+        ChunkAddr { group, pu, chunk }
+    }
+
+    /// True if the address is within `geo`'s bounds.
+    pub fn is_valid(&self, geo: &Geometry) -> bool {
+        self.group < geo.num_groups && self.pu < geo.pus_per_group && self.chunk < geo.chunks_per_pu
+    }
+
+    /// Dense index in `[0, geo.total_chunks())`, ordered group-major.
+    pub fn linear(&self, geo: &Geometry) -> u64 {
+        debug_assert!(self.is_valid(geo));
+        ((self.group as u64 * geo.pus_per_group as u64) + self.pu as u64)
+            * geo.chunks_per_pu as u64
+            + self.chunk as u64
+    }
+
+    /// Inverse of [`ChunkAddr::linear`].
+    pub fn from_linear(geo: &Geometry, idx: u64) -> Self {
+        debug_assert!(idx < geo.total_chunks());
+        let chunk = (idx % geo.chunks_per_pu as u64) as u32;
+        let pu_lin = idx / geo.chunks_per_pu as u64;
+        let pu = (pu_lin % geo.pus_per_group as u64) as u32;
+        let group = (pu_lin / geo.pus_per_group as u64) as u32;
+        ChunkAddr { group, pu, chunk }
+    }
+
+    /// Dense index of the owning parallel unit in `[0, geo.total_pus())`.
+    pub fn pu_linear(&self, geo: &Geometry) -> u32 {
+        self.group * geo.pus_per_group + self.pu
+    }
+
+    /// The PPA of sector `sector` within this chunk.
+    pub const fn ppa(&self, sector: u32) -> Ppa {
+        Ppa {
+            group: self.group,
+            pu: self.pu,
+            chunk: self.chunk,
+            sector,
+        }
+    }
+}
+
+impl Ppa {
+    /// Creates a PPA.
+    pub const fn new(group: u32, pu: u32, chunk: u32, sector: u32) -> Self {
+        Ppa {
+            group,
+            pu,
+            chunk,
+            sector,
+        }
+    }
+
+    /// The owning chunk.
+    pub const fn chunk_addr(&self) -> ChunkAddr {
+        ChunkAddr {
+            group: self.group,
+            pu: self.pu,
+            chunk: self.chunk,
+        }
+    }
+
+    /// True if the address is within `geo`'s bounds.
+    pub fn is_valid(&self, geo: &Geometry) -> bool {
+        self.chunk_addr().is_valid(geo) && self.sector < geo.sectors_per_chunk
+    }
+
+    /// Dense sector index in `[0, geo.total_sectors())`.
+    pub fn linear(&self, geo: &Geometry) -> u64 {
+        debug_assert!(self.is_valid(geo));
+        self.chunk_addr().linear(geo) * geo.sectors_per_chunk as u64 + self.sector as u64
+    }
+
+    /// Inverse of [`Ppa::linear`].
+    pub fn from_linear(geo: &Geometry, idx: u64) -> Self {
+        debug_assert!(idx < geo.total_sectors());
+        let sector = (idx % geo.sectors_per_chunk as u64) as u32;
+        let ca = ChunkAddr::from_linear(geo, idx / geo.sectors_per_chunk as u64);
+        ca.ppa(sector)
+    }
+
+    /// The PPA `n` sectors further within the same chunk (caller must ensure
+    /// it stays in bounds).
+    pub const fn offset(&self, n: u32) -> Ppa {
+        Ppa {
+            group: self.group,
+            pu: self.pu,
+            chunk: self.chunk,
+            sector: self.sector + n,
+        }
+    }
+}
+
+impl fmt::Debug for ChunkAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}p{}c{}", self.group, self.pu, self.chunk)
+    }
+}
+
+impl fmt::Display for ChunkAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}p{}c{}s{}", self.group, self.pu, self.chunk, self.sector)
+    }
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Geometry {
+        Geometry::paper_tlc_scaled(22, 8)
+    }
+
+    #[test]
+    fn chunk_linear_round_trip() {
+        let g = geo();
+        for idx in [0, 1, 66, 67, 1000, g.total_chunks() - 1] {
+            let ca = ChunkAddr::from_linear(&g, idx);
+            assert!(ca.is_valid(&g));
+            assert_eq!(ca.linear(&g), idx);
+        }
+    }
+
+    #[test]
+    fn ppa_linear_round_trip() {
+        let g = geo();
+        for idx in [0, 1, 767, 768, 123_456, g.total_sectors() - 1] {
+            let ppa = Ppa::from_linear(&g, idx);
+            assert!(ppa.is_valid(&g));
+            assert_eq!(ppa.linear(&g), idx);
+        }
+    }
+
+    #[test]
+    fn linear_is_group_major_and_dense() {
+        let g = geo();
+        let mut prev = None;
+        for group in 0..g.num_groups {
+            for pu in 0..g.pus_per_group {
+                for chunk in 0..g.chunks_per_pu {
+                    let lin = ChunkAddr::new(group, pu, chunk).linear(&g);
+                    if let Some(p) = prev {
+                        assert_eq!(lin, p + 1);
+                    }
+                    prev = Some(lin);
+                }
+            }
+        }
+        assert_eq!(prev.unwrap(), g.total_chunks() - 1);
+    }
+
+    #[test]
+    fn validity_bounds() {
+        let g = geo();
+        assert!(ChunkAddr::new(7, 3, 66).is_valid(&g));
+        assert!(!ChunkAddr::new(8, 0, 0).is_valid(&g));
+        assert!(!ChunkAddr::new(0, 4, 0).is_valid(&g));
+        assert!(!ChunkAddr::new(0, 0, 67).is_valid(&g));
+        assert!(Ppa::new(0, 0, 0, 767).is_valid(&g));
+        assert!(!Ppa::new(0, 0, 0, 768).is_valid(&g));
+    }
+
+    #[test]
+    fn pu_linear_spans_device() {
+        let g = geo();
+        assert_eq!(ChunkAddr::new(0, 0, 0).pu_linear(&g), 0);
+        assert_eq!(ChunkAddr::new(0, 3, 0).pu_linear(&g), 3);
+        assert_eq!(ChunkAddr::new(1, 0, 0).pu_linear(&g), 4);
+        assert_eq!(
+            ChunkAddr::new(g.num_groups - 1, g.pus_per_group - 1, 0).pu_linear(&g),
+            g.total_pus() - 1
+        );
+    }
+
+    #[test]
+    fn offset_moves_within_chunk() {
+        let p = Ppa::new(1, 2, 3, 10);
+        let q = p.offset(5);
+        assert_eq!(q.sector, 15);
+        assert_eq!(q.chunk_addr(), p.chunk_addr());
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{}", Ppa::new(1, 2, 3, 4)), "g1p2c3s4");
+        assert_eq!(format!("{}", ChunkAddr::new(1, 2, 3)), "g1p2c3");
+    }
+}

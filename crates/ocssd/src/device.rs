@@ -1,0 +1,1120 @@
+//! The simulated Open-Channel SSD device.
+//!
+//! [`OcssdDevice`] ties together geometry, the chunk state machine, the NAND
+//! timing model, per-PU and per-channel resource timelines, the write-back
+//! cache, the media payload store and the error model. All commands take the
+//! submission time and return a [`Completion`] carrying the virtual
+//! completion time; contention is captured by the timelines.
+//!
+//! Timing model per command:
+//!
+//! * **write** — stall until the write cache has room, transfer over the host
+//!   link (PCIe), then *acknowledge*. The NAND drain (channel transfer +
+//!   program on the PU) is scheduled immediately; its completion is the
+//!   write's durability point.
+//! * **read** — if every requested sector is still in the controller cache,
+//!   serve at cache latency; otherwise occupy the PU for the page reads, then
+//!   the group channel for the transfer.
+//! * **reset** — occupy the PU for the erase; wears the chunk.
+//! * **copy** — device-internal: page reads on the source PUs and programs on
+//!   the destination PU, no host transfer (paper §2.2: "copy of logical
+//!   blocks (within the Open-Channel SSD, without host involvement)").
+
+use crate::addr::{ChunkAddr, Ppa};
+use crate::cache::{CacheConfig, WriteCache};
+use crate::cell::NandProfile;
+use crate::chunk::{Chunk, ChunkInfo, ChunkState};
+use crate::error::{DeviceError, Result};
+use crate::geometry::Geometry;
+use crate::media::MediaStore;
+use crate::stats::DeviceStats;
+use crate::trace::{TraceBuffer, TraceEntry, TraceKind};
+use crate::SECTOR_BYTES;
+use ox_sim::{Prng, SimDuration, SimTime, Timeline};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Completion record of a device command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// When the command was submitted.
+    pub submitted: SimTime,
+    /// When the command completed (acknowledge time for writes).
+    pub done: SimTime,
+}
+
+impl Completion {
+    /// Observed latency.
+    pub fn latency(&self) -> SimDuration {
+        self.done.saturating_since(self.submitted)
+    }
+}
+
+/// Kinds of asynchronous media events reported by the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MediaEventKind {
+    /// A program operation failed after the write was acknowledged; the
+    /// chunk went offline and its data must be re-placed by the host.
+    ProgramFail,
+    /// An erase failed; the chunk is offline.
+    EraseFail,
+    /// The chunk exceeded its rated endurance and was retired.
+    WearOut,
+}
+
+/// Asynchronous media event (OCSSD 2.0 asynchronous error reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MediaEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Affected chunk.
+    pub chunk: ChunkAddr,
+    /// What happened.
+    pub kind: MediaEventKind,
+}
+
+/// Full device configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceConfig {
+    /// Physical layout.
+    pub geometry: Geometry,
+    /// NAND timing (defaults to the geometry's cell profile).
+    pub profile: NandProfile,
+    /// Write-back cache sizing.
+    pub cache: CacheConfig,
+    /// Host link (PCIe) transfer time per sector.
+    pub host_link_per_sector: SimDuration,
+    /// RNG seed for the error model.
+    pub seed: u64,
+    /// Fraction of chunks that are factory bad (offline from the start).
+    pub factory_bad_fraction: f64,
+    /// Probability that a program unit fails (chunk goes offline, reported
+    /// asynchronously). Zero by default for deterministic benchmarks.
+    pub program_fail_prob: f64,
+    /// Base probability that an erase fails; grows with wear.
+    pub erase_fail_prob: f64,
+}
+
+impl DeviceConfig {
+    /// Configuration for a given geometry with that cell type's default
+    /// timing and no random failures.
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        DeviceConfig {
+            geometry,
+            profile: geometry.cell.profile(),
+            cache: CacheConfig::default(),
+            host_link_per_sector: SimDuration::from_nanos(700),
+            seed: 0x0C55D,
+            factory_bad_fraction: 0.0,
+            program_fail_prob: 0.0,
+            erase_fail_prob: 0.0,
+        }
+    }
+
+    /// The paper's dual-plane TLC drive, full size.
+    pub fn paper_tlc() -> Self {
+        Self::with_geometry(Geometry::paper_tlc())
+    }
+
+    /// The paper drive scaled for fast experiments.
+    pub fn paper_tlc_scaled(chunk_div: u32, size_div: u32) -> Self {
+        Self::with_geometry(Geometry::paper_tlc_scaled(chunk_div, size_div))
+    }
+}
+
+/// The simulated Open-Channel SSD.
+pub struct OcssdDevice {
+    geo: Geometry,
+    profile: NandProfile,
+    config: DeviceConfig,
+    chunks: Vec<Chunk>,
+    media: MediaStore,
+    cache: WriteCache,
+    pus: Vec<Timeline>,
+    channels: Vec<Timeline>,
+    host_link: Timeline,
+    rng: Prng,
+    stats: DeviceStats,
+    events: Vec<MediaEvent>,
+    trace: TraceBuffer,
+}
+
+impl OcssdDevice {
+    /// Builds a device; panics on invalid geometry.
+    pub fn new(config: DeviceConfig) -> Self {
+        config
+            .geometry
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid geometry: {e}"));
+        let geo = config.geometry;
+        let mut rng = Prng::seed_from_u64(config.seed);
+        let mut chunks: Vec<Chunk> = (0..geo.total_chunks()).map(|_| Chunk::new()).collect();
+        if config.factory_bad_fraction > 0.0 {
+            for c in chunks.iter_mut() {
+                if rng.gen_bool(config.factory_bad_fraction) {
+                    c.set_offline();
+                }
+            }
+        }
+        OcssdDevice {
+            geo,
+            profile: config.profile,
+            config,
+            chunks,
+            media: MediaStore::new(),
+            cache: WriteCache::new(config.cache),
+            pus: vec![Timeline::new(); geo.total_pus() as usize],
+            channels: vec![Timeline::new(); geo.num_groups as usize],
+            host_link: Timeline::new(),
+            rng,
+            stats: DeviceStats::default(),
+            events: Vec::new(),
+            trace: TraceBuffer::new(4096),
+        }
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// NAND timing profile in effect.
+    pub fn profile(&self) -> &NandProfile {
+        &self.profile
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn chunk_index(&self, addr: ChunkAddr) -> usize {
+        addr.linear(&self.geo) as usize
+    }
+
+    fn chunk(&self, addr: ChunkAddr) -> &Chunk {
+        &self.chunks[addr.linear(&self.geo) as usize]
+    }
+
+    /// *Report chunk* admin command: chunk state, write pointer, wear.
+    pub fn chunk_info(&self, addr: ChunkAddr) -> ChunkInfo {
+        self.chunk(addr).info()
+    }
+
+    /// Reports every chunk (used by FTL recovery to rebuild write pointers).
+    pub fn report_all_chunks(&self) -> Vec<(ChunkAddr, ChunkInfo)> {
+        (0..self.geo.total_chunks())
+            .map(|i| {
+                let addr = ChunkAddr::from_linear(&self.geo, i);
+                (addr, self.chunks[i as usize].info())
+            })
+            .collect()
+    }
+
+    /// Drains asynchronous media events accumulated since the last call.
+    pub fn drain_events(&mut self) -> Vec<MediaEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Enables or disables I/O tracing.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Snapshot of the trace buffer.
+    pub fn trace_snapshot(&self) -> Vec<TraceEntry> {
+        self.trace.snapshot()
+    }
+
+    /// Utilization of each parallel unit over `[0, horizon]`.
+    pub fn pu_utilizations(&self, horizon: SimTime) -> Vec<f64> {
+        self.pus.iter().map(|t| t.utilization(horizon)).collect()
+    }
+
+    /// Total queueing delay imposed by each parallel unit so far.
+    pub fn pu_queue_delays(&self) -> Vec<SimDuration> {
+        self.pus.iter().map(|t| t.total_queue_delay()).collect()
+    }
+
+    /// Current write-cache occupancy in bytes.
+    pub fn cache_occupancy(&mut self, now: SimTime) -> u64 {
+        self.cache.occupancy_at(now)
+    }
+
+    fn validate_write(&self, ppa: Ppa, sectors: u32) -> Result<()> {
+        if !ppa.is_valid(&self.geo) {
+            return Err(DeviceError::InvalidAddress(ppa));
+        }
+        let addr = ppa.chunk_addr();
+        let chunk = self.chunk(addr);
+        match chunk.state() {
+            ChunkState::Offline => return Err(DeviceError::ChunkOffline(addr)),
+            ChunkState::Closed => {
+                return Err(DeviceError::InvalidChunkState {
+                    chunk: addr,
+                    state: ChunkState::Closed,
+                })
+            }
+            ChunkState::Free | ChunkState::Open => {}
+        }
+        if sectors == 0
+            || !sectors.is_multiple_of(self.geo.ws_min)
+            || !ppa.sector.is_multiple_of(self.geo.ws_min)
+            || ppa.sector + sectors > self.geo.sectors_per_chunk
+        {
+            return Err(DeviceError::InvalidWriteSize {
+                chunk: addr,
+                sectors,
+            });
+        }
+        if ppa.sector != chunk.write_ptr() {
+            return Err(DeviceError::WritePointerMismatch {
+                chunk: addr,
+                expected: chunk.write_ptr(),
+                got: ppa.sector,
+            });
+        }
+        Ok(())
+    }
+
+    /// Vector write of `data` (contiguous sectors) starting at `ppa`, which
+    /// must equal the chunk's write pointer. Length must be a positive
+    /// multiple of `ws_min` sectors. Completes (returns) when the data is in
+    /// the controller cache; durability follows asynchronously.
+    pub fn write(&mut self, now: SimTime, ppa: Ppa, data: &[u8]) -> Result<Completion> {
+        if data.is_empty() || !data.len().is_multiple_of(SECTOR_BYTES) {
+            return Err(DeviceError::BufferSizeMismatch {
+                expected: data.len().next_multiple_of(SECTOR_BYTES).max(SECTOR_BYTES),
+                got: data.len(),
+            });
+        }
+        let sectors = (data.len() / SECTOR_BYTES) as u32;
+        self.validate_write(ppa, sectors)?;
+        let addr = ppa.chunk_addr();
+        let bytes = data.len() as u64;
+
+        // Admission control: wait for cache room, then host-link transfer.
+        let admitted = self.cache.admit(now, bytes);
+        let ack = self
+            .host_link
+            .acquire(admitted, self.host_link_time(sectors))
+            .end;
+
+        // Schedule the NAND drain: channel transfer, then program on the PU.
+        let chan = &mut self.channels[addr.group as usize];
+        let chan_done = chan.acquire(ack, self.profile.transfer_time(sectors)).end;
+        let units = sectors / self.geo.ws_min;
+        let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
+        let durable_at = pu.acquire(chan_done, self.profile.program_time(units)).end;
+        self.cache.commit(bytes, durable_at);
+
+        // Error model: a failed program retires the chunk *after* the ack —
+        // reported through the asynchronous event log.
+        let failed = self.config.program_fail_prob > 0.0
+            && self.rng.gen_bool(self.config.program_fail_prob);
+
+        let idx = self.chunk_index(addr);
+        self.chunks[idx].accept_write(ppa.sector, sectors, self.geo.sectors_per_chunk, durable_at);
+        let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
+        for (i, sector_data) in data.chunks_exact(SECTOR_BYTES).enumerate() {
+            self.media
+                .write_sector(base + ppa.sector as u64 + i as u64, sector_data);
+        }
+        if failed {
+            self.chunks[idx].set_offline();
+            self.media.discard_range(base, base + self.geo.sectors_per_chunk as u64);
+            self.stats.media_failures += 1;
+            self.events.push(MediaEvent {
+                at: durable_at,
+                chunk: addr,
+                kind: MediaEventKind::ProgramFail,
+            });
+        }
+
+        self.stats.writes.record(bytes);
+        self.stats.cache_stalls = self.cache.stalls();
+        self.stats
+            .write_latency
+            .record(ack.saturating_since(now).as_nanos());
+        self.trace.record(TraceEntry {
+            at: now,
+            done: ack,
+            kind: TraceKind::Write,
+            chunk: addr,
+            sectors,
+        });
+        Ok(Completion {
+            submitted: now,
+            done: ack,
+        })
+    }
+
+    fn host_link_time(&self, sectors: u32) -> SimDuration {
+        self.config.host_link_per_sector * sectors as u64
+    }
+
+    fn validate_read(&self, ppa: Ppa, sectors: u32) -> Result<()> {
+        if sectors == 0 || !ppa.is_valid(&self.geo) {
+            return Err(DeviceError::InvalidAddress(ppa));
+        }
+        if ppa.sector + sectors > self.geo.sectors_per_chunk {
+            return Err(DeviceError::InvalidAddress(ppa.offset(sectors - 1)));
+        }
+        let addr = ppa.chunk_addr();
+        let chunk = self.chunk(addr);
+        if chunk.state() == ChunkState::Offline {
+            return Err(DeviceError::ChunkOffline(addr));
+        }
+        if ppa.sector + sectors > chunk.write_ptr() {
+            return Err(DeviceError::ReadUnwritten(
+                ppa.offset(chunk.write_ptr().saturating_sub(ppa.sector)),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reads `sectors` contiguous logical blocks starting at `ppa` into
+    /// `out` (must be exactly `sectors * 4096` bytes). Sectors still in the
+    /// controller cache are served at cache latency.
+    pub fn read(&mut self, now: SimTime, ppa: Ppa, sectors: u32, out: &mut [u8]) -> Result<Completion> {
+        if out.len() != sectors as usize * SECTOR_BYTES {
+            return Err(DeviceError::BufferSizeMismatch {
+                expected: sectors as usize * SECTOR_BYTES,
+                got: out.len(),
+            });
+        }
+        self.validate_read(ppa, sectors)?;
+        let addr = ppa.chunk_addr();
+        let idx = self.chunk_index(addr);
+
+        // Cache-resident iff the whole range is beyond the durable pointer.
+        let all_cached = {
+            let chunk = &mut self.chunks[idx];
+            let durable = chunk.durable_ptr(now);
+            ppa.sector >= durable
+        };
+
+        let done = if all_cached {
+            let t = self.profile.cache_hit + self.host_link_time(sectors);
+            let done = self.host_link.acquire(now, t).end;
+            self.stats.cache_reads.record(sectors as u64 * SECTOR_BYTES as u64);
+            self.trace.record(TraceEntry {
+                at: now,
+                done,
+                kind: TraceKind::CacheRead,
+                chunk: addr,
+                sectors,
+            });
+            done
+        } else {
+            let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
+            let media_done = pu
+                .acquire(now, self.profile.read_media_time(sectors, self.geo.sectors_per_page))
+                .end;
+            let chan = &mut self.channels[addr.group as usize];
+            let done = chan
+                .acquire(media_done, self.profile.transfer_time(sectors))
+                .end;
+            self.stats.media_reads.record(sectors as u64 * SECTOR_BYTES as u64);
+            self.trace.record(TraceEntry {
+                at: now,
+                done,
+                kind: TraceKind::MediaRead,
+                chunk: addr,
+                sectors,
+            });
+            done
+        };
+
+        let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
+        for i in 0..sectors {
+            let off = i as usize * SECTOR_BYTES;
+            let found = self.media.read_sector(
+                base + ppa.sector as u64 + i as u64,
+                &mut out[off..off + SECTOR_BYTES],
+            );
+            debug_assert!(found, "validated sector missing from media store");
+        }
+        self.stats.read_latency.record(done.saturating_since(now).as_nanos());
+        Ok(Completion {
+            submitted: now,
+            done,
+        })
+    }
+
+    /// Scatter read of arbitrary logical blocks (the OCSSD vector read).
+    /// `out` must be `ppas.len() * 4096` bytes; completion is the last
+    /// sector's arrival.
+    pub fn read_vector(&mut self, now: SimTime, ppas: &[Ppa], out: &mut [u8]) -> Result<Completion> {
+        if out.len() != ppas.len() * SECTOR_BYTES {
+            return Err(DeviceError::BufferSizeMismatch {
+                expected: ppas.len() * SECTOR_BYTES,
+                got: out.len(),
+            });
+        }
+        let mut done = now;
+        for (i, &ppa) in ppas.iter().enumerate() {
+            let off = i * SECTOR_BYTES;
+            let c = self.read(now, ppa, 1, &mut out[off..off + SECTOR_BYTES])?;
+            done = done.max(c.done);
+        }
+        Ok(Completion {
+            submitted: now,
+            done,
+        })
+    }
+
+    /// Resets (erases) a chunk. Legal on `Open` and `Closed` chunks; resets
+    /// of `Free` chunks are rejected as in the spec.
+    pub fn reset_chunk(&mut self, now: SimTime, addr: ChunkAddr) -> Result<Completion> {
+        if !addr.is_valid(&self.geo) {
+            return Err(DeviceError::InvalidAddress(addr.ppa(0)));
+        }
+        let idx = self.chunk_index(addr);
+        match self.chunks[idx].state() {
+            ChunkState::Offline => return Err(DeviceError::ChunkOffline(addr)),
+            ChunkState::Free => {
+                return Err(DeviceError::InvalidChunkState {
+                    chunk: addr,
+                    state: ChunkState::Free,
+                })
+            }
+            ChunkState::Open | ChunkState::Closed => {}
+        }
+        // Wait for any in-flight drain of this chunk before erasing.
+        let start = self.chunks[idx]
+            .drain_deadline()
+            .map_or(now, |d| d.max(now));
+        let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
+        let done = pu.acquire(start, self.profile.erase_chunk).end;
+
+        let wear = self.chunks[idx].reset();
+        let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
+        self.media
+            .discard_range(base, base + self.geo.sectors_per_chunk as u64);
+        self.stats.resets.record(self.geo.chunk_bytes());
+        self.trace.record(TraceEntry {
+            at: now,
+            done,
+            kind: TraceKind::Reset,
+            chunk: addr,
+            sectors: self.geo.sectors_per_chunk,
+        });
+
+        // Wear-out / erase-failure model.
+        if wear >= self.geo.endurance {
+            self.chunks[idx].set_offline();
+            self.stats.media_failures += 1;
+            self.events.push(MediaEvent {
+                at: done,
+                chunk: addr,
+                kind: MediaEventKind::WearOut,
+            });
+            return Err(DeviceError::MediaFailure(addr));
+        }
+        if self.config.erase_fail_prob > 0.0 {
+            let wear_factor = 1.0 + 4.0 * (wear as f64 / self.geo.endurance as f64);
+            if self.rng.gen_bool(self.config.erase_fail_prob * wear_factor) {
+                self.chunks[idx].set_offline();
+                self.stats.media_failures += 1;
+                self.events.push(MediaEvent {
+                    at: done,
+                    chunk: addr,
+                    kind: MediaEventKind::EraseFail,
+                });
+                return Err(DeviceError::MediaFailure(addr));
+            }
+        }
+        Ok(Completion {
+            submitted: now,
+            done,
+        })
+    }
+
+    /// Device-internal copy: appends the payloads of `srcs` to `dst`'s write
+    /// pointer without host involvement. `srcs.len()` must be a positive
+    /// multiple of `ws_min`, and every source must be readable. The copied
+    /// data is durable at completion (it bypasses the write cache).
+    pub fn copy(&mut self, now: SimTime, srcs: &[Ppa], dst: ChunkAddr) -> Result<Completion> {
+        let sectors = srcs.len() as u32;
+        let dst_wp = {
+            if !dst.is_valid(&self.geo) {
+                return Err(DeviceError::InvalidAddress(dst.ppa(0)));
+            }
+            self.chunk(dst).write_ptr()
+        };
+        self.validate_write(dst.ppa(dst_wp), sectors)?;
+        for &src in srcs {
+            self.validate_read(src, 1)?;
+        }
+
+        // Reads proceed in parallel across source PUs; the program on the
+        // destination PU starts once the last source page arrives.
+        let mut last_read = now;
+        for &src in srcs {
+            let pu = &mut self.pus[src.chunk_addr().pu_linear(&self.geo) as usize];
+            let t = self.profile.read_media_time(1, self.geo.sectors_per_page);
+            last_read = last_read.max(pu.acquire(now, t).end);
+        }
+        let units = sectors / self.geo.ws_min;
+        let pu = &mut self.pus[dst.pu_linear(&self.geo) as usize];
+        let done = pu
+            .acquire(last_read, self.profile.program_time(units))
+            .end;
+
+        let idx = self.chunk_index(dst);
+        self.chunks[idx].accept_write(dst_wp, sectors, self.geo.sectors_per_chunk, done);
+        let dst_base = dst.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
+        for (i, &src) in srcs.iter().enumerate() {
+            let src_idx = src.linear(&self.geo);
+            let ok = self.media.copy_sector(src_idx, dst_base + dst_wp as u64 + i as u64);
+            debug_assert!(ok, "validated source sector missing");
+        }
+        self.stats
+            .copies
+            .record(sectors as u64 * SECTOR_BYTES as u64);
+        self.trace.record(TraceEntry {
+            at: now,
+            done,
+            kind: TraceKind::Copy,
+            chunk: dst,
+            sectors,
+        });
+        Ok(Completion {
+            submitted: now,
+            done,
+        })
+    }
+
+    /// Waits until every acknowledged write is durable on media.
+    pub fn flush(&mut self, now: SimTime) -> Completion {
+        Completion {
+            submitted: now,
+            done: self.cache.flush_deadline(now),
+        }
+    }
+
+    /// Waits until every acknowledged write *to one chunk* is durable.
+    pub fn flush_chunk(&mut self, now: SimTime, addr: ChunkAddr) -> Completion {
+        let done = self
+            .chunks
+            .get(self.chunk_index(addr))
+            .and_then(|c| c.drain_deadline())
+            .map_or(now, |d| d.max(now));
+        Completion {
+            submitted: now,
+            done,
+        }
+    }
+
+    /// Power failure at `now`: the write cache is lost, chunks roll back to
+    /// their durable prefixes, and resource timelines reset (the device
+    /// restarts idle). Mirrors `sudo kill -9` in the paper's Figure 3 setup.
+    pub fn crash(&mut self, now: SimTime) {
+        self.cache.crash();
+        for i in 0..self.chunks.len() {
+            let lost = self.chunks[i].crash(now);
+            if !lost.is_empty() {
+                let base = i as u64 * self.geo.sectors_per_chunk as u64;
+                self.media
+                    .discard_range(base + lost.start as u64, base + lost.end as u64);
+            }
+        }
+        for pu in &mut self.pus {
+            pu.reset();
+        }
+        for ch in &mut self.channels {
+            ch.reset();
+        }
+        self.host_link.reset();
+    }
+
+    /// Number of sectors with live payloads (testing/diagnostics).
+    pub fn stored_sectors(&self) -> usize {
+        self.media.len()
+    }
+}
+
+/// A device shared between actors: `Arc<Mutex<OcssdDevice>>` with ergonomic
+/// forwarding.
+#[derive(Clone)]
+pub struct SharedDevice(Arc<Mutex<OcssdDevice>>);
+
+impl SharedDevice {
+    /// Wraps a device for shared use.
+    pub fn new(device: OcssdDevice) -> Self {
+        SharedDevice(Arc::new(Mutex::new(device)))
+    }
+
+    /// Runs `f` with exclusive access to the device.
+    pub fn with<R>(&self, f: impl FnOnce(&mut OcssdDevice) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    /// Device geometry (copied out).
+    pub fn geometry(&self) -> Geometry {
+        *self.0.lock().geometry()
+    }
+
+    /// See [`OcssdDevice::write`].
+    pub fn write(&self, now: SimTime, ppa: Ppa, data: &[u8]) -> Result<Completion> {
+        self.0.lock().write(now, ppa, data)
+    }
+
+    /// See [`OcssdDevice::read`].
+    pub fn read(&self, now: SimTime, ppa: Ppa, sectors: u32, out: &mut [u8]) -> Result<Completion> {
+        self.0.lock().read(now, ppa, sectors, out)
+    }
+
+    /// See [`OcssdDevice::reset_chunk`].
+    pub fn reset_chunk(&self, now: SimTime, addr: ChunkAddr) -> Result<Completion> {
+        self.0.lock().reset_chunk(now, addr)
+    }
+
+    /// See [`OcssdDevice::copy`].
+    pub fn copy(&self, now: SimTime, srcs: &[Ppa], dst: ChunkAddr) -> Result<Completion> {
+        self.0.lock().copy(now, srcs, dst)
+    }
+
+    /// See [`OcssdDevice::flush`].
+    pub fn flush(&self, now: SimTime) -> Completion {
+        self.0.lock().flush(now)
+    }
+
+    /// See [`OcssdDevice::chunk_info`].
+    pub fn chunk_info(&self, addr: ChunkAddr) -> ChunkInfo {
+        self.0.lock().chunk_info(addr)
+    }
+
+    /// See [`OcssdDevice::crash`].
+    pub fn crash(&self, now: SimTime) {
+        self.0.lock().crash(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_device() -> OcssdDevice {
+        OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8))
+    }
+
+    fn unit_data(geo: &Geometry, fill: u8) -> Vec<u8> {
+        vec![fill; geo.ws_min_bytes()]
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn write_then_read_round_trips_data() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let data = unit_data(&geo, 0xAB);
+        let addr = ChunkAddr::new(0, 0, 0);
+        let w = dev.write(t(0), addr.ppa(0), &data).unwrap();
+        assert!(w.done > t(0));
+        let mut out = vec![0u8; geo.ws_min_bytes()];
+        let r = dev.read(w.done, addr.ppa(0), geo.ws_min, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(r.done > w.done);
+    }
+
+    #[test]
+    fn writes_must_hit_write_pointer() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let data = unit_data(&geo, 1);
+        let addr = ChunkAddr::new(0, 0, 0);
+        // Skipping ahead fails.
+        let err = dev.write(t(0), addr.ppa(geo.ws_min), &data).unwrap_err();
+        assert!(matches!(err, DeviceError::WritePointerMismatch { .. }));
+        dev.write(t(0), addr.ppa(0), &data).unwrap();
+        // Rewriting the start fails too.
+        let err = dev.write(t(1), addr.ppa(0), &data).unwrap_err();
+        assert!(matches!(err, DeviceError::WritePointerMismatch { .. }));
+    }
+
+    #[test]
+    fn writes_must_be_ws_min_multiples() {
+        let mut dev = small_device();
+        let addr = ChunkAddr::new(0, 0, 0);
+        let one_sector = vec![0u8; SECTOR_BYTES];
+        let err = dev.write(t(0), addr.ppa(0), &one_sector).unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidWriteSize { .. }));
+        let unaligned = vec![0u8; SECTOR_BYTES + 100];
+        let err = dev.write(t(0), addr.ppa(0), &unaligned).unwrap_err();
+        assert!(matches!(err, DeviceError::BufferSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn chunk_closes_when_full_and_rejects_more_writes() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(1, 1, 0);
+        let data = unit_data(&geo, 2);
+        let mut now = t(0);
+        for i in 0..geo.write_units_per_chunk() {
+            let c = dev.write(now, addr.ppa(i * geo.ws_min), &data).unwrap();
+            now = c.done;
+        }
+        assert_eq!(dev.chunk_info(addr).state, ChunkState::Closed);
+        let err = dev.write(now, addr.ppa(0), &data).unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::InvalidChunkState {
+                state: ChunkState::Closed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_of_unwritten_sectors_fails() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        let mut out = vec![0u8; SECTOR_BYTES];
+        let err = dev.read(t(0), addr.ppa(0), 1, &mut out).unwrap_err();
+        assert!(matches!(err, DeviceError::ReadUnwritten(_)));
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 3)).unwrap();
+        // Just past the write pointer still fails.
+        let err = dev
+            .read(t(1), addr.ppa(geo.ws_min), 1, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::ReadUnwritten(_)));
+    }
+
+    #[test]
+    fn reset_requires_written_chunk_and_enables_rewrite() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 5);
+        let err = dev.reset_chunk(t(0), addr).unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidChunkState { .. }));
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 4)).unwrap();
+        let c = dev.reset_chunk(t(1000), addr).unwrap();
+        assert_eq!(dev.chunk_info(addr).state, ChunkState::Free);
+        assert_eq!(dev.chunk_info(addr).wear, 1);
+        // Rewrite from sector 0 now succeeds.
+        dev.write(c.done, addr.ppa(0), &unit_data(&geo, 5)).unwrap();
+    }
+
+    #[test]
+    fn reset_discards_data() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 6)).unwrap();
+        let c = dev.reset_chunk(t(1000), addr).unwrap();
+        dev.write(c.done, addr.ppa(0), &unit_data(&geo, 7)).unwrap();
+        let mut out = vec![0u8; geo.ws_min_bytes()];
+        dev.read(c.done + SimDuration::from_secs(1), addr.ppa(0), geo.ws_min, &mut out)
+            .unwrap();
+        assert!(out.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn recent_writes_served_from_cache_then_media() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(2, 0, 0);
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 8)).unwrap();
+        let mut out = vec![0u8; SECTOR_BYTES];
+        // Immediately after the ack, the NAND program is still in flight:
+        // read must be a cache hit.
+        dev.read(w.done, addr.ppa(0), 1, &mut out).unwrap();
+        assert_eq!(dev.stats().cache_reads.ops(), 1);
+        assert_eq!(dev.stats().media_reads.ops(), 0);
+        // Long after, it comes from media.
+        dev.read(w.done + SimDuration::from_secs(1), addr.ppa(0), 1, &mut out)
+            .unwrap();
+        assert_eq!(dev.stats().media_reads.ops(), 1);
+    }
+
+    #[test]
+    fn cache_read_is_faster_than_media_read() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(2, 1, 0);
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 9)).unwrap();
+        let mut out = vec![0u8; SECTOR_BYTES];
+        let fast = dev.read(w.done, addr.ppa(0), 1, &mut out).unwrap();
+        let slow = dev
+            .read(w.done + SimDuration::from_secs(1), addr.ppa(0), 1, &mut out)
+            .unwrap();
+        assert!(fast.latency() < slow.latency());
+    }
+
+    #[test]
+    fn group_isolation_no_cross_group_queueing() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let mut out = vec![0u8; SECTOR_BYTES];
+        // Prime both groups with data and let it drain.
+        let a = ChunkAddr::new(0, 0, 0);
+        let b = ChunkAddr::new(1, 0, 0);
+        dev.write(t(0), a.ppa(0), &unit_data(&geo, 1)).unwrap();
+        dev.write(t(0), b.ppa(0), &unit_data(&geo, 1)).unwrap();
+        let settle = t(100_000);
+        // Reads to different groups at the same instant do not queue on each
+        // other: both see the same base latency.
+        let ra = dev.read(settle, a.ppa(0), 1, &mut out).unwrap();
+        let rb = dev.read(settle, b.ppa(0), 1, &mut out).unwrap();
+        assert_eq!(ra.latency(), rb.latency());
+        // Two reads on the same PU serialize.
+        let rc = dev.read(settle, a.ppa(0), 1, &mut out).unwrap();
+        let rd = dev.read(settle, a.ppa(0), 1, &mut out).unwrap();
+        assert!(rd.latency() > rc.latency());
+    }
+
+    #[test]
+    fn crash_rolls_back_unflushed_writes() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(3, 0, 0);
+        let w1 = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        // Write 2 units; crash right after the ack of the second, before its
+        // drain completes.
+        let w2 = dev
+            .write(w1.done, addr.ppa(geo.ws_min), &unit_data(&geo, 2))
+            .unwrap();
+        let flush_all = dev.flush(w2.done).done;
+        assert!(flush_all > w2.done, "drain still in flight at ack");
+        dev.crash(w2.done);
+        let info = dev.chunk_info(addr);
+        assert!(info.write_ptr < 2 * geo.ws_min, "tail write must be lost");
+        // The durable prefix survives and is readable.
+        if info.write_ptr > 0 {
+            let mut out = vec![0u8; SECTOR_BYTES];
+            dev.read(t(1_000_000), addr.ppa(0), 1, &mut out).unwrap();
+            assert_eq!(out[0], 1);
+        }
+        // Reads past the rolled-back pointer fail.
+        let mut out = vec![0u8; SECTOR_BYTES];
+        let err = dev
+            .read(t(1_000_000), addr.ppa(info.write_ptr), 1, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::ReadUnwritten(_)));
+    }
+
+    #[test]
+    fn flush_makes_writes_durable_across_crash() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(3, 1, 0);
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 7)).unwrap();
+        let f = dev.flush(w.done);
+        dev.crash(f.done);
+        assert_eq!(dev.chunk_info(addr).write_ptr, geo.ws_min);
+        let mut out = vec![0u8; SECTOR_BYTES];
+        dev.read(f.done, addr.ppa(0), 1, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn copy_moves_valid_sectors_without_host_transfer() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let src = ChunkAddr::new(4, 0, 0);
+        let dst = ChunkAddr::new(4, 1, 0);
+        let mut payload = unit_data(&geo, 0);
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = (i / SECTOR_BYTES) as u8;
+        }
+        let w = dev.write(t(0), src.ppa(0), &payload).unwrap();
+        let settle = w.done + SimDuration::from_secs(1);
+        let srcs: Vec<Ppa> = (0..geo.ws_min).map(|s| src.ppa(s)).collect();
+        let c = dev.copy(settle, &srcs, dst).unwrap();
+        assert!(c.done > settle);
+        let mut out = vec![0u8; geo.ws_min_bytes()];
+        dev.read(c.done, dst.ppa(0), geo.ws_min, &mut out).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(dev.stats().copies.ops(), 1);
+    }
+
+    #[test]
+    fn copy_respects_destination_write_pointer_discipline() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let src = ChunkAddr::new(4, 2, 0);
+        let dst = ChunkAddr::new(4, 3, 0);
+        dev.write(t(0), src.ppa(0), &unit_data(&geo, 1)).unwrap();
+        // Non-ws_min source count fails.
+        let srcs: Vec<Ppa> = (0..geo.ws_min - 1).map(|s| src.ppa(s)).collect();
+        let err = dev.copy(t(1_000_000), &srcs, dst).unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidWriteSize { .. }));
+        // Unwritten source fails.
+        let srcs: Vec<Ppa> = (0..geo.ws_min).map(|s| src.ppa(s + geo.ws_min)).collect();
+        let err = dev.copy(t(1_000_000), &srcs, dst).unwrap_err();
+        assert!(matches!(err, DeviceError::ReadUnwritten(_)));
+    }
+
+    #[test]
+    fn wear_out_retires_chunk() {
+        let mut geo = Geometry::small_slc();
+        geo.endurance = 3;
+        let mut cfg = DeviceConfig::with_geometry(geo);
+        cfg.cache = CacheConfig {
+            capacity_bytes: 1 << 30,
+        };
+        let mut dev = OcssdDevice::new(cfg);
+        let addr = ChunkAddr::new(0, 0, 0);
+        let data = vec![1u8; geo.ws_min_bytes()];
+        let mut now = t(0);
+        for round in 0..3 {
+            let w = dev.write(now, addr.ppa(0), &data).unwrap();
+            now = w.done + SimDuration::from_secs(1);
+            let r = dev.reset_chunk(now, addr);
+            now += SimDuration::from_secs(1);
+            if round < 2 {
+                r.unwrap();
+            } else {
+                assert!(matches!(r.unwrap_err(), DeviceError::MediaFailure(_)));
+            }
+        }
+        assert_eq!(dev.chunk_info(addr).state, ChunkState::Offline);
+        let events = dev.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, MediaEventKind::WearOut);
+        // Offline chunk rejects all I/O.
+        let err = dev.write(now, addr.ppa(0), &data).unwrap_err();
+        assert!(matches!(err, DeviceError::ChunkOffline(_)));
+    }
+
+    #[test]
+    fn factory_bad_chunks_are_offline() {
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        cfg.factory_bad_fraction = 0.05;
+        let dev = OcssdDevice::new(cfg);
+        let offline = dev
+            .report_all_chunks()
+            .iter()
+            .filter(|(_, i)| i.state == ChunkState::Offline)
+            .count();
+        let total = dev.geometry().total_chunks() as f64;
+        let frac = offline as f64 / total;
+        assert!(
+            (0.02..=0.10).contains(&frac),
+            "expected ~5% factory-bad, got {frac}"
+        );
+    }
+
+    #[test]
+    fn report_all_chunks_reflects_write_pointers() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(5, 2, 7);
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        let report = dev.report_all_chunks();
+        let (found, info) = report
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .expect("chunk in report");
+        assert_eq!(*found, addr);
+        assert_eq!(info.write_ptr, geo.ws_min);
+        assert_eq!(info.state, ChunkState::Open);
+    }
+
+    #[test]
+    fn sustained_writes_feel_cache_backpressure() {
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        cfg.cache = CacheConfig {
+            capacity_bytes: 4 * cfg.geometry.ws_min_bytes() as u64,
+        };
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        let data = unit_data(&geo, 1);
+        let addr = ChunkAddr::new(0, 0, 0);
+        let mut now = t(0);
+        let mut first_latency = None;
+        let mut last_latency = None;
+        for i in 0..geo.write_units_per_chunk().min(32) {
+            let c = dev.write(now, addr.ppa(i * geo.ws_min), &data).unwrap();
+            if first_latency.is_none() {
+                first_latency = Some(c.latency());
+            }
+            last_latency = Some(c.latency());
+            now = c.done;
+        }
+        assert!(
+            last_latency.unwrap() > first_latency.unwrap() * 5,
+            "back-to-back writes to one PU must eventually stall on the cache: first {:?}, last {:?}",
+            first_latency,
+            last_latency
+        );
+        assert!(dev.stats().cache_stalls > 0);
+    }
+
+    #[test]
+    fn shared_device_forwards() {
+        let dev = SharedDevice::new(small_device());
+        let geo = dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        dev.write(t(0), addr.ppa(0), &vec![3u8; geo.ws_min_bytes()])
+            .unwrap();
+        let mut out = vec![0u8; SECTOR_BYTES];
+        dev.read(t(10), addr.ppa(0), 1, &mut out).unwrap();
+        assert_eq!(out[0], 3);
+        assert_eq!(dev.chunk_info(addr).write_ptr, geo.ws_min);
+        let f = dev.flush(t(10));
+        dev.crash(f.done);
+        assert_eq!(dev.chunk_info(addr).write_ptr, geo.ws_min);
+    }
+
+    #[test]
+    fn read_vector_scatter_gathers() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        let a = ChunkAddr::new(0, 0, 0);
+        let b = ChunkAddr::new(7, 3, 0);
+        let mut pa = unit_data(&geo, 0);
+        pa[0] = 11;
+        let mut pb = unit_data(&geo, 0);
+        pb[0] = 22;
+        dev.write(t(0), a.ppa(0), &pa).unwrap();
+        dev.write(t(0), b.ppa(0), &pb).unwrap();
+        let settle = t(1_000_000);
+        let mut out = vec![0u8; 2 * SECTOR_BYTES];
+        let c = dev
+            .read_vector(settle, &[a.ppa(0), b.ppa(0)], &mut out)
+            .unwrap();
+        assert!(c.done > settle);
+        assert_eq!(out[0], 11);
+        assert_eq!(out[SECTOR_BYTES], 22);
+    }
+
+    #[test]
+    fn program_failure_reported_asynchronously() {
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        cfg.program_fail_prob = 1.0; // force it
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        // The write itself succeeds (write-back ack)...
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        // ...but the chunk is now offline and the event queue reports it.
+        assert_eq!(dev.chunk_info(addr).state, ChunkState::Offline);
+        let events = dev.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, MediaEventKind::ProgramFail);
+        assert!(dev.drain_events().is_empty());
+    }
+
+    #[test]
+    fn trace_records_operations() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        dev.set_trace(true);
+        let addr = ChunkAddr::new(0, 0, 0);
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        let mut out = vec![0u8; SECTOR_BYTES];
+        dev.read(t(1_000_000), addr.ppa(0), 1, &mut out).unwrap();
+        let snap = dev.trace_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, TraceKind::Write);
+        assert_eq!(snap[1].kind, TraceKind::MediaRead);
+    }
+}

@@ -1,0 +1,138 @@
+//! Sparse backing store for sector payloads.
+//!
+//! Data is stored per-sector, keyed by dense sector index, so a mostly-empty
+//! multi-gigabyte device costs memory proportional to what was written.
+//! Payload storage is exact: reads return precisely the bytes written, which
+//! the KV-store correctness tests depend on.
+
+use crate::SECTOR_BYTES;
+use std::collections::HashMap;
+
+/// Sparse sector-granularity payload store.
+#[derive(Default)]
+pub(crate) struct MediaStore {
+    sectors: HashMap<u64, Box<[u8]>>,
+}
+
+impl MediaStore {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores one sector's payload. `data` must be exactly one sector.
+    ///
+    /// Trailing zero bytes are trimmed before storing: log frames and other
+    /// padded writes are common on a `ws_min`-constrained device, and the
+    /// trim keeps simulated multi-gigabyte logs cheap in host memory.
+    pub(crate) fn write_sector(&mut self, index: u64, data: &[u8]) {
+        debug_assert_eq!(data.len(), SECTOR_BYTES);
+        let used = data
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |p| p + 1);
+        self.sectors.insert(index, data[..used].into());
+    }
+
+    /// Copies one sector's payload into `out` (zero-filling the trimmed
+    /// tail); returns false if unwritten.
+    pub(crate) fn read_sector(&self, index: u64, out: &mut [u8]) -> bool {
+        debug_assert_eq!(out.len(), SECTOR_BYTES);
+        match self.sectors.get(&index) {
+            Some(data) => {
+                out[..data.len()].copy_from_slice(data);
+                out[data.len()..].fill(0);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves a sector's payload to a new index (device-internal copy).
+    /// Returns false if the source is unwritten.
+    pub(crate) fn copy_sector(&mut self, src: u64, dst: u64) -> bool {
+        match self.sectors.get(&src) {
+            Some(data) => {
+                let cloned = data.clone();
+                self.sectors.insert(dst, cloned);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Discards payloads in `[start, end)` (chunk reset or crash rollback).
+    pub(crate) fn discard_range(&mut self, start: u64, end: u64) {
+        // Ranges are chunk-sized (thousands of sectors); direct removal is
+        // cheaper than scanning the whole map.
+        for idx in start..end {
+            self.sectors.remove(&idx);
+        }
+    }
+
+    /// Number of sectors currently stored.
+    pub(crate) fn len(&self) -> usize {
+        self.sectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sector(fill: u8) -> Vec<u8> {
+        vec![fill; SECTOR_BYTES]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = MediaStore::new();
+        m.write_sector(42, &sector(7));
+        let mut out = sector(0);
+        assert!(m.read_sector(42, &mut out));
+        assert_eq!(out, sector(7));
+    }
+
+    #[test]
+    fn unwritten_sector_reports_missing() {
+        let m = MediaStore::new();
+        let mut out = sector(0);
+        assert!(!m.read_sector(0, &mut out));
+    }
+
+    #[test]
+    fn overwrite_replaces_payload() {
+        let mut m = MediaStore::new();
+        m.write_sector(1, &sector(1));
+        m.write_sector(1, &sector(2));
+        let mut out = sector(0);
+        m.read_sector(1, &mut out);
+        assert_eq!(out[0], 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn copy_duplicates_payload() {
+        let mut m = MediaStore::new();
+        m.write_sector(5, &sector(9));
+        assert!(m.copy_sector(5, 10));
+        let mut out = sector(0);
+        assert!(m.read_sector(10, &mut out));
+        assert_eq!(out[0], 9);
+        assert!(!m.copy_sector(99, 100));
+    }
+
+    #[test]
+    fn discard_range_removes_exactly_range() {
+        let mut m = MediaStore::new();
+        for i in 0..10 {
+            m.write_sector(i, &sector(i as u8));
+        }
+        m.discard_range(3, 7);
+        let mut out = sector(0);
+        assert!(m.read_sector(2, &mut out));
+        assert!(!m.read_sector(3, &mut out));
+        assert!(!m.read_sector(6, &mut out));
+        assert!(m.read_sector(7, &mut out));
+        assert_eq!(m.len(), 6);
+    }
+}

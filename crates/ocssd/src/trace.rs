@@ -1,0 +1,117 @@
+//! Optional I/O trace recording for debugging and analysis.
+
+use crate::addr::ChunkAddr;
+use ox_sim::SimTime;
+
+/// Kind of traced operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Host read (from media).
+    MediaRead,
+    /// Host read (from controller cache).
+    CacheRead,
+    /// Host write.
+    Write,
+    /// Chunk reset.
+    Reset,
+    /// Device-internal copy.
+    Copy,
+}
+
+/// One traced operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Submission time.
+    pub at: SimTime,
+    /// Completion time.
+    pub done: SimTime,
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Chunk touched (first chunk for vector ops).
+    pub chunk: ChunkAddr,
+    /// Sectors involved.
+    pub sectors: u32,
+}
+
+/// Bounded trace buffer (drops oldest entries beyond the cap).
+#[derive(Debug)]
+pub(crate) struct TraceBuffer {
+    entries: std::collections::VecDeque<TraceEntry>,
+    cap: usize,
+    enabled: bool,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new(cap: usize) -> Self {
+        TraceBuffer {
+            entries: std::collections::VecDeque::new(),
+            cap,
+            enabled: false,
+        }
+    }
+
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.entries.clear();
+        }
+    }
+
+    pub(crate) fn record(&mut self, entry: TraceEntry) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<TraceEntry> {
+        self.entries.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(us: u64) -> TraceEntry {
+        TraceEntry {
+            at: SimTime::from_micros(us),
+            done: SimTime::from_micros(us + 1),
+            kind: TraceKind::Write,
+            chunk: ChunkAddr::new(0, 0, 0),
+            sectors: 24,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut tb = TraceBuffer::new(4);
+        tb.record(entry(1));
+        assert!(tb.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_buffer_keeps_most_recent_cap_entries() {
+        let mut tb = TraceBuffer::new(3);
+        tb.set_enabled(true);
+        for i in 0..5 {
+            tb.record(entry(i));
+        }
+        let snap = tb.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].at, SimTime::from_micros(2));
+        assert_eq!(snap[2].at, SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn disabling_clears() {
+        let mut tb = TraceBuffer::new(3);
+        tb.set_enabled(true);
+        tb.record(entry(1));
+        tb.set_enabled(false);
+        assert!(tb.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests: the device is checked against a simple in-memory
+//! model under random command sequences, and crash-consistency invariants are
+//! verified at arbitrary crash points.
+
+use ocssd::{ChunkAddr, ChunkState, DeviceConfig, OcssdDevice, SECTOR_BYTES};
+use ox_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn device() -> OcssdDevice {
+    OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8))
+}
+
+/// Model of one chunk: the payload bytes appended so far.
+#[derive(Default, Clone)]
+struct ChunkModel {
+    data: Vec<u8>,
+    wear: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `units` write units of a given fill byte to chunk `c`.
+    Write { c: u8, units: u8, fill: u8 },
+    /// Reset chunk `c`.
+    Reset { c: u8 },
+    /// Read a random written sector of chunk `c` and compare to the model.
+    Read { c: u8, frac: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 1u8..5, any::<u8>()).prop_map(|(c, units, fill)| Op::Write { c, units, fill }),
+        (0u8..8).prop_map(|c| Op::Reset { c }),
+        (0u8..8, any::<u8>()).prop_map(|(c, frac)| Op::Read { c, frac }),
+    ]
+}
+
+fn chunk_addr(i: u8) -> ChunkAddr {
+    // Spread the 8 model chunks across groups and PUs.
+    ChunkAddr::new((i % 4) as u32, (i / 4) as u32, (i % 3) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The device agrees with a straightforward append-only model under
+    /// arbitrary interleavings of writes, resets and reads.
+    #[test]
+    fn device_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut dev = device();
+        let geo = *dev.geometry();
+        let unit_bytes = geo.ws_min_bytes();
+        let chunk_bytes = geo.chunk_bytes() as usize;
+        let mut model: Vec<ChunkModel> = (0..8).map(|_| ChunkModel::default()).collect();
+        let mut now = SimTime::ZERO;
+
+        for op in ops {
+            now += SimDuration::from_micros(50);
+            match op {
+                Op::Write { c, units, fill } => {
+                    let addr = chunk_addr(c);
+                    let m = &mut model[c as usize];
+                    let bytes = units as usize * unit_bytes;
+                    let data = vec![fill; bytes];
+                    let start_sector = (m.data.len() / SECTOR_BYTES) as u32;
+                    let res = dev.write(now, addr.ppa(start_sector), &data);
+                    if m.data.len() + bytes <= chunk_bytes {
+                        let comp = res.expect("in-bounds sequential write succeeds");
+                        now = comp.done;
+                        m.data.extend_from_slice(&data);
+                    } else {
+                        prop_assert!(res.is_err(), "overflowing write must fail");
+                    }
+                }
+                Op::Reset { c } => {
+                    let addr = chunk_addr(c);
+                    let m = &mut model[c as usize];
+                    let res = dev.reset_chunk(now, addr);
+                    if m.data.is_empty() {
+                        prop_assert!(res.is_err(), "reset of free chunk must fail");
+                    } else {
+                        now = res.expect("reset of written chunk succeeds").done;
+                        m.data.clear();
+                        m.wear += 1;
+                    }
+                }
+                Op::Read { c, frac } => {
+                    let addr = chunk_addr(c);
+                    let m = &model[c as usize];
+                    let written_sectors = (m.data.len() / SECTOR_BYTES) as u32;
+                    if written_sectors == 0 {
+                        let mut out = vec![0u8; SECTOR_BYTES];
+                        prop_assert!(dev.read(now, addr.ppa(0), 1, &mut out).is_err());
+                    } else {
+                        let s = (frac as u32) % written_sectors;
+                        let mut out = vec![0u8; SECTOR_BYTES];
+                        let comp = dev.read(now, addr.ppa(s), 1, &mut out)
+                            .expect("read of written sector succeeds");
+                        now = comp.done;
+                        let off = s as usize * SECTOR_BYTES;
+                        prop_assert_eq!(&out[..], &m.data[off..off + SECTOR_BYTES]);
+                    }
+                }
+            }
+        }
+
+        // Final metadata agreement.
+        for (i, m) in model.iter().enumerate() {
+            let info = dev.chunk_info(chunk_addr(i as u8));
+            prop_assert_eq!(info.write_ptr as usize * SECTOR_BYTES, m.data.len());
+            prop_assert_eq!(info.wear, m.wear);
+            let expect_state = if m.data.is_empty() {
+                ChunkState::Free
+            } else if m.data.len() == chunk_bytes {
+                ChunkState::Closed
+            } else {
+                ChunkState::Open
+            };
+            prop_assert_eq!(info.state, expect_state);
+        }
+    }
+
+    /// After a crash at an arbitrary instant, every chunk's write pointer is
+    /// a prefix of what was acknowledged, flushed data always survives, and
+    /// all surviving sectors are readable with correct contents.
+    #[test]
+    fn crash_preserves_durable_prefix(
+        writes in proptest::collection::vec((0u8..8, 1u8..4, any::<u8>()), 1..20),
+        crash_frac in 0.0f64..1.0,
+        flush_before_crash in any::<bool>(),
+    ) {
+        let mut dev = device();
+        let geo = *dev.geometry();
+        let unit_bytes = geo.ws_min_bytes();
+        let chunk_bytes = geo.chunk_bytes() as usize;
+        let mut model: Vec<ChunkModel> = (0..8).map(|_| ChunkModel::default()).collect();
+        let mut now = SimTime::ZERO;
+        let mut acked: Vec<u32> = vec![0; 8];
+
+        for (c, units, fill) in writes {
+            now += SimDuration::from_micros(20);
+            let m = &mut model[c as usize];
+            let bytes = units as usize * unit_bytes;
+            if m.data.len() + bytes > chunk_bytes {
+                continue;
+            }
+            let start_sector = (m.data.len() / SECTOR_BYTES) as u32;
+            let data = vec![fill; bytes];
+            let comp = dev
+                .write(now, chunk_addr(c).ppa(start_sector), &data)
+                .expect("valid write");
+            now = comp.done;
+            m.data.extend_from_slice(&data);
+            acked[c as usize] = (m.data.len() / SECTOR_BYTES) as u32;
+        }
+
+        let crash_at = if flush_before_crash {
+            dev.flush(now).done
+        } else {
+            SimTime::from_nanos((now.as_nanos() as f64 * crash_frac) as u64)
+        };
+        dev.crash(crash_at);
+
+        for (i, m) in model.iter().enumerate() {
+            let addr = chunk_addr(i as u8);
+            let info = dev.chunk_info(addr);
+            prop_assert!(info.write_ptr <= acked[i], "never more than acked");
+            if flush_before_crash {
+                prop_assert_eq!(info.write_ptr, acked[i], "flushed data survives");
+            }
+            // Surviving sectors read back exactly the model prefix.
+            for s in 0..info.write_ptr {
+                let mut out = vec![0u8; SECTOR_BYTES];
+                dev.read(crash_at + SimDuration::from_secs(10), addr.ppa(s), 1, &mut out)
+                    .expect("durable sector readable after crash");
+                let off = s as usize * SECTOR_BYTES;
+                prop_assert_eq!(&out[..], &m.data[off..off + SECTOR_BYTES]);
+            }
+            // The first lost sector is unreadable.
+            if info.write_ptr < acked[i] {
+                let mut out = vec![0u8; SECTOR_BYTES];
+                prop_assert!(dev
+                    .read(crash_at + SimDuration::from_secs(10), addr.ppa(info.write_ptr), 1, &mut out)
+                    .is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,785 @@
+//! The LSS (log-structured storage) FTL.
+//!
+//! The host flushes fixed-size I/O buffers (8 MB by default) to an
+//! append-only logical log and reads back at page or byte granularity.
+//! Because the log is append-only, a byte offset maps to a logical page
+//! arithmetically; the page-level map then locates the physical sector.
+//! Reads smaller than a sector still cost a full 4 KB media read — the read
+//! amplification the paper's §4.2 calls out for sub-read-unit mapping.
+//!
+//! Reclamation is copyless: LLAMA-style log cleaning trims a prefix of the
+//! log, and chunks whose sectors are all invalid are simply reset.
+
+use crate::cpu::{ControllerCpu, CpuModel};
+use ocssd::{ChunkAddr, ChunkState, DeviceError, Geometry, SECTOR_BYTES};
+use ox_core::layout::{Layout, LayoutConfig};
+use ox_core::mapping::PageMap;
+use ox_core::provision::Provisioner;
+use ox_core::stats::FtlStats;
+use ox_core::wal::{self, Wal, WalError, WalRecord};
+use ox_core::Media;
+use ox_sim::SimTime;
+use std::sync::Arc;
+
+const TAG_BUFFER: u8 = 1;
+const TAG_TRIM: u8 = 2;
+
+/// A byte address in the logical LSS log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogAddr(pub u64);
+
+/// OX-ELEOS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EleosConfig {
+    /// LSS I/O buffer size (the write granularity); 8 MB in the paper.
+    pub buffer_bytes: usize,
+    /// Live log window the FTL must be able to address, in bytes.
+    pub window_bytes: u64,
+    /// Metadata layout.
+    pub layout: LayoutConfig,
+    /// Controller CPU model (Figure 7).
+    pub cpu: CpuModel,
+    /// Journal mapping updates through the WAL (off for pure-throughput
+    /// experiments).
+    pub journal: bool,
+}
+
+impl Default for EleosConfig {
+    fn default() -> Self {
+        EleosConfig {
+            // "Typically 8 MB" (§4.2); rounded to a multiple of the paper
+            // drive's 96 KB write unit (85 units ≈ 7.97 MB).
+            buffer_bytes: 85 * 96 * 1024,
+            window_bytes: 512 * 1024 * 1024,
+            layout: LayoutConfig::default(),
+            cpu: CpuModel::default(),
+            journal: true,
+        }
+    }
+}
+
+/// OX-ELEOS failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EleosError {
+    /// Buffer length must equal the configured LSS buffer size.
+    BadBuffer {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// Read beyond the log tail or before the trimmed head.
+    OutOfLog(LogAddr),
+    /// The live window is full; trim before appending.
+    WindowFull,
+    /// Device is out of free chunks.
+    OutOfSpace,
+    /// Log/metadata failure.
+    Wal(WalError),
+    /// Device command failure.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for EleosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EleosError::BadBuffer { expected, got } => {
+                write!(f, "LSS buffer must be {expected} bytes, got {got}")
+            }
+            EleosError::OutOfLog(a) => write!(f, "address {} outside the live log", a.0),
+            EleosError::WindowFull => write!(f, "live log window full; trim first"),
+            EleosError::OutOfSpace => write!(f, "device out of space"),
+            EleosError::Wal(e) => write!(f, "log error: {e}"),
+            EleosError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EleosError {}
+
+impl From<WalError> for EleosError {
+    fn from(e: WalError) -> Self {
+        EleosError::Wal(e)
+    }
+}
+
+impl From<DeviceError> for EleosError {
+    fn from(e: DeviceError) -> Self {
+        EleosError::Device(e)
+    }
+}
+
+/// The OX-ELEOS FTL.
+pub struct EleosFtl {
+    media: Arc<dyn Media>,
+    geo: Geometry,
+    config: EleosConfig,
+    map: PageMap,
+    prov: Provisioner,
+    wal: Wal,
+    cpu: ControllerCpu,
+    stats: FtlStats,
+    window_pages: u64,
+    /// Next page to append (absolute, monotonically increasing).
+    tail_lpn: u64,
+    /// First live page (absolute).
+    head_lpn: u64,
+    next_txid: u64,
+    /// Bytes the host asked for vs. bytes read from media (read
+    /// amplification of sub-sector reads).
+    bytes_requested: u64,
+    bytes_read_media: u64,
+}
+
+impl EleosFtl {
+    /// Formats the device for OX-ELEOS.
+    pub fn format(
+        media: Arc<dyn Media>,
+        config: EleosConfig,
+        now: SimTime,
+    ) -> Result<(EleosFtl, SimTime), EleosError> {
+        assert_eq!(
+            config.buffer_bytes % media.geometry().ws_min_bytes(),
+            0,
+            "LSS buffer must be a multiple of the device write unit"
+        );
+        let geo = media.geometry();
+        let layout = Layout::plan(&geo, config.layout);
+        let reserved = layout.reserved_linear(&geo);
+        let window_pages = config.window_bytes / SECTOR_BYTES as u64;
+        let (wal, done) = Wal::format(media.clone(), layout.wal_chunks.clone(), now)?;
+        Ok((
+            EleosFtl {
+                geo,
+                map: PageMap::new(geo, window_pages),
+                prov: Provisioner::fresh(geo, &reserved),
+                wal,
+                cpu: ControllerCpu::new(config.cpu),
+                stats: FtlStats::default(),
+                window_pages,
+                tail_lpn: 0,
+                head_lpn: 0,
+                next_txid: 1,
+                bytes_requested: 0,
+                bytes_read_media: 0,
+                media,
+                config,
+            },
+            done,
+        ))
+    }
+
+    /// Reopens OX-ELEOS after a crash: replays the journal to rebuild the
+    /// page map and the absolute log head/tail, drops map entries outside
+    /// the live window, and resumes provisioning from *report chunk*.
+    /// Returns the FTL, completion time, and buffers recovered.
+    pub fn open(
+        media: Arc<dyn Media>,
+        config: EleosConfig,
+        now: SimTime,
+    ) -> Result<(EleosFtl, SimTime, u64), EleosError> {
+        assert!(config.journal, "recovery requires the journal");
+        let geo = media.geometry();
+        let layout = Layout::plan(&geo, config.layout);
+        let reserved = layout.reserved_linear(&geo);
+        let window_pages = config.window_bytes / SECTOR_BYTES as u64;
+        let mut map = PageMap::new(geo, window_pages);
+
+        let (frames, mut t, _) = wal::scan(&media, &layout.wal_chunks, now);
+        let mut head_lpn = 0u64;
+        let mut tail_lpn = 0u64;
+        let mut buffers = 0u64;
+        // Single-threaded append path ⇒ each transaction sits whole within
+        // one frame sequence; replay committed ones in order.
+        let mut pending: std::collections::HashMap<u64, Vec<WalRecord>> =
+            std::collections::HashMap::new();
+        for frame in &frames {
+            for rec in &frame.records {
+                match rec {
+                    WalRecord::TxBegin { txid } => {
+                        pending.insert(*txid, Vec::new());
+                    }
+                    WalRecord::MapUpdate { txid, .. } | WalRecord::Blob { txid, .. } => {
+                        if let Some(v) = pending.get_mut(txid) {
+                            v.push(rec.clone());
+                        }
+                    }
+                    WalRecord::TxCommit { txid } => {
+                        let Some(ops) = pending.remove(txid) else { continue };
+                        for op in ops {
+                            match op {
+                                WalRecord::MapUpdate { lpn, ppa_linear, .. } => {
+                                    if lpn < window_pages && ppa_linear < geo.total_sectors() {
+                                        map.map(lpn, ocssd::Ppa::from_linear(&geo, ppa_linear));
+                                    }
+                                }
+                                WalRecord::Blob { tag, data, .. } if tag == TAG_BUFFER => {
+                                    if data.len() == 16 {
+                                        let first =
+                                            u64::from_le_bytes(data[..8].try_into().unwrap());
+                                        let pages =
+                                            u64::from_le_bytes(data[8..].try_into().unwrap());
+                                        tail_lpn = tail_lpn.max(first + pages);
+                                        buffers += 1;
+                                    }
+                                }
+                                WalRecord::Blob { tag, data, .. } if tag == TAG_TRIM => {
+                                    if data.len() == 8 {
+                                        head_lpn = head_lpn
+                                            .max(u64::from_le_bytes(data[..].try_into().unwrap()));
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Drop slots outside the live window (stale after trims).
+        for lpn in 0..window_pages {
+            let absolute_live = {
+                // A slot is live iff some absolute lpn in [head, tail) maps
+                // to it; with tail-head ≤ window, that is a single range
+                // check on the slot's possible absolutes.
+                let lo = head_lpn;
+                let hi = tail_lpn;
+                if hi <= lo {
+                    false
+                } else {
+                    // Smallest absolute ≥ lo congruent to lpn mod window.
+                    let base = lo - (lo % window_pages) + lpn;
+                    let cand = if base >= lo { base } else { base + window_pages };
+                    cand < hi
+                }
+            };
+            if !absolute_live {
+                map.unmap(lpn);
+            }
+        }
+        let prov = Provisioner::from_report(geo, &reserved, &media.report_all());
+        let (wal_new, wal_done) = Wal::format(media.clone(), layout.wal_chunks.clone(), t)?;
+        t = wal_done;
+        // Re-journal the surviving window so the fresh log is self-contained.
+        let mut ftl = EleosFtl {
+            geo,
+            map,
+            prov,
+            wal: wal_new,
+            cpu: ControllerCpu::new(config.cpu),
+            stats: FtlStats::default(),
+            window_pages,
+            tail_lpn,
+            head_lpn,
+            next_txid: 1,
+            bytes_requested: 0,
+            bytes_read_media: 0,
+            media,
+            config,
+        };
+        let txid = ftl.next_txid;
+        ftl.next_txid += 1;
+        ftl.wal.append(WalRecord::TxBegin { txid });
+        let mut blob = Vec::with_capacity(16);
+        blob.extend_from_slice(&ftl.head_lpn.to_le_bytes());
+        blob.extend_from_slice(&(ftl.tail_lpn - ftl.head_lpn).to_le_bytes());
+        ftl.wal.append(WalRecord::Blob {
+            txid,
+            tag: TAG_BUFFER,
+            data: blob,
+        });
+        for lpn in 0..window_pages {
+            if let Some(ppa) = ftl.map.lookup(lpn) {
+                ftl.wal.append(WalRecord::MapUpdate {
+                    txid,
+                    lpn,
+                    ppa_linear: ppa.linear(&geo),
+                });
+            }
+        }
+        ftl.wal.append(WalRecord::TxCommit { txid });
+        t = ftl.wal.commit(t)?;
+        Ok((ftl, t, buffers))
+    }
+
+    fn slot_of(&self, lpn: u64) -> u64 {
+        lpn % self.window_pages
+    }
+
+    /// Appends one LSS I/O buffer. Returns the log address of its first byte
+    /// and the completion time (CPU copies + device acknowledge + journal).
+    pub fn append_buffer(
+        &mut self,
+        now: SimTime,
+        data: &[u8],
+    ) -> Result<(LogAddr, SimTime), EleosError> {
+        if data.len() != self.config.buffer_bytes {
+            return Err(EleosError::BadBuffer {
+                expected: self.config.buffer_bytes,
+                got: data.len(),
+            });
+        }
+        let pages = (data.len() / SECTOR_BYTES) as u64;
+        if self.tail_lpn - self.head_lpn + pages > self.window_pages {
+            return Err(EleosError::WindowFull);
+        }
+
+        // The two data copies on the controller (Figure 7's bottleneck).
+        let t = self.cpu.charge_write(now, data.len() as u64);
+
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let first_lpn = self.tail_lpn;
+        if self.config.journal {
+            self.wal.append(WalRecord::TxBegin { txid });
+            // Buffer-boundary record: lets recovery rebuild the absolute
+            // log tail (map slots alone are modulo the window).
+            let mut blob = Vec::with_capacity(16);
+            blob.extend_from_slice(&first_lpn.to_le_bytes());
+            blob.extend_from_slice(&pages.to_le_bytes());
+            self.wal.append(WalRecord::Blob {
+                txid,
+                tag: TAG_BUFFER,
+                data: blob,
+            });
+        }
+
+        let unit_bytes = self.geo.ws_min_bytes();
+        let mut ack = t;
+        for (u, unit) in data.chunks(unit_bytes).enumerate() {
+            let slot = self
+                .prov
+                .allocate_horizontal()
+                .ok_or(EleosError::OutOfSpace)?;
+            let comp = self.media.write(t, slot.chunk.ppa(slot.sector), unit)?;
+            ack = ack.max(comp.done);
+            for k in 0..self.geo.ws_min as u64 {
+                let lpn = first_lpn + u as u64 * self.geo.ws_min as u64 + k;
+                let ppa = slot.chunk.ppa(slot.sector + k as u32);
+                self.map.map(self.slot_of(lpn), ppa);
+                if self.config.journal {
+                    self.wal.append(WalRecord::MapUpdate {
+                        txid,
+                        lpn: self.slot_of(lpn),
+                        ppa_linear: ppa.linear(&self.geo),
+                    });
+                }
+            }
+            self.stats.physical_user_writes.record(unit_bytes as u64);
+        }
+        self.tail_lpn += pages;
+        self.stats.user_writes.record(data.len() as u64);
+
+        let done = if self.config.journal {
+            self.wal.append(WalRecord::TxCommit { txid });
+            self.wal.commit(ack)?
+        } else {
+            ack
+        };
+        Ok((LogAddr(first_lpn * SECTOR_BYTES as u64), done))
+    }
+
+    /// Reads `out.len()` bytes at byte address `addr` in the log. Returns
+    /// the completion time. Sub-sector reads still fetch whole sectors from
+    /// media (read amplification).
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        addr: LogAddr,
+        out: &mut [u8],
+    ) -> Result<SimTime, EleosError> {
+        if out.is_empty() {
+            return Ok(now);
+        }
+        let start = addr.0;
+        let end = start + out.len() as u64;
+        let head = self.head_lpn * SECTOR_BYTES as u64;
+        let tail = self.tail_lpn * SECTOR_BYTES as u64;
+        if start < head || end > tail {
+            return Err(EleosError::OutOfLog(addr));
+        }
+        let first_lpn = start / SECTOR_BYTES as u64;
+        let last_lpn = (end - 1) / SECTOR_BYTES as u64;
+        let mut t = now;
+        let mut sector = vec![0u8; SECTOR_BYTES];
+        for lpn in first_lpn..=last_lpn {
+            let ppa = self
+                .map
+                .lookup(self.slot_of(lpn))
+                .ok_or(EleosError::OutOfLog(addr))?;
+            let comp = self.media.read(now, ppa, 1, &mut sector)?;
+            t = t.max(comp.done);
+            self.bytes_read_media += SECTOR_BYTES as u64;
+            // Copy the overlapping byte range.
+            let page_start = lpn * SECTOR_BYTES as u64;
+            let lo = start.max(page_start);
+            let hi = end.min(page_start + SECTOR_BYTES as u64);
+            let dst = (lo - start) as usize;
+            let src = (lo - page_start) as usize;
+            out[dst..dst + (hi - lo) as usize]
+                .copy_from_slice(&sector[src..src + (hi - lo) as usize]);
+        }
+        self.bytes_requested += out.len() as u64;
+        self.stats.user_reads.record(out.len() as u64);
+        Ok(t)
+    }
+
+    /// Trims the log up to `addr` (exclusive): LLAMA-style cleaning. Chunks
+    /// whose sectors are now all invalid are reset and recycled — no copies.
+    /// Returns the completion time of the resets.
+    pub fn trim_until(&mut self, now: SimTime, addr: LogAddr) -> Result<SimTime, EleosError> {
+        let new_head = (addr.0 / SECTOR_BYTES as u64).min(self.tail_lpn);
+        if new_head <= self.head_lpn {
+            return Ok(now);
+        }
+        let now = if self.config.journal {
+            // Log-before-action: the trim record must be durable before any
+            // chunk is erased, or recovery would resurrect trimmed buffers
+            // whose media is already gone.
+            let txid = self.next_txid;
+            self.next_txid += 1;
+            self.wal.append(WalRecord::TxBegin { txid });
+            self.wal.append(WalRecord::Blob {
+                txid,
+                tag: TAG_TRIM,
+                data: new_head.to_le_bytes().to_vec(),
+            });
+            self.wal.append(WalRecord::TxCommit { txid });
+            self.wal.commit(now)?
+        } else {
+            now
+        };
+        let mut touched: Vec<u64> = Vec::new();
+        for lpn in self.head_lpn..new_head {
+            if let Some(ppa) = self.map.unmap(self.slot_of(lpn)) {
+                let lin = ppa.chunk_addr().linear(&self.geo);
+                if !touched.contains(&lin) {
+                    touched.push(lin);
+                }
+            }
+        }
+        self.head_lpn = new_head;
+        // Erases are submitted together; different PUs erase in parallel.
+        let mut t = now;
+        for lin in touched {
+            let chunk = ChunkAddr::from_linear(&self.geo, lin);
+            if self.map.valid_count(lin) == 0
+                && self.media.chunk_info(chunk).state == ChunkState::Closed
+            {
+                t = t.max(self.media.reset(now, chunk)?.done);
+                self.prov.release_chunk(chunk);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Bytes currently live in the window.
+    pub fn live_bytes(&self) -> u64 {
+        (self.tail_lpn - self.head_lpn) * SECTOR_BYTES as u64
+    }
+
+    /// Absolute byte address of the log tail (next append position).
+    pub fn tail_addr(&self) -> LogAddr {
+        LogAddr(self.tail_lpn * SECTOR_BYTES as u64)
+    }
+
+    /// Absolute byte address of the log head (oldest live byte).
+    pub fn head_addr(&self) -> LogAddr {
+        LogAddr(self.head_lpn * SECTOR_BYTES as u64)
+    }
+
+    /// The controller CPU (Figure 7 utilization readout).
+    pub fn cpu(&self) -> &ControllerCpu {
+        &self.cpu
+    }
+
+    /// Read amplification so far: media bytes read ÷ bytes requested
+    /// (0 if nothing read).
+    pub fn read_amplification(&self) -> f64 {
+        if self.bytes_requested == 0 {
+            0.0
+        } else {
+            self.bytes_read_media as f64 / self.bytes_requested as f64
+        }
+    }
+
+    /// FTL statistics.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocssd::{DeviceConfig, OcssdDevice, SharedDevice};
+    use ox_core::OcssdMedia;
+    use ox_sim::SimDuration;
+
+    fn small_config() -> EleosConfig {
+        EleosConfig {
+            buffer_bytes: 768 * 1024, // 8 write units on the scaled drive
+            window_bytes: 64 * 1024 * 1024,
+            ..EleosConfig::default()
+        }
+    }
+
+    struct Rig {
+        ftl: EleosFtl,
+        t: SimTime,
+    }
+
+    fn rig() -> Rig {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (ftl, t) = EleosFtl::format(media, small_config(), SimTime::ZERO).unwrap();
+        Rig { ftl, t }
+    }
+
+    fn buffer(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| seed.wrapping_add((i / SECTOR_BYTES) as u8)).collect()
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let mut r = rig();
+        let buf = buffer(3, 768 * 1024);
+        let (addr, done) = r.ftl.append_buffer(r.t, &buf).unwrap();
+        assert_eq!(addr, LogAddr(0));
+        let mut out = vec![0u8; buf.len()];
+        let t = r
+            .ftl
+            .read(done + SimDuration::from_secs(1), addr, &mut out)
+            .unwrap();
+        assert_eq!(out, buf);
+        assert!(t > done);
+    }
+
+    #[test]
+    fn appends_advance_log_addresses() {
+        let mut r = rig();
+        let buf = buffer(1, 768 * 1024);
+        let (a1, t1) = r.ftl.append_buffer(r.t, &buf).unwrap();
+        let (a2, _) = r.ftl.append_buffer(t1, &buf).unwrap();
+        assert_eq!(a2.0 - a1.0, 768 * 1024);
+        assert_eq!(r.ftl.live_bytes(), 2 * 768 * 1024);
+    }
+
+    #[test]
+    fn byte_granularity_reads_cross_page_boundaries() {
+        let mut r = rig();
+        let buf = buffer(7, 768 * 1024);
+        let (_, done) = r.ftl.append_buffer(r.t, &buf).unwrap();
+        // 100 bytes straddling the first page boundary.
+        let mut out = vec![0u8; 100];
+        let start = SECTOR_BYTES as u64 - 50;
+        r.ftl
+            .read(done + SimDuration::from_secs(1), LogAddr(start), &mut out)
+            .unwrap();
+        assert_eq!(out, &buf[start as usize..start as usize + 100]);
+        // Two sectors were read from media for 100 requested bytes.
+        assert!(r.ftl.read_amplification() > 50.0);
+    }
+
+    #[test]
+    fn wrong_buffer_size_rejected() {
+        let mut r = rig();
+        let err = r.ftl.append_buffer(r.t, &[0u8; 4096]).unwrap_err();
+        assert!(matches!(err, EleosError::BadBuffer { .. }));
+    }
+
+    #[test]
+    fn reads_outside_live_log_rejected() {
+        let mut r = rig();
+        let mut out = vec![0u8; 10];
+        assert!(matches!(
+            r.ftl.read(r.t, LogAddr(0), &mut out),
+            Err(EleosError::OutOfLog(_))
+        ));
+        let buf = buffer(1, 768 * 1024);
+        let (_, done) = r.ftl.append_buffer(r.t, &buf).unwrap();
+        assert!(matches!(
+            r.ftl
+                .read(done, LogAddr(768 * 1024 - 5), &mut out),
+            Err(EleosError::OutOfLog(_))
+        ));
+    }
+
+    #[test]
+    fn window_fills_and_trim_reclaims() {
+        let mut r = rig();
+        let buf = buffer(2, 768 * 1024);
+        let mut t = r.t;
+        let buffers_in_window = 64 * 1024 * 1024 / (768 * 1024);
+        let mut last_addr = LogAddr(0);
+        for _ in 0..buffers_in_window {
+            let (a, done) = r.ftl.append_buffer(t, &buf).unwrap();
+            last_addr = a;
+            t = done;
+        }
+        assert!(matches!(
+            r.ftl.append_buffer(t, &buf),
+            Err(EleosError::WindowFull)
+        ));
+        // Trim the first half of the log: appends work again.
+        let t2 = r.ftl.trim_until(t, LogAddr(last_addr.0 / 2)).unwrap();
+        r.ftl.append_buffer(t2, &buf).unwrap();
+        // Trimmed bytes are unreadable.
+        let mut out = vec![0u8; 10];
+        assert!(matches!(
+            r.ftl.read(t2, LogAddr(0), &mut out),
+            Err(EleosError::OutOfLog(_))
+        ));
+    }
+
+    #[test]
+    fn trim_resets_fully_dead_chunks() {
+        // Chunks only become reset candidates once Closed; with units
+        // striped over 32 PUs (3 MB chunks), closing every PU's first chunk
+        // takes 32 × 3 MB = 96 MB — use a 192 MB window.
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let mut cfg = small_config();
+        cfg.window_bytes = 192 * 1024 * 1024;
+        let (ftl, t0) = EleosFtl::format(media, cfg, SimTime::ZERO).unwrap();
+        let mut r = Rig { ftl, t: t0 };
+        let buf = buffer(4, 768 * 1024);
+        let mut t = r.t;
+        let n = 192 * 1024 * 1024 / (768 * 1024); // fill the window
+        for _ in 0..n {
+            let (_, done) = r.ftl.append_buffer(t, &buf).unwrap();
+            t = done;
+        }
+        let free_before = r.ftl.prov.free_chunks();
+        let t2 = r
+            .ftl
+            .trim_until(t, LogAddr(r.ftl.live_bytes()))
+            .unwrap();
+        assert!(t2 > t, "resets take device time");
+        assert!(
+            r.ftl.prov.free_chunks() > free_before,
+            "dead chunks recycled without copies"
+        );
+        assert_eq!(r.ftl.live_bytes(), 0);
+    }
+
+    #[test]
+    fn cpu_charged_per_buffer() {
+        let mut r = rig();
+        let buf = buffer(1, 768 * 1024);
+        let before = r.ftl.cpu().bytes_copied();
+        let (_, t1) = r.ftl.append_buffer(r.t, &buf).unwrap();
+        assert_eq!(
+            r.ftl.cpu().bytes_copied() - before,
+            2 * 768 * 1024,
+            "two copies per write"
+        );
+        assert!(t1 > r.t);
+    }
+
+    #[test]
+    fn zero_copy_model_reduces_completion_time() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let mut cfg = small_config();
+        cfg.cpu.copies_per_write = 0;
+        let (mut zero, t0) = EleosFtl::format(media, cfg, SimTime::ZERO).unwrap();
+        let buf = buffer(1, 768 * 1024);
+        let (_, zc) = zero.append_buffer(t0, &buf).unwrap();
+
+        let mut r = rig();
+        let (_, full) = r.ftl.append_buffer(r.t, &buf).unwrap();
+        assert!(
+            zc.saturating_since(t0) < full.saturating_since(r.t),
+            "zero-copy completes faster"
+        );
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use ocssd::{DeviceConfig, OcssdDevice, SharedDevice};
+    use ox_core::OcssdMedia;
+    use ox_sim::SimDuration;
+
+    fn cfg() -> EleosConfig {
+        EleosConfig {
+            buffer_bytes: 768 * 1024,
+            window_bytes: 64 * 1024 * 1024,
+            ..EleosConfig::default()
+        }
+    }
+
+    #[test]
+    fn committed_buffers_survive_crash() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (mut ftl, mut t) = EleosFtl::format(media, cfg(), SimTime::ZERO).unwrap();
+        let mk = |seed: u8| -> Vec<u8> {
+            (0..768 * 1024).map(|i| seed.wrapping_add((i / 4096) as u8)).collect()
+        };
+        let mut addrs = Vec::new();
+        for s in 0..5u8 {
+            let (a, done) = ftl.append_buffer(t, &mk(s)).unwrap();
+            addrs.push(a);
+            t = done;
+        }
+        dev.crash(t);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (mut re, t2, buffers) = EleosFtl::open(media, cfg(), t).unwrap();
+        assert_eq!(buffers, 5);
+        assert_eq!(re.live_bytes(), 5 * 768 * 1024);
+        for (s, a) in addrs.iter().enumerate() {
+            let mut out = vec![0u8; 768 * 1024];
+            re.read(t2 + SimDuration::from_secs(1), *a, &mut out).unwrap();
+            assert_eq!(out, mk(s as u8), "buffer {s}");
+        }
+    }
+
+    #[test]
+    fn trims_survive_crash() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (mut ftl, mut t) = EleosFtl::format(media, cfg(), SimTime::ZERO).unwrap();
+        let buf = vec![3u8; 768 * 1024];
+        for _ in 0..4 {
+            t = ftl.append_buffer(t, &buf).unwrap().1;
+        }
+        // Trim the first two buffers, then crash.
+        t = ftl.trim_until(t, LogAddr(2 * 768 * 1024)).unwrap();
+        dev.crash(t);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (mut re, t2, _) = EleosFtl::open(media, cfg(), t).unwrap();
+        assert_eq!(re.live_bytes(), 2 * 768 * 1024);
+        // Trimmed region unreadable, live region readable.
+        let mut out = vec![0u8; 16];
+        assert!(matches!(
+            re.read(t2, LogAddr(0), &mut out),
+            Err(EleosError::OutOfLog(_))
+        ));
+        re.read(t2, LogAddr(2 * 768 * 1024), &mut out).unwrap();
+        assert_eq!(out[0], 3);
+        // And appending continues from the recovered tail.
+        let (addr, _) = re.append_buffer(t2, &buf).unwrap();
+        assert_eq!(addr.0, 4 * 768 * 1024);
+    }
+
+    #[test]
+    fn unsynced_tail_buffer_is_dropped() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let (mut ftl, t0) = EleosFtl::format(media, cfg(), SimTime::ZERO).unwrap();
+        let buf = vec![1u8; 768 * 1024];
+        let (_, t1) = ftl.append_buffer(t0, &buf).unwrap();
+        // Second append: crash at submission — its journal commit is not
+        // durable.
+        let _ = ftl.append_buffer(t1, &buf);
+        dev.crash(t1);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let (re, _, buffers) = EleosFtl::open(media, cfg(), t1).unwrap();
+        assert_eq!(buffers, 1, "torn tail buffer discarded");
+        assert_eq!(re.live_bytes(), 768 * 1024);
+    }
+}

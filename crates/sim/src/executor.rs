@@ -1,0 +1,428 @@
+//! Cooperative virtual-time actor executor.
+//!
+//! Actors are state machines advanced in order of their next virtual-time
+//! deadline (ties broken by scheduling order, so runs are deterministic).
+//! Workload clients, background flushers, compaction workers, checkpointers
+//! and garbage collectors are all actors; they share simulation state through
+//! `Arc<Mutex<…>>` handles and interact with contended hardware through
+//! [`crate::Timeline`]s.
+//!
+//! An actor's [`Actor::step`] performs one logical unit of work *synchronously
+//! in virtual time* (e.g. "issue one KV operation", "flush one memtable") and
+//! tells the executor when it next wants to run. Actors may also park
+//! ([`Step::Idle`]) until another actor wakes them via [`Ctx::wake`], or
+//! retire ([`Step::Done`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// Identifies a spawned actor within one [`Executor`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ActorId(usize);
+
+/// What an actor wants to do next after a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Run again at the given virtual time (clamped to be ≥ now).
+    RunAt(SimTime),
+    /// Park until some other actor calls [`Ctx::wake`].
+    Idle,
+    /// The actor has finished and will never run again.
+    Done,
+}
+
+/// A cooperative simulation participant.
+pub trait Actor {
+    /// Performs one unit of work at virtual time `now`.
+    fn step(&mut self, now: SimTime, ctx: &mut Ctx<'_>) -> Step;
+}
+
+/// Executor services available to an actor during a step.
+pub struct Ctx<'a> {
+    self_id: ActorId,
+    wakes: &'a mut Vec<(ActorId, SimTime)>,
+}
+
+impl Ctx<'_> {
+    /// The id of the actor currently stepping.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Requests that `target` runs no later than `at`. Wakes idle actors and
+    /// pulls scheduled ones earlier; never delays an actor.
+    pub fn wake(&mut self, target: ActorId, at: SimTime) {
+        self.wakes.push((target, at));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Scheduled(SimTime),
+    Idle,
+    Done,
+}
+
+struct Slot {
+    actor: Box<dyn Actor>,
+    state: SlotState,
+}
+
+/// Deterministic min-time actor scheduler.
+#[derive(Default)]
+pub struct Executor {
+    slots: Vec<Option<Slot>>,
+    // Reverse((time, seq, idx)): earliest time first, FIFO within a time.
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    seq: u64,
+    now: SimTime,
+    steps: u64,
+}
+
+impl Executor {
+    /// Creates an empty executor at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (the deadline of the most recently run actor).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total actor steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Spawns an actor whose first step runs at `at`.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>, at: SimTime) -> ActorId {
+        let idx = self.slots.len();
+        self.slots.push(Some(Slot {
+            actor,
+            state: SlotState::Scheduled(at),
+        }));
+        self.push(idx, at);
+        ActorId(idx)
+    }
+
+    /// Spawns an actor in the parked state; it runs only once woken.
+    pub fn spawn_idle(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let idx = self.slots.len();
+        self.slots.push(Some(Slot {
+            actor,
+            state: SlotState::Idle,
+        }));
+        ActorId(idx)
+    }
+
+    /// Wakes `target` to run no later than `at` (from outside a step).
+    pub fn wake(&mut self, target: ActorId, at: SimTime) {
+        self.apply_wake(target, at);
+    }
+
+    fn push(&mut self, idx: usize, at: SimTime) {
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn apply_wake(&mut self, target: ActorId, at: SimTime) {
+        let at = at.max(self.now);
+        let Some(slot) = self.slots.get_mut(target.0).and_then(Option::as_mut) else {
+            return;
+        };
+        match slot.state {
+            SlotState::Done => {}
+            SlotState::Idle => {
+                slot.state = SlotState::Scheduled(at);
+                self.push(target.0, at);
+            }
+            SlotState::Scheduled(cur) if at < cur => {
+                slot.state = SlotState::Scheduled(at);
+                self.push(target.0, at);
+            }
+            SlotState::Scheduled(_) => {}
+        }
+    }
+
+    /// Runs the earliest pending actor step, if any. Returns `false` when no
+    /// actor is scheduled (all idle, done, or none spawned).
+    pub fn step_one(&mut self) -> bool {
+        loop {
+            let Some(&Reverse((at, _, idx))) = self.heap.peek() else {
+                return false;
+            };
+            // Validate against slot state: stale heap entries are skipped.
+            let valid = matches!(
+                self.slots.get(idx).and_then(Option::as_ref),
+                Some(Slot { state: SlotState::Scheduled(t), .. }) if *t == at
+            );
+            self.heap.pop();
+            if !valid {
+                continue;
+            }
+            self.now = self.now.max(at);
+            self.steps += 1;
+
+            let mut slot = self.slots[idx].take().expect("validated above");
+            let mut wakes = Vec::new();
+            let mut ctx = Ctx {
+                self_id: ActorId(idx),
+                wakes: &mut wakes,
+            };
+            let step = slot.actor.step(self.now, &mut ctx);
+            match step {
+                Step::RunAt(t) => {
+                    let t = t.max(self.now);
+                    slot.state = SlotState::Scheduled(t);
+                    self.slots[idx] = Some(slot);
+                    self.push(idx, t);
+                }
+                Step::Idle => {
+                    slot.state = SlotState::Idle;
+                    self.slots[idx] = Some(slot);
+                }
+                Step::Done => {
+                    slot.state = SlotState::Done;
+                    self.slots[idx] = Some(slot);
+                }
+            }
+            for (target, t) in wakes {
+                self.apply_wake(target, t);
+            }
+            return true;
+        }
+    }
+
+    /// Runs until no actor is scheduled. Returns the final virtual time.
+    ///
+    /// Panics if more than `u64::MAX` steps execute (practically never); use
+    /// [`Executor::run_until`] to bound long simulations.
+    pub fn run(&mut self) -> SimTime {
+        while self.step_one() {}
+        self.now
+    }
+
+    /// Runs steps whose deadline is ≤ `deadline`; later work stays queued.
+    /// Returns the virtual time reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.heap.peek() {
+                Some(&Reverse((at, _, _))) if at <= deadline => {
+                    self.step_one();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline.min(self.next_deadline().unwrap_or(deadline)));
+        self.now
+    }
+
+    /// Deadline of the next scheduled step, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        // Peek may be stale; scan slots instead (cheap: slot count is small).
+        self.slots
+            .iter()
+            .flatten()
+            .filter_map(|s| match s.state {
+                SlotState::Scheduled(t) => Some(t),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// True if the actor has retired.
+    pub fn is_done(&self, id: ActorId) -> bool {
+        matches!(
+            self.slots.get(id.0).and_then(Option::as_ref),
+            Some(Slot {
+                state: SlotState::Done,
+                ..
+            })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Ticker {
+        period: SimDuration,
+        remaining: u32,
+        log: Arc<parking_lot::Mutex<Vec<(u64, &'static str)>>>,
+        name: &'static str,
+    }
+
+    impl Actor for Ticker {
+        fn step(&mut self, now: SimTime, _ctx: &mut Ctx<'_>) -> Step {
+            self.log.lock().push((now.as_nanos(), self.name));
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.remaining -= 1;
+            Step::RunAt(now + self.period)
+        }
+    }
+
+    #[test]
+    fn actors_interleave_in_time_order() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut ex = Executor::new();
+        ex.spawn(
+            Box::new(Ticker {
+                period: SimDuration::from_nanos(10),
+                remaining: 3,
+                log: log.clone(),
+                name: "a",
+            }),
+            SimTime::ZERO,
+        );
+        ex.spawn(
+            Box::new(Ticker {
+                period: SimDuration::from_nanos(25),
+                remaining: 1,
+                log: log.clone(),
+                name: "b",
+            }),
+            SimTime::from_nanos(5),
+        );
+        let end = ex.run();
+        let got = log.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                (0, "a"),
+                (5, "b"),
+                (10, "a"),
+                (20, "a"),
+                // Both reach t=30; "b" scheduled its t=30 step first (at t=5),
+                // so FIFO tie-breaking runs it first.
+                (30, "b"),
+                (30, "a"),
+            ]
+        );
+        assert_eq!(end, SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn fifo_within_equal_deadlines() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut ex = Executor::new();
+        for name in ["x", "y", "z"] {
+            ex.spawn(
+                Box::new(Ticker {
+                    period: SimDuration::ZERO,
+                    remaining: 0,
+                    log: log.clone(),
+                    name,
+                }),
+                SimTime::from_nanos(7),
+            );
+        }
+        ex.run();
+        let names: Vec<_> = log.lock().iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    struct Waker {
+        target: ActorId,
+    }
+    impl Actor for Waker {
+        fn step(&mut self, now: SimTime, ctx: &mut Ctx<'_>) -> Step {
+            ctx.wake(self.target, now + SimDuration::from_nanos(3));
+            Step::Done
+        }
+    }
+
+    struct Sleeper {
+        hits: Arc<AtomicU64>,
+    }
+    impl Actor for Sleeper {
+        fn step(&mut self, now: SimTime, _ctx: &mut Ctx<'_>) -> Step {
+            self.hits.fetch_add(now.as_nanos(), Ordering::Relaxed);
+            Step::Idle
+        }
+    }
+
+    #[test]
+    fn wake_rouses_idle_actor() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut ex = Executor::new();
+        let sleeper = ex.spawn_idle(Box::new(Sleeper { hits: hits.clone() }));
+        ex.spawn(Box::new(Waker { target: sleeper }), SimTime::from_nanos(10));
+        ex.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 13);
+    }
+
+    #[test]
+    fn wake_pulls_scheduled_actor_earlier_but_never_later() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut ex = Executor::new();
+        let t = ex.spawn(
+            Box::new(Ticker {
+                period: SimDuration::ZERO,
+                remaining: 0,
+                log: log.clone(),
+                name: "t",
+            }),
+            SimTime::from_nanos(100),
+        );
+        ex.wake(t, SimTime::from_nanos(40));
+        ex.wake(t, SimTime::from_nanos(60)); // later wake: no effect
+        ex.run();
+        assert_eq!(log.lock().clone(), vec![(40, "t")]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut ex = Executor::new();
+        ex.spawn(
+            Box::new(Ticker {
+                period: SimDuration::from_nanos(10),
+                remaining: 9,
+                log: log.clone(),
+                name: "a",
+            }),
+            SimTime::ZERO,
+        );
+        ex.run_until(SimTime::from_nanos(35));
+        assert_eq!(log.lock().len(), 4); // t=0,10,20,30
+        ex.run();
+        assert_eq!(log.lock().len(), 10);
+    }
+
+    #[test]
+    fn done_actor_ignores_wakes() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut ex = Executor::new();
+        let id = ex.spawn(
+            Box::new(Ticker {
+                period: SimDuration::ZERO,
+                remaining: 0,
+                log: log.clone(),
+                name: "once",
+            }),
+            SimTime::ZERO,
+        );
+        ex.run();
+        assert!(ex.is_done(id));
+        ex.wake(id, SimTime::from_nanos(50));
+        ex.run();
+        assert_eq!(log.lock().len(), 1);
+    }
+
+    #[test]
+    fn step_count_and_empty_run() {
+        let mut ex = Executor::new();
+        assert!(!ex.step_one());
+        assert_eq!(ex.run(), SimTime::ZERO);
+        assert_eq!(ex.steps(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Log-linear histogram (HdrHistogram-style) for latency distributions.
+//!
+//! Values are bucketed with a fixed number of linear sub-buckets per power of
+//! two, giving a bounded relative error (≤ 1/SUB_BUCKETS) at every magnitude
+//! while using a few KB of memory. Good enough for reporting p50/p95/p99
+//! latencies of simulated I/O.
+
+const SUB_BITS: u32 = 5; // 32 sub-buckets per octave => <= ~3% relative error
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// A log-linear histogram of `u64` samples (e.g. latency in nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    // Values < SUB_BUCKETS map to themselves (exact); larger values use
+    // (octave, sub-bucket) positioning.
+    if value < SUB_BUCKETS {
+        value as usize
+    } else {
+        let octave = 63 - value.leading_zeros();
+        let shift = octave - SUB_BITS;
+        let sub = (value >> shift) - SUB_BUCKETS;
+        (((octave - SUB_BITS + 1) as u64 * SUB_BUCKETS) + sub) as usize
+    }
+}
+
+#[inline]
+fn bucket_high(index: usize) -> u64 {
+    // Upper bound (inclusive representative) of a bucket.
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        index
+    } else {
+        let octave = index / SUB_BUCKETS - 1 + SUB_BITS as u64;
+        let sub = index % SUB_BUCKETS + SUB_BUCKETS;
+        let shift = octave - SUB_BITS as u64;
+        ((sub + 1) << shift) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (upper bucket bound, so the result is
+    /// ≥ the true quantile but within bucket resolution). Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        assert_eq!(h.quantile(0.0), 0);
+        // Median of 0..32 is 15 or 16 depending on rank convention.
+        let med = h.quantile(0.5);
+        assert!((15..=16).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for i in 1..=100_000u64 {
+            h.record(i * 37); // up to 3.7M
+        }
+        for q in [0.5f64, 0.9, 0.99, 0.999, 1.0] {
+            let true_val = ((q * 100_000.0).ceil() as u64).max(1) * 37;
+            let est = h.quantile(q);
+            let rel = (est as f64 - true_val as f64).abs() / true_val as f64;
+            assert!(rel < 0.04, "q={q} est={est} true={true_val} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn mean_min_max_track_samples() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn bucket_round_trip_monotonic() {
+        // bucket_high is monotonically nondecreasing and >= any member value.
+        let mut prev = 0;
+        for v in (0..22).map(|e| 1u64 << e).chain([3, 77, 12345, 999_999]) {
+            let idx = bucket_index(v);
+            let hi = bucket_high(idx);
+            assert!(hi >= v, "v={v} idx={idx} hi={hi}");
+            let _ = prev;
+            prev = hi;
+        }
+    }
+
+    #[test]
+    fn huge_values_supported() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) >= u64::MAX / 2);
+    }
+}

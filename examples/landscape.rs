@@ -1,0 +1,38 @@
+//! Renders the paper's Figure 1: the SSD landscape organized by FTL
+//! placement and FTL abstraction.
+//!
+//! Run with: `cargo run --example landscape`
+
+use ox_workbench::ox_core::landscape::{figure1_models, render_figure1, Placement};
+
+fn main() {
+    let models = figure1_models();
+    println!("Figure 1 — SSD models by FTL placement × FTL abstraction\n");
+    print!("{}", render_figure1(&models));
+
+    println!("\nper-model detail (chip classes, integration, transparency, access):");
+    for m in &models {
+        println!(
+            "  {:<24} {:?} × {:?}; chips {:?}; {:?}, {:?}, accessed from {:?}{}",
+            m.name,
+            m.placement,
+            m.abstraction,
+            m.chips,
+            m.integration,
+            m.transparency,
+            m.access,
+            if m.available { "" } else { "  (not fully available)" },
+        );
+    }
+
+    let controller_app = models
+        .iter()
+        .filter(|m| m.placement == Placement::Controller)
+        .count();
+    println!(
+        "\n{} of {} models place the FTL on the controller — the quadrant the paper argues \
+         Open-Channel SSDs serve best (application-specific FTLs on computational storage).",
+        controller_app,
+        models.len()
+    );
+}
