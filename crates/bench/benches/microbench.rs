@@ -1,10 +1,14 @@
-//! Criterion microbenchmarks for the hot paths of the stack: device command
+//! Wall-clock microbenchmarks for the hot paths of the stack: device command
 //! processing, FTL mapping, WAL framing, bloom filters and SSTable blocks.
 //!
 //! These measure *host CPU cost* of the simulation/FTL code (real time),
-//! complementing the virtual-time experiment binaries.
+//! complementing the virtual-time experiment binaries. The harness is
+//! self-contained (no criterion): each benchmark is calibrated to run for
+//! roughly `TARGET_MILLIS` of wall time and reports ns/op plus throughput
+//! where a per-op byte count applies.
+//!
+//! Usage: `cargo bench -p ox-bench` (add `-- <filter>` to run a subset).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lsmkv::{BlockBuilder, BloomFilter};
 use ocssd::{ChunkAddr, DeviceConfig, OcssdDevice, Ppa, SECTOR_BYTES};
 use ox_core::codec::crc32c;
@@ -12,20 +16,76 @@ use ox_core::mapping::PageMap;
 use ox_core::wal::{Wal, WalRecord};
 use ox_core::{Media, OcssdMedia};
 use ox_sim::{Prng, SimDuration, SimTime};
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_device(c: &mut Criterion) {
-    let mut g = c.benchmark_group("device");
+const CALIBRATION_ITERS: u64 = 200;
+const TARGET_MILLIS: u64 = 200;
+const MAX_ITERS: u64 = 20_000_000;
+
+struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        // `cargo bench` passes `--bench`; the first free argument filters by
+        // benchmark name, as with criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .map(|s| s.to_lowercase());
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            "benchmark", "iters", "ns/op", "MB/s"
+        );
+        Harness { filter }
+    }
+
+    /// Runs `f` repeatedly and reports the mean wall-clock cost per call.
+    /// `bytes_per_op` (when nonzero) additionally reports throughput.
+    fn bench(&self, name: &str, bytes_per_op: u64, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.to_lowercase().contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: estimate the per-op cost, then size the measured run.
+        let start = Instant::now();
+        for _ in 0..CALIBRATION_ITERS {
+            f();
+        }
+        let per_op = start.elapsed().as_nanos().max(1) as u64 / CALIBRATION_ITERS;
+        let iters = (TARGET_MILLIS * 1_000_000 / per_op.max(1)).clamp(CALIBRATION_ITERS, MAX_ITERS);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+        let throughput = if bytes_per_op > 0 {
+            let mb = (iters * bytes_per_op) as f64 / (1 << 20) as f64;
+            format!("{:.0}", mb / elapsed.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+        println!("{name:<28} {iters:>12} {ns_per_op:>12.1} {throughput:>12}");
+    }
+}
+
+fn bench_device(h: &Harness) {
     let geo = ocssd::Geometry::paper_tlc_scaled(22, 8);
-    g.throughput(Throughput::Bytes(geo.ws_min_bytes() as u64));
+    let unit = geo.ws_min_bytes();
 
-    g.bench_function("write_96k_unit", |b| {
+    {
         let mut dev = OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8));
-        let data = vec![7u8; geo.ws_min_bytes()];
+        let data = vec![7u8; unit];
         let mut t = SimTime::ZERO;
         let mut chunk_lin = 0u64;
         let mut sector = 0u32;
-        b.iter(|| {
+        h.bench("device/write_96k_unit", unit as u64, || {
             let addr = ChunkAddr::from_linear(&geo, chunk_lin);
             let c = dev.write(t, addr.ppa(sector), &data).unwrap();
             t = c.done;
@@ -39,139 +99,128 @@ fn bench_device(c: &mut Criterion) {
                     t = SimTime::ZERO;
                 }
             }
-            black_box(c.done)
+            black_box(c.done);
         });
-    });
+    }
 
-    g.bench_function("read_96k_block", |b| {
+    {
         let mut dev = OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8));
-        let data = vec![7u8; geo.ws_min_bytes()];
+        let data = vec![7u8; unit];
         let addr = ChunkAddr::new(0, 0, 0);
         dev.write(SimTime::ZERO, addr.ppa(0), &data).unwrap();
-        let mut out = vec![0u8; geo.ws_min_bytes()];
+        let mut out = vec![0u8; unit];
         let t = SimTime::from_secs(10);
-        b.iter(|| {
+        h.bench("device/read_96k_block", unit as u64, || {
             let c = dev.read(t, addr.ppa(0), geo.ws_min, &mut out).unwrap();
-            black_box(c.done)
+            black_box(c.done);
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mapping");
+fn bench_mapping(h: &Harness) {
     let geo = ocssd::Geometry::paper_tlc_scaled(22, 8);
 
-    g.bench_function("map_update", |b| {
+    {
         let mut map = PageMap::new(geo, 1 << 20);
         let mut rng = Prng::seed_from_u64(1);
-        b.iter(|| {
+        h.bench("mapping/map_update", 0, || {
             let lpn = rng.gen_range(1 << 20);
             let ppa = Ppa::from_linear(&geo, rng.gen_range(geo.total_sectors()));
-            black_box(map.map(lpn, ppa))
+            black_box(map.map(lpn, ppa));
         });
-    });
+    }
 
-    g.bench_function("lookup", |b| {
+    {
         let mut map = PageMap::new(geo, 1 << 20);
         let mut rng = Prng::seed_from_u64(2);
         for i in 0..(1 << 18) {
             map.map(i, Ppa::from_linear(&geo, i * 7 % geo.total_sectors()));
         }
-        b.iter(|| {
+        h.bench("mapping/lookup", 0, || {
             let lpn = rng.gen_range(1 << 18);
-            black_box(map.lookup(lpn))
+            black_box(map.lookup(lpn));
         });
-    });
+    }
 
-    g.bench_function("snapshot_256k_entries", |b| {
+    {
         let mut map = PageMap::new(geo, 1 << 20);
         for i in 0..(1 << 18) {
             map.map(i, Ppa::from_linear(&geo, i * 7 % geo.total_sectors()));
         }
-        b.iter(|| black_box(map.snapshot().len()));
-    });
-    g.finish();
-}
-
-fn bench_wal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wal");
-    g.bench_function("commit_256_records", |b| {
-        let dev =
-            ocssd::SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
-        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
-        let chunks: Vec<ChunkAddr> = (0..16).map(|i| ChunkAddr::new(0, 0, i)).collect();
-        let (mut wal, mut t) = Wal::format(media, chunks, SimTime::ZERO).unwrap();
-        let mut txid = 0u64;
-        b.iter(|| {
-            txid += 1;
-            wal.append(WalRecord::TxBegin { txid });
-            for i in 0..256u64 {
-                wal.append(WalRecord::MapUpdate {
-                    txid,
-                    lpn: i,
-                    ppa_linear: i * 13,
-                });
-            }
-            wal.append(WalRecord::TxCommit { txid });
-            t = wal.commit(t).unwrap();
-            t = wal.truncate(t, wal.durable_lsn()).unwrap();
-            black_box(t)
-        });
-    });
-    g.finish();
-}
-
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
-    for size in [64usize, 4096, 96 * 1024] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("crc32c_{size}"), |b| {
-            let data = vec![0xA5u8; size];
-            b.iter(|| black_box(crc32c(&data)));
+        h.bench("mapping/snapshot_256k", 0, || {
+            black_box(map.snapshot().len());
         });
     }
-    g.finish();
 }
 
-fn bench_lsm_components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lsm");
+fn bench_wal(h: &Harness) {
+    let dev = ocssd::SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+    let chunks: Vec<ChunkAddr> = (0..16).map(|i| ChunkAddr::new(0, 0, i)).collect();
+    let (mut wal, mut t) = Wal::format(media, chunks, SimTime::ZERO).unwrap();
+    let mut txid = 0u64;
+    h.bench("wal/commit_256_records", 0, || {
+        txid += 1;
+        wal.append(WalRecord::TxBegin { txid });
+        for i in 0..256u64 {
+            wal.append(WalRecord::MapUpdate {
+                txid,
+                lpn: i,
+                ppa_linear: i * 13,
+            });
+        }
+        wal.append(WalRecord::TxCommit { txid });
+        t = wal.commit(t).unwrap();
+        t = wal.truncate(t, wal.durable_lsn()).unwrap();
+        black_box(t);
+    });
+}
 
-    g.bench_function("bloom_insert", |b| {
+fn bench_codec(h: &Harness) {
+    for size in [64usize, 4096, 96 * 1024] {
+        let data = vec![0xA5u8; size];
+        h.bench(&format!("codec/crc32c_{size}"), size as u64, || {
+            black_box(crc32c(&data));
+        });
+    }
+}
+
+fn bench_lsm_components(h: &Harness) {
+    {
         let mut f = BloomFilter::new(100_000, 10);
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("lsm/bloom_insert", 0, || {
             i += 1;
             f.insert(&i.to_le_bytes());
         });
-    });
+    }
 
-    g.bench_function("bloom_probe", |b| {
+    {
         let mut f = BloomFilter::new(100_000, 10);
         for i in 0..100_000u64 {
             f.insert(&i.to_le_bytes());
         }
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("lsm/bloom_probe", 0, || {
             i += 1;
-            black_box(f.maybe_contains(&i.to_le_bytes()))
+            black_box(f.maybe_contains(&i.to_le_bytes()));
         });
-    });
+    }
 
-    g.bench_function("block_build_96k", |b| {
+    {
         let value = vec![0u8; 1024];
-        b.iter(|| {
+        h.bench("lsm/block_build_96k", 96 * 1024, || {
             let mut builder = BlockBuilder::new(96 * 1024);
             let mut i = 0u64;
             while builder.fits(&i.to_be_bytes(), Some(&value)) {
                 builder.add(&i.to_be_bytes(), Some(&value));
                 i += 1;
             }
-            black_box(builder.finish().len())
+            black_box(builder.finish().len());
         });
-    });
+    }
 
-    g.bench_function("block_find", |b| {
+    {
         let value = vec![0u8; 1024];
         let mut builder = BlockBuilder::new(96 * 1024);
         let mut i = 0u64;
@@ -181,51 +230,46 @@ fn bench_lsm_components(c: &mut Criterion) {
         }
         let data = builder.finish();
         let mut probe = 0u64;
-        b.iter(|| {
+        h.bench("lsm/block_find", 0, || {
             probe = (probe + 1) % i;
-            black_box(lsmkv::BlockIter::find(&data, &probe.to_be_bytes()))
+            black_box(lsmkv::BlockIter::find(&data, &probe.to_be_bytes()));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_gc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gc");
-    g.sample_size(20);
-    g.bench_function("block_ftl_gc_pass", |b| {
-        // Pre-build an FTL with garbage, then measure collection passes.
-        use ox_block::{BlockFtl, BlockFtlConfig};
-        let dev =
-            ocssd::SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
-        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
-        let (mut ftl, mut t) =
-            BlockFtl::format(media, BlockFtlConfig::with_capacity(64 << 20), SimTime::ZERO)
-                .unwrap();
-        let buf = vec![0u8; 96 * SECTOR_BYTES];
-        for round in 0..2 {
-            let mut lpn = 0u64;
-            while lpn + 96 <= (64 << 20) / SECTOR_BYTES as u64 {
-                t = ftl.write(t, lpn, &buf).unwrap().done;
-                lpn += 96;
-            }
-            let _ = round;
+fn bench_gc(h: &Harness) {
+    // Pre-build an FTL with garbage, then measure collection passes.
+    use ox_block::{BlockFtl, BlockFtlConfig};
+    let dev = ocssd::SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+    let (mut ftl, mut t) = BlockFtl::format(
+        media,
+        BlockFtlConfig::with_capacity(64 << 20),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let buf = vec![0u8; 96 * SECTOR_BYTES];
+    for round in 0..2 {
+        let mut lpn = 0u64;
+        while lpn + 96 <= (64 << 20) / SECTOR_BYTES as u64 {
+            t = ftl.write(t, lpn, &buf).unwrap().done;
+            lpn += 96;
         }
-        b.iter(|| {
-            let pass = ftl.gc_once(t).unwrap();
-            t = pass.done.max(t) + SimDuration::from_micros(10);
-            black_box(pass.victims)
-        });
+        let _ = round;
+    }
+    h.bench("gc/block_ftl_gc_pass", 0, || {
+        let pass = ftl.gc_once(t).unwrap();
+        t = pass.done.max(t) + SimDuration::from_micros(10);
+        black_box(pass.victims);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_device,
-    bench_mapping,
-    bench_wal,
-    bench_codec,
-    bench_lsm_components,
-    bench_gc
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    bench_device(&h);
+    bench_mapping(&h);
+    bench_wal(&h);
+    bench_codec(&h);
+    bench_lsm_components(&h);
+    bench_gc(&h);
+}

@@ -13,7 +13,7 @@
 //! Usage: `cargo run --release -p ox-bench --bin ablation_interfaces [--quick]`
 
 use ocssd::{ChunkAddr, DeviceConfig, OcssdDevice, SharedDevice, SECTOR_BYTES};
-use ox_bench::{print_row, print_sep, quick_mode};
+use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 use ox_block::{BlockFtl, BlockFtlConfig};
 use ox_core::{Media, OcssdMedia};
 use ox_sim::{Prng, SimDuration, SimTime};
@@ -38,10 +38,12 @@ fn main() {
     let units = (data_mb * 1024 * 1024 / unit as u64) as u32;
     let payload = vec![0u8; unit];
     let mut rows = Vec::new();
+    let obs = figure_obs();
 
     // --- Raw Open-Channel: stripe units across all PUs by hand. ---
     {
         let dev = device();
+        dev.set_obs(obs.clone());
         let geo = dev.geometry();
         let mut t = SimTime::ZERO;
         let mut rng = Prng::seed_from_u64(1);
@@ -78,6 +80,7 @@ fn main() {
     // --- OX-ZNS. ---
     {
         let dev = device();
+        dev.set_obs(obs.clone());
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
         let (mut ftl, t0) =
             ZnsFtl::format(media, ZnsConfig { chunks_per_zone: 4 }, SimTime::ZERO).unwrap();
@@ -114,6 +117,7 @@ fn main() {
     // --- OX-Block. ---
     {
         let dev = device();
+        dev.set_obs(obs.clone());
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
         let (mut ftl, t0) = BlockFtl::format(
             media,
@@ -121,6 +125,7 @@ fn main() {
             SimTime::ZERO,
         )
         .unwrap();
+        ftl.set_obs(obs.clone());
         let mut rng = Prng::seed_from_u64(1);
         let mut t = t0;
         let pages_per_unit = (unit / SECTOR_BYTES) as u64;
@@ -171,4 +176,5 @@ fn main() {
     }
     println!("\n(raw ≤ ZNS ≤ block device in overhead: each abstraction layer buys generality");
     println!(" with metadata writes and commit barriers — the paper's streamlining argument)");
+    export_obs("ablation_interfaces", &obs);
 }

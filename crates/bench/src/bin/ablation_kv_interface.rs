@@ -18,7 +18,7 @@ use lightlsm::{LightLsm, LightLsmConfig};
 use lsmkv::bench::{bench_key, bench_value};
 use lsmkv::{Db, DbConfig, LightLsmStore, PutOutcome, TableStore};
 use ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice};
-use ox_bench::{print_row, print_sep, quick_mode};
+use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 use ox_core::{Media, OcssdMedia};
 use ox_kvssd::{KvSsd, KvSsdConfig};
 use ox_sim::{Prng, SimDuration, SimTime};
@@ -38,10 +38,12 @@ fn main() {
     let gets: u64 = if quick_mode() { 1_000 } else { 4_000 };
     let overwrites = n / 4;
     let mut rows = Vec::new();
+    let obs = figure_obs();
 
     // --- KV-SSD style. ---
     {
         let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        dev.set_obs(obs.clone());
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
         let (mut kv, t0) = KvSsd::format(media, KvSsdConfig::default(), SimTime::ZERO).unwrap();
         let mut t = t0;
@@ -87,8 +89,11 @@ fn main() {
         let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
             Geometry::paper_tlc_scaled(2, 128),
         )));
+        dev.set_obs(obs.clone());
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-        let (ftl, _) = LightLsm::format(media, LightLsmConfig::default(), SimTime::ZERO).unwrap();
+        let (mut ftl, _) =
+            LightLsm::format(media, LightLsmConfig::default(), SimTime::ZERO).unwrap();
+        ftl.set_obs(obs.clone());
         let store: Arc<dyn TableStore> = Arc::new(LightLsmStore::new(ftl));
         let mut db = Db::new(
             store,
@@ -99,6 +104,7 @@ fn main() {
                 ..DbConfig::default()
             },
         );
+        db.set_obs(obs.clone());
         let mut t = SimTime::ZERO;
         let drain = |db: &mut Db, mut t: SimTime| {
             loop {
@@ -179,6 +185,11 @@ fn main() {
             &widths,
         );
     }
-    println!("\nthe trade the paper leaves open: KV-SSD gets read one sector (no 96 KB block tax),");
-    println!("while LightLSM reclaims space with erases only (no page relocation) and supports scans.");
+    println!(
+        "\nthe trade the paper leaves open: KV-SSD gets read one sector (no 96 KB block tax),"
+    );
+    println!(
+        "while LightLSM reclaims space with erases only (no page relocation) and supports scans."
+    );
+    export_obs("ablation_kv_interface", &obs);
 }

@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release -p ox-bench --bin fig3_recovery [--quick]`
 
-use ox_bench::fig3::{interval_label, run, Fig3Config};
-use ox_bench::{print_row, print_sep, quick_mode};
+use ox_bench::fig3::{interval_label, run_with_obs, Fig3Config};
+use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 
 fn main() {
     let cfg = if quick_mode() {
@@ -11,12 +11,15 @@ fn main() {
     } else {
         Fig3Config::full()
     };
-    println!("Figure 3 — recovery time vs. failure point (OX-Block, random ≤1 MB transactional writes)");
+    println!(
+        "Figure 3 — recovery time vs. failure point (OX-Block, random ≤1 MB transactional writes)"
+    );
     println!(
         "device: paper TLC geometry scaled (22, 8); failure points T1..T6 = {:?} s\n",
         cfg.fail_points
     );
-    let result = run(&cfg).expect("experiment");
+    let obs = figure_obs();
+    let result = run_with_obs(&cfg, &obs).expect("experiment");
 
     let widths = [10usize, 10, 14, 14, 12];
     print_row(
@@ -66,4 +69,5 @@ fn main() {
             no[5].recovery_secs
         );
     }
+    export_obs("fig3_recovery", &obs);
 }

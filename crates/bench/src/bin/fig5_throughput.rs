@@ -5,8 +5,8 @@
 //! Usage: `cargo run --release -p ox-bench --bin fig5_throughput [--quick]`
 
 use lightlsm::Placement;
-use ox_bench::fig5::{run, Fig5Config};
-use ox_bench::{print_row, print_sep, quick_mode};
+use ox_bench::fig5::{run_with_obs, Fig5Config};
+use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 
 fn main() {
     let cfg = if quick_mode() {
@@ -19,7 +19,8 @@ fn main() {
         "device: paper TLC scaled (192 KB chunks, 6 MB full-width SSTables); fill {} MB/client\n",
         cfg.fill_bytes_per_client / (1024 * 1024)
     );
-    let result = run(&cfg);
+    let obs = figure_obs();
+    let result = run_with_obs(&cfg, &obs);
 
     let widths = [22usize, 10, 10, 10, 10];
     print_row(
@@ -57,14 +58,30 @@ fn main() {
     let h8 = result.cell(Placement::Horizontal, 8).fill.kops_per_sec;
     let v8 = result.cell(Placement::Vertical, 8).fill.kops_per_sec;
     println!("shape checks vs. the paper:");
-    println!("  fill 1 client: horizontal/vertical = {:.1}x (paper ~4x)", h1 / v1);
+    println!(
+        "  fill 1 client: horizontal/vertical = {:.1}x (paper ~4x)",
+        h1 / v1
+    );
     println!(
         "  fill horizontal 8 vs best(1,2) clients: {:.0}% (paper: degrades ~60%)",
         h8 / h1.max(h2) * 100.0
     );
-    println!("  fill 8 clients: vertical/horizontal = {:.1}x (paper ~2x)", v8 / h8);
+    println!(
+        "  fill 8 clients: vertical/horizontal = {:.1}x (paper ~2x)",
+        v8 / h8
+    );
     let rs1 = result.cell(Placement::Horizontal, 1).read_seq.kops_per_sec;
-    let rr1 = result.cell(Placement::Horizontal, 1).read_random.kops_per_sec;
-    println!("  read-seq / read-random (1 client, horizontal): {:.1}x (paper ~13x)", rs1 / rr1);
-    println!("  writes >> reads: fill {:.1} kops vs read-seq {:.1} kops (1 client)", h1, rs1);
+    let rr1 = result
+        .cell(Placement::Horizontal, 1)
+        .read_random
+        .kops_per_sec;
+    println!(
+        "  read-seq / read-random (1 client, horizontal): {:.1}x (paper ~13x)",
+        rs1 / rr1
+    );
+    println!(
+        "  writes >> reads: fill {:.1} kops vs read-seq {:.1} kops (1 client)",
+        h1, rs1
+    );
+    export_obs("fig5_throughput", &obs);
 }

@@ -5,8 +5,8 @@
 
 use lightlsm::Placement;
 use ox_bench::fig5::Fig5Config;
-use ox_bench::fig6::run;
-use ox_bench::quick_mode;
+use ox_bench::fig6::run_with_obs;
+use ox_bench::{export_obs, figure_obs, quick_mode};
 
 fn main() {
     let cfg = if quick_mode() {
@@ -14,9 +14,12 @@ fn main() {
     } else {
         Fig5Config::full()
     };
-    println!("Figure 6 — fill-sequential throughput over time (kops/s per {} ms window)\n",
-        cfg.window.as_millis());
-    let result = run(&cfg);
+    println!(
+        "Figure 6 — fill-sequential throughput over time (kops/s per {} ms window)\n",
+        cfg.window.as_millis()
+    );
+    let obs = figure_obs();
+    let result = run_with_obs(&cfg, &obs);
 
     for placement in [Placement::Horizontal, Placement::Vertical] {
         println!("== fill-sequential with {} placement ==", placement.label());
@@ -40,10 +43,26 @@ fn main() {
     }
 
     println!("shape checks vs. the paper:");
-    let h1 = result.line(Placement::Horizontal, 1).report.duration.as_secs_f64();
-    let h8 = result.line(Placement::Horizontal, 8).report.duration.as_secs_f64();
-    let v1 = result.line(Placement::Vertical, 1).report.duration.as_secs_f64();
-    let v8 = result.line(Placement::Vertical, 8).report.duration.as_secs_f64();
+    let h1 = result
+        .line(Placement::Horizontal, 1)
+        .report
+        .duration
+        .as_secs_f64();
+    let h8 = result
+        .line(Placement::Horizontal, 8)
+        .report
+        .duration
+        .as_secs_f64();
+    let v1 = result
+        .line(Placement::Vertical, 1)
+        .report
+        .duration
+        .as_secs_f64();
+    let v8 = result
+        .line(Placement::Vertical, 8)
+        .report
+        .duration
+        .as_secs_f64();
     println!(
         "  horizontal completion time grows with clients: 1c {h1:.2}s -> 8c {h8:.2}s ({:.1}x slower per op; paper: 'time to complete increases significantly')",
         (h8 / 8.0) / h1
@@ -58,4 +77,5 @@ fn main() {
         v1_line.report.series.peak_rate() / 1000.0,
         v1_line.report.kops_per_sec
     );
+    export_obs("fig6_timeline", &obs);
 }

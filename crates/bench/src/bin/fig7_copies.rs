@@ -3,8 +3,8 @@
 //!
 //! Usage: `cargo run --release -p ox-bench --bin fig7_copies [--quick]`
 
-use ox_bench::fig7::{run, Fig7Config, Fig7Point};
-use ox_bench::{print_row, print_sep, quick_mode};
+use ox_bench::fig7::{run_with_obs, Fig7Config, Fig7Point};
+use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 
 fn main() {
     let cfg = if quick_mode() {
@@ -17,7 +17,8 @@ fn main() {
         "controller model: 2 ARMv8 data-path cores, memcpy 1.75 GB/s/core; {}s virtual run\n",
         cfg.duration.as_secs_f64()
     );
-    let result = run(&cfg);
+    let obs = figure_obs();
+    let result = run_with_obs(&cfg, &obs);
 
     let widths = [26usize, 12, 12, 12, 12];
     let mut header = vec!["configuration".to_string()];
@@ -58,4 +59,5 @@ fn main() {
         "  ingest plateau past saturation: 2t {:.0} MB/s vs 8t {:.0} MB/s",
         u[1].ingest_mb_per_sec, u[3].ingest_mb_per_sec
     );
+    export_obs("fig7_copies", &obs);
 }

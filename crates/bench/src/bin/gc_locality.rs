@@ -4,8 +4,8 @@
 //!
 //! Usage: `cargo run --release -p ox-bench --bin gc_locality [--quick]`
 
-use ox_bench::gc_locality::run;
-use ox_bench::{print_row, print_sep, quick_mode};
+use ox_bench::gc_locality::run_with_obs;
+use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 use ox_sim::SimDuration;
 
 fn main() {
@@ -14,8 +14,11 @@ fn main() {
     } else {
         SimDuration::from_secs(2)
     };
-    println!("§4.3 — GC interference locality (OX-Block, group-marked GC + uniform random reads)\n");
-    let result = run(duration).expect("experiment");
+    println!(
+        "§4.3 — GC interference locality (OX-Block, group-marked GC + uniform random reads)\n"
+    );
+    let obs = figure_obs();
+    let result = run_with_obs(duration, &obs).expect("experiment");
 
     let widths = [10usize, 16, 16, 14];
     print_row(
@@ -40,4 +43,5 @@ fn main() {
         );
     }
     println!("\n(paper §4.3: 'On an SSD with 16 channels, this percentage is 93,7%. On an SSD with 8 channels, this percentage is 87,5%.')");
+    export_obs("gc_locality", &obs);
 }

@@ -3,7 +3,8 @@
 
 use lightlsm::Placement;
 use lsmkv::bench::{run_workload, BenchConfig, Workload};
-use ox_bench::fig5::make_db_with_store;
+use ox_bench::fig5::make_db_with_store_obs;
+use ox_bench::{export_obs, figure_obs};
 use ox_sim::SimTime;
 
 fn main() {
@@ -16,7 +17,8 @@ fn main() {
     let clients: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
     let fill_mb: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(96);
 
-    let (db, dev, store) = make_db_with_store(placement);
+    let obs = figure_obs();
+    let (db, dev, store) = make_db_with_store_obs(placement, &obs);
     let ops = fill_mb * 1024 * 1024 / 1024;
     let cfg = BenchConfig::paper(Workload::FillSequential, clients, ops);
     let (report, t_end) = run_workload(&db, cfg, SimTime::ZERO);
@@ -75,4 +77,5 @@ fn main() {
         let total: u64 = delays.iter().map(|d| d.as_millis()).sum();
         println!("total PU queueing delay: {total} ms across {} PUs", delays.len());
     });
+    export_obs("probe_fill", &obs);
 }

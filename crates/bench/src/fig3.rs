@@ -13,6 +13,7 @@ use ocssd::{DeviceConfig, OcssdDevice, SharedDevice, SECTOR_BYTES};
 use ox_block::{BlockFtl, BlockFtlConfig};
 use ox_core::layout::LayoutConfig;
 use ox_core::{Media, OcssdMedia};
+use ox_sim::trace::Obs;
 use ox_sim::{Prng, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -98,9 +99,11 @@ fn one_run(
     cfg: &Fig3Config,
     interval: Option<SimDuration>,
     fail_at: SimTime,
+    obs: &Obs,
 ) -> Result<Fig3Point, BlockFtlError> {
     // Fresh device per run: the failure point is the only variable.
     let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+    dev.set_obs(obs.clone());
     let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
     let mut ftl_cfg = BlockFtlConfig::with_capacity(cfg.logical_bytes);
     ftl_cfg.checkpoint_interval = interval;
@@ -110,6 +113,7 @@ fn one_run(
         checkpoint_chunks_per_area: 2,
     };
     let (mut ftl, mut t) = BlockFtl::format(media, ftl_cfg, SimTime::ZERO)?;
+    ftl.set_obs(obs.clone());
 
     let pages = cfg.logical_bytes / SECTOR_BYTES as u64;
     let mut rng = Prng::seed_from_u64(cfg.seed ^ fail_at.as_nanos());
@@ -138,7 +142,7 @@ fn one_run(
         wal_chunks: 1024,
         checkpoint_chunks_per_area: 2,
     };
-    let (_, outcome) = BlockFtl::recover(media2, ftl_cfg2, t)?;
+    let (_, outcome) = BlockFtl::recover_with_obs(media2, ftl_cfg2, t, obs.clone())?;
     Ok(Fig3Point {
         fail_at_secs: fail_at.as_secs_f64(),
         recovery_secs: outcome.duration.as_secs_f64(),
@@ -149,11 +153,17 @@ fn one_run(
 
 /// Runs the Figure 3 experiment.
 pub fn run(cfg: &Fig3Config) -> Result<Fig3Result, BlockFtlError> {
+    run_with_obs(cfg, &Obs::default())
+}
+
+/// [`run`] with shared observability: every per-run stack (device, FTL,
+/// recovery) reports into `obs`, accumulating across the whole figure.
+pub fn run_with_obs(cfg: &Fig3Config, obs: &Obs) -> Result<Fig3Result, BlockFtlError> {
     let mut curves = Vec::new();
     for &interval in &cfg.intervals {
         let mut points = Vec::new();
         for &fp in &cfg.fail_points {
-            let point = one_run(cfg, interval, secs(fp))?;
+            let point = one_run(cfg, interval, secs(fp), obs)?;
             points.push(point);
         }
         curves.push(Fig3Curve { interval, points });
@@ -180,7 +190,11 @@ mod tests {
         // (≤ one interval of log) stays clearly below the no-checkpoint
         // endpoint.
         cfg.fail_points = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
-        cfg.intervals = [None, Some(SimDuration::from_millis(400)), Some(SimDuration::from_millis(800))];
+        cfg.intervals = [
+            None,
+            Some(SimDuration::from_millis(400)),
+            Some(SimDuration::from_millis(800)),
+        ];
         cfg.logical_bytes = 64 * 1024 * 1024;
         let result = run(&cfg).unwrap();
 

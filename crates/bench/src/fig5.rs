@@ -18,6 +18,7 @@ use lsmkv::bench::{run_workload, BenchConfig, BenchReport, Workload};
 use lsmkv::{Db, DbConfig, LightLsmStore, SharedDb, TableStore};
 use ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice};
 use ox_core::{Media, OcssdMedia};
+use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -102,8 +103,15 @@ pub fn make_db(placement: Placement) -> (SharedDb, SharedDevice) {
 }
 
 /// [`make_db`] plus a handle on the LightLSM store (for FTL statistics).
-pub fn make_db_with_store(
+pub fn make_db_with_store(placement: Placement) -> (SharedDb, SharedDevice, Arc<LightLsmStore>) {
+    make_db_with_store_obs(placement, &Obs::default())
+}
+
+/// [`make_db_with_store`] with shared observability wired through every
+/// layer of the stack: device, LightLSM FTL, and the LSM database.
+pub fn make_db_with_store_obs(
     placement: Placement,
+    obs: &Obs,
 ) -> (SharedDb, SharedDevice, Arc<LightLsmStore>) {
     // Chunk size ÷128 (192 KB chunks, 2 write units each) and chunk count
     // ÷2: a 4.5 GB device where a full-width SSTable is 32 chunks = 6 MB,
@@ -111,8 +119,9 @@ pub fn make_db_with_store(
     let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
         Geometry::paper_tlc_scaled(2, 128),
     )));
+    dev.set_obs(obs.clone());
     let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-    let (ftl, _) = LightLsm::format(
+    let (mut ftl, _) = LightLsm::format(
         media,
         LightLsmConfig {
             placement,
@@ -121,6 +130,7 @@ pub fn make_db_with_store(
         SimTime::ZERO,
     )
     .expect("format");
+    ftl.set_obs(obs.clone());
     let store = Arc::new(LightLsmStore::new(ftl));
     let db_cfg = DbConfig {
         // Memtable = SSTable = one full-width stripe, as the paper sizes
@@ -136,17 +146,25 @@ pub fn make_db_with_store(
         table_bytes: 6 * 1024 * 1024,
         ..DbConfig::default()
     };
-    (
-        SharedDb::new(Db::new(store.clone() as Arc<dyn TableStore>, db_cfg)),
-        dev,
-        store,
-    )
+    let mut db = Db::new(store.clone() as Arc<dyn TableStore>, db_cfg);
+    db.set_obs(obs.clone());
+    (SharedDb::new(db), dev, store)
 }
 
 /// Runs one (placement, clients) column: fill, then read-seq, then
 /// read-random over the same database.
 pub fn run_cell(cfg: &Fig5Config, placement: Placement, clients: usize) -> Fig5Cell {
-    let (db, _dev) = make_db(placement);
+    run_cell_with_obs(cfg, placement, clients, &Obs::default())
+}
+
+/// [`run_cell`] with shared observability wired through the stack.
+pub fn run_cell_with_obs(
+    cfg: &Fig5Config,
+    placement: Placement,
+    clients: usize,
+    obs: &Obs,
+) -> Fig5Cell {
+    let (db, _dev, _store) = make_db_with_store_obs(placement, obs);
     let ops_per_client = cfg.fill_bytes_per_client / 1024; // 1 KB values
     let mut fill_cfg = BenchConfig::paper(Workload::FillSequential, clients, ops_per_client);
     fill_cfg.window = cfg.window;
@@ -174,10 +192,15 @@ pub fn run_cell(cfg: &Fig5Config, placement: Placement, clients: usize) -> Fig5C
 
 /// Runs the whole figure.
 pub fn run(cfg: &Fig5Config) -> Fig5Result {
+    run_with_obs(cfg, &Obs::default())
+}
+
+/// [`run`] with shared observability, accumulating across all cells.
+pub fn run_with_obs(cfg: &Fig5Config, obs: &Obs) -> Fig5Result {
     let mut cells = Vec::new();
     for placement in [Placement::Horizontal, Placement::Vertical] {
         for &clients in &cfg.client_counts {
-            cells.push(run_cell(cfg, placement, clients));
+            cells.push(run_cell_with_obs(cfg, placement, clients, obs));
         }
     }
     Fig5Result { cells }

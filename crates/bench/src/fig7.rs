@@ -10,10 +10,11 @@
 //! same thread counts leave CPU headroom.
 
 use ocssd::{CacheConfig, DeviceConfig, OcssdDevice, SharedDevice};
-use ox_eleos::{CpuModel, EleosConfig, EleosError, EleosFtl, LogAddr};
 use ox_core::{Media, OcssdMedia};
+use ox_eleos::{CpuModel, EleosConfig, EleosError, EleosFtl, LogAddr};
+use ox_sim::sync::Mutex;
+use ox_sim::trace::Obs;
 use ox_sim::{Actor, Ctx, Executor, SimDuration, SimTime, Step};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// One measured point.
@@ -99,7 +100,10 @@ impl Actor for HostWriter {
                 // Keep receiving at line rate while the controller chews on
                 // earlier buffers; block only when the window is full.
                 let next = if self.outstanding.len() >= self.pipeline_depth {
-                    self.outstanding.pop_front().expect("non-empty").max(arrived)
+                    self.outstanding
+                        .pop_front()
+                        .expect("non-empty")
+                        .max(arrived)
                 } else {
                     arrived
                 };
@@ -109,9 +113,7 @@ impl Actor for HostWriter {
                 // LLAMA-style log cleaning keeps the live window in check:
                 // trim everything older than the retention watermark.
                 let keep_from = ftl.tail_addr().0.saturating_sub(self.trim_watermark);
-                let t = ftl
-                    .trim_until(arrived, LogAddr(keep_from))
-                    .expect("trim");
+                let t = ftl.trim_until(arrived, LogAddr(keep_from)).expect("trim");
                 Step::RunAt(t)
             }
             Err(e) => panic!("append failed: {e}"),
@@ -119,12 +121,13 @@ impl Actor for HostWriter {
     }
 }
 
-fn run_point(cfg: &Fig7Config, threads: usize, copies: u32) -> Fig7Point {
+fn run_point(cfg: &Fig7Config, threads: usize, copies: u32, obs: &Obs) -> Fig7Point {
     let mut dev_cfg = DeviceConfig::paper_tlc_scaled(22, 8);
     dev_cfg.cache = CacheConfig {
         capacity_bytes: 256 * 1024 * 1024,
     };
     let dev = SharedDevice::new(OcssdDevice::new(dev_cfg));
+    dev.set_obs(obs.clone());
     let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
     let eleos_cfg = EleosConfig {
         cpu: CpuModel {
@@ -174,10 +177,16 @@ fn run_point(cfg: &Fig7Config, threads: usize, copies: u32) -> Fig7Point {
 
 /// Runs the figure plus the copy-count ablation.
 pub fn run(cfg: &Fig7Config) -> Fig7Result {
+    run_with_obs(cfg, &Obs::default())
+}
+
+/// [`run`] with shared observability (device-level: OX-ELEOS sits directly
+/// on the device).
+pub fn run_with_obs(cfg: &Fig7Config, obs: &Obs) -> Fig7Result {
     let sweep = |copies: u32| {
         cfg.thread_counts
             .iter()
-            .map(|&n| run_point(cfg, n, copies))
+            .map(|&n| run_point(cfg, n, copies, obs))
             .collect::<Vec<_>>()
     };
     Fig7Result {
@@ -198,7 +207,10 @@ mod tests {
         let u: Vec<f64> = r.two_copies.iter().map(|p| p.cpu_utilization_pct).collect();
         assert!(u[0] < 85.0, "1 thread must not saturate: {u:?}");
         assert!(u[1] > 90.0, "2 threads saturate: {u:?}");
-        assert!(u[2] > 95.0 && u[3] > 95.0, "beyond 2 stays saturated: {u:?}");
+        assert!(
+            u[2] > 95.0 && u[3] > 95.0,
+            "beyond 2 stays saturated: {u:?}"
+        );
         // Ingest plateaus once saturated.
         let ing: Vec<f64> = r.two_copies.iter().map(|p| p.ingest_mb_per_sec).collect();
         assert!(ing[1] > ing[0] * 1.3, "2 threads ingest more than 1");

@@ -15,8 +15,9 @@
 use ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice, SECTOR_BYTES};
 use ox_block::{BlockFtl, BlockFtlConfig, BlockFtlError};
 use ox_core::{Media, OcssdMedia};
+use ox_sim::sync::Mutex;
+use ox_sim::trace::Obs;
 use ox_sim::{Actor, Ctx, Executor, Prng, SimDuration, SimTime, Step};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// One device configuration's measurement.
@@ -80,8 +81,13 @@ impl Actor for ReadClient {
     }
 }
 
-fn run_point(geometry: Geometry, duration: SimDuration) -> Result<GcLocalityPoint, BlockFtlError> {
+fn run_point(
+    geometry: Geometry,
+    duration: SimDuration,
+    obs: &Obs,
+) -> Result<GcLocalityPoint, BlockFtlError> {
     let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geometry)));
+    dev.set_obs(obs.clone());
     let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
     let logical_bytes: u64 = 192 * 1024 * 1024;
     let (mut ftl, mut t) = BlockFtl::format(
@@ -89,6 +95,7 @@ fn run_point(geometry: Geometry, duration: SimDuration) -> Result<GcLocalityPoin
         BlockFtlConfig::with_capacity(logical_bytes),
         SimTime::ZERO,
     )?;
+    ftl.set_obs(obs.clone());
 
     // Fill the logical space twice: the second pass invalidates the first,
     // leaving plenty of GC victims everywhere.
@@ -139,6 +146,11 @@ fn run_point(geometry: Geometry, duration: SimDuration) -> Result<GcLocalityPoin
 
 /// Runs the measurement on the 8-group and 16-group paper drives.
 pub fn run(duration: SimDuration) -> Result<GcLocalityResult, BlockFtlError> {
+    run_with_obs(duration, &Obs::default())
+}
+
+/// [`run`] with shared observability across both device configurations.
+pub fn run_with_obs(duration: SimDuration, obs: &Obs) -> Result<GcLocalityResult, BlockFtlError> {
     let mut eight = Geometry::paper_tlc_scaled(22, 8);
     eight.num_groups = 8;
     let mut sixteen = Geometry::paper_tlc_16ch();
@@ -146,8 +158,8 @@ pub fn run(duration: SimDuration) -> Result<GcLocalityResult, BlockFtlError> {
     sixteen.sectors_per_chunk = eight.sectors_per_chunk;
     Ok(GcLocalityResult {
         points: vec![
-            run_point(eight, duration)?,
-            run_point(sixteen, duration)?,
+            run_point(eight, duration, obs)?,
+            run_point(sixteen, duration, obs)?,
         ],
     })
 }

@@ -26,6 +26,29 @@ pub mod fig6;
 pub mod fig7;
 pub mod gc_locality;
 
+use ox_sim::trace::Obs;
+
+/// Observability sinks for a figure run: metrics always collected, tracing
+/// enabled with a bounded drop-oldest buffer (the tail of the run is kept).
+pub fn figure_obs() -> Obs {
+    let obs = Obs::new(65_536);
+    obs.tracer.set_enabled(true);
+    obs
+}
+
+/// Writes the run's observability snapshot (metrics + trace JSON) to
+/// `results/<name>.obs.json`, next to the figure's stdout rows. Failures
+/// are reported but not fatal: the printed rows are the primary artifact.
+pub fn export_obs(name: &str, obs: &Obs) {
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!("{name}.obs.json"));
+    let outcome = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, obs.to_json()));
+    match outcome {
+        Ok(()) => println!("\nobservability: wrote {}", path.display()),
+        Err(e) => eprintln!("\nobservability: could not write {}: {e}", path.display()),
+    }
+}
+
 /// True when quick mode is requested (`--quick` argument or
 /// `OX_BENCH_QUICK=1`): smaller workloads, same shapes.
 pub fn quick_mode() -> bool {

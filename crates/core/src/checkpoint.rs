@@ -12,6 +12,7 @@ use crate::codec::{crc32c, Decoder, Encoder};
 use crate::media::Media;
 use crate::wal::WalError;
 use ocssd::{ChunkAddr, ChunkState, SECTOR_BYTES};
+use ox_sim::trace::Obs;
 use ox_sim::SimTime;
 use std::sync::Arc;
 
@@ -36,6 +37,7 @@ pub struct CheckpointStore {
     next_seq: u64,
     next_area: usize,
     checkpoints_taken: u64,
+    obs: Obs,
 }
 
 impl CheckpointStore {
@@ -48,7 +50,15 @@ impl CheckpointStore {
             next_seq: 1,
             next_area: 0,
             checkpoints_taken: 0,
+            obs: Obs::default(),
         }
+    }
+
+    /// Points the store's observability at shared sinks. Snapshot writes are
+    /// `checkpoint.write` spans/counters; recovery-side reads are
+    /// `checkpoint.read`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Capacity of one area in bytes.
@@ -110,6 +120,16 @@ impl CheckpointStore {
         self.next_seq += 1;
         self.next_area = 1 - area_idx;
         self.checkpoints_taken += 1;
+        self.obs
+            .metrics
+            .record("checkpoint.write", bytes.len() as u64);
+        self.obs.metrics.observe(
+            "checkpoint.write_latency_ns",
+            t.saturating_since(now).as_nanos(),
+        );
+        self.obs
+            .tracer
+            .span(now, t, "checkpoint", "write", bytes.len() as u64);
         Ok((t, seq))
     }
 
@@ -128,6 +148,9 @@ impl CheckpointStore {
                 }
             }
         }
+        let bytes = best.as_ref().map_or(0, |d| d.payload.len() as u64);
+        self.obs.metrics.record("checkpoint.read", bytes);
+        self.obs.tracer.span(now, t, "checkpoint", "read", bytes);
         (best, t)
     }
 

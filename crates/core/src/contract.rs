@@ -98,7 +98,9 @@ pub fn evaluate(
         ..Default::default()
     };
     if reads.count() > 0 && report.read_p99_ns > contract.read_p99.as_nanos() {
-        report.violations.push(Violation::ReadLatency(report.read_p99_ns));
+        report
+            .violations
+            .push(Violation::ReadLatency(report.read_p99_ns));
     }
     if writes.count() > 0 && report.write_p99_ns > contract.write_p99.as_nanos() {
         report
@@ -106,10 +108,14 @@ pub fn evaluate(
             .push(Violation::WriteLatency(report.write_p99_ns));
     }
     if ops > 0 && report.ops_per_sec < contract.min_ops_per_sec {
-        report.violations.push(Violation::Throughput(report.ops_per_sec));
+        report
+            .violations
+            .push(Violation::Throughput(report.ops_per_sec));
     }
     if report.max_wear_fraction > contract.max_wear_fraction {
-        report.violations.push(Violation::Wear(report.max_wear_fraction));
+        report
+            .violations
+            .push(Violation::Wear(report.max_wear_fraction));
     }
     report
 }
@@ -155,7 +161,14 @@ mod tests {
         let c = PerformanceContract::paper_tlc_class();
         let reads = hist(&[400_000, 500_000, 600_000]); // ns
         let writes = hist(&[20_000, 30_000]);
-        let r = evaluate(&c, &reads, &writes, 100_000, SimDuration::from_secs(1), &dev);
+        let r = evaluate(
+            &c,
+            &reads,
+            &writes,
+            100_000,
+            SimDuration::from_secs(1),
+            &dev,
+        );
         assert!(r.compliant(), "{:?}", r.violations);
         assert!(r.ops_per_sec > 10_000.0);
     }
@@ -166,9 +179,19 @@ mod tests {
         let c = PerformanceContract::paper_tlc_class();
         let reads = hist(&[5_000_000]); // 5 ms read
         let writes = hist(&[2_000_000]); // 2 ms write
-        let r = evaluate(&c, &reads, &writes, 100_000, SimDuration::from_secs(1), &dev);
+        let r = evaluate(
+            &c,
+            &reads,
+            &writes,
+            100_000,
+            SimDuration::from_secs(1),
+            &dev,
+        );
         assert!(!r.compliant());
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::ReadLatency(_))));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReadLatency(_))));
         assert!(r
             .violations
             .iter()
@@ -187,7 +210,10 @@ mod tests {
             SimDuration::from_secs(1),
             &dev,
         );
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::Throughput(_))));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Throughput(_))));
     }
 
     #[test]
@@ -201,7 +227,10 @@ mod tests {
         let mut t = _ST::ZERO;
         for _ in 0..3 {
             t = dev.write(t, addr.ppa(0), &data).unwrap().done;
-            t = dev.reset_chunk(t + SimDuration::from_secs(1), addr).unwrap().done;
+            t = dev
+                .reset_chunk(t + SimDuration::from_secs(1), addr)
+                .unwrap()
+                .done;
         }
         let frac = max_wear_fraction(&dev);
         assert!((frac - 3.0 / geo.endurance as f64).abs() < 1e-9);

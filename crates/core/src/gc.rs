@@ -17,6 +17,7 @@ use crate::media::Media;
 use crate::provision::Provisioner;
 use crate::wal::{Wal, WalError, WalRecord};
 use ocssd::{ChunkAddr, ChunkState, Ppa};
+use ox_sim::trace::Obs;
 use ox_sim::SimTime;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -73,6 +74,7 @@ pub struct GarbageCollector {
     reserved: HashSet<u64>,
     next_txid: u64,
     stats: GcStats,
+    obs: Obs,
 }
 
 impl GarbageCollector {
@@ -84,7 +86,15 @@ impl GarbageCollector {
             reserved: reserved.iter().copied().collect(),
             next_txid: 1 << 48, // disjoint from user transaction ids
             stats: GcStats::default(),
+            obs: Obs::default(),
         }
+    }
+
+    /// Points the collector's observability at shared sinks. Each pass is a
+    /// `gc.pass` span; victims and copy volume land in `gc.victims` /
+    /// `gc.moved` / `gc.padded` counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The group currently marked for collection.
@@ -110,11 +120,7 @@ impl GarbageCollector {
     /// Picks the emptiest closed data chunk in the marked group. Marks the
     /// next group if the current one has no victims (rotating the GC focus,
     /// as OX does between passes).
-    fn select_victim(
-        &mut self,
-        media: &Arc<dyn Media>,
-        map: &PageMap,
-    ) -> Option<(ChunkAddr, u32)> {
+    fn select_victim(&mut self, media: &Arc<dyn Media>, map: &PageMap) -> Option<(ChunkAddr, u32)> {
         let geo = media.geometry();
         for _ in 0..geo.num_groups {
             let group = self.marked_group;
@@ -237,6 +243,23 @@ impl GarbageCollector {
         self.stats.victims += pass.victims as u64;
         self.stats.moved_sectors += pass.moved_sectors;
         self.stats.padded_sectors += pass.padded_sectors;
+        let moved_bytes = pass.moved_sectors * ocssd::SECTOR_BYTES as u64;
+        self.obs.metrics.record("gc.pass", moved_bytes);
+        self.obs.metrics.add("gc.victims", pass.victims as u64, 0);
+        self.obs
+            .metrics
+            .add("gc.moved", pass.moved_sectors, moved_bytes);
+        self.obs.metrics.add(
+            "gc.padded",
+            pass.padded_sectors,
+            pass.padded_sectors * ocssd::SECTOR_BYTES as u64,
+        );
+        self.obs
+            .metrics
+            .gauge_set("gc.marked_group", self.marked_group as i64);
+        self.obs
+            .tracer
+            .span(now, pass.done, "gc", "pass", moved_bytes);
         Ok(pass)
     }
 }
@@ -267,7 +290,8 @@ mod tests {
         let reserved = layout.reserved_linear(&geo);
         let prov = Provisioner::fresh(geo, &reserved);
         let map = PageMap::new(geo, 100_000);
-        let (wal, t) = Wal::format(media.clone(), layout.wal_chunks.clone(), SimTime::ZERO).unwrap();
+        let (wal, t) =
+            Wal::format(media.clone(), layout.wal_chunks.clone(), SimTime::ZERO).unwrap();
         let gc = GarbageCollector::new(
             GcConfig {
                 chunks_per_pass: 1,
@@ -297,7 +321,10 @@ mod tests {
             let Some(slot) = r.prov.allocate_on_pu(pu) else {
                 panic!("out of space during fill");
             };
-            let comp = r.media.write(r.t, slot.chunk.ppa(slot.sector), &data).unwrap();
+            let comp = r
+                .media
+                .write(r.t, slot.chunk.ppa(slot.sector), &data)
+                .unwrap();
             r.t = comp.done;
             for k in 0..r.geo.ws_min {
                 let Some(lpn) = lpn_iter.next() else {
@@ -321,12 +348,14 @@ mod tests {
         fill(&mut r, 0..chunk_lpns, 0);
         let free_before = r.prov.free_chunks();
         r.gc.mark_group(0);
-        let pass = r
-            .gc
-            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
-            .unwrap();
+        let pass =
+            r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
         assert!(pass.victims >= 1);
-        assert_eq!(pass.moved_sectors, 0, "fully-invalid victim needs no copies");
+        assert_eq!(
+            pass.moved_sectors, 0,
+            "fully-invalid victim needs no copies"
+        );
         assert!(r.prov.free_chunks() > free_before);
         let _ = units;
     }
@@ -344,10 +373,9 @@ mod tests {
         let before: Vec<_> = (0..r.geo.ws_min as u64)
             .map(|l| r.map.lookup(l).unwrap())
             .collect();
-        let pass = r
-            .gc
-            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
-            .unwrap();
+        let pass =
+            r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
         assert!(pass.victims >= 1);
         assert_eq!(pass.moved_sectors, r.geo.ws_min as u64);
         for (l, old) in (0..r.geo.ws_min as u64).zip(before) {
@@ -379,9 +407,10 @@ mod tests {
         );
         // The journaled moves replay correctly.
         let (frames, _, _) = crate::wal::scan(&r.media, &r.layout.wal_chunks, r.t);
-        let has_gc_commit = frames.iter().flat_map(|f| &f.records).any(
-            |rec| matches!(rec, WalRecord::TxCommit { txid } if *txid >= (1 << 48)),
-        );
+        let has_gc_commit = frames
+            .iter()
+            .flat_map(|f| &f.records)
+            .any(|rec| matches!(rec, WalRecord::TxCommit { txid } if *txid >= (1 << 48)));
         assert!(has_gc_commit);
     }
 
@@ -407,10 +436,9 @@ mod tests {
         fill(&mut r, 0..chunk_lpns, 2);
         fill(&mut r, 0..chunk_lpns, 2);
         r.gc.mark_group(0);
-        let pass = r
-            .gc
-            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
-            .unwrap();
+        let pass =
+            r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
         assert!(pass.victims >= 1, "collector rotated to the busy group");
         assert_eq!(r.gc.marked_group(), 2);
     }
@@ -418,10 +446,9 @@ mod tests {
     #[test]
     fn nothing_to_collect_is_a_clean_noop() {
         let mut r = rig();
-        let pass = r
-            .gc
-            .collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
-            .unwrap();
+        let pass =
+            r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
         assert_eq!(pass.victims, 0);
         assert_eq!(pass.moved_sectors, 0);
         assert_eq!(pass.done, r.t);

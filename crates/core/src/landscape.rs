@@ -337,7 +337,10 @@ mod tests {
         // "Interestingly, traditional SSDs and SmartSSD … are in the same
         // quadrant using those two dimensions."
         let models = figure1_models();
-        let trad = models.iter().find(|m| m.name == "Traditional SSDs").unwrap();
+        let trad = models
+            .iter()
+            .find(|m| m.name == "Traditional SSDs")
+            .unwrap();
         let smart = models.iter().find(|m| m.name == "Smart SSD").unwrap();
         assert_eq!(trad.placement, smart.placement);
         assert_eq!(trad.abstraction, smart.abstraction);

@@ -96,11 +96,8 @@ mod tests {
         assert_eq!(l.checkpoint_a.len(), 2);
         assert_eq!(l.checkpoint_b.len(), 2);
         // First 16 WAL chunks land on 16 distinct PUs (device has 32).
-        let pus: std::collections::HashSet<u32> = l
-            .wal_chunks
-            .iter()
-            .map(|c| c.pu_linear(&geo))
-            .collect();
+        let pus: std::collections::HashSet<u32> =
+            l.wal_chunks.iter().map(|c| c.pu_linear(&geo)).collect();
         assert_eq!(pus.len(), 16);
     }
 

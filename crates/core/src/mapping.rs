@@ -273,7 +273,9 @@ mod tests {
         assert_eq!(m.valid_count(c0.linear(&g)), 8);
         let valids = m.valid_sectors(c0.linear(&g));
         assert_eq!(valids.len(), 8);
-        assert!(valids.iter().all(|&(p, lpn)| p.sector != 3 && lpn != 4 || p.sector == 4));
+        assert!(valids
+            .iter()
+            .all(|&(p, lpn)| p.sector != 3 && lpn != 4 || p.sector == 4));
     }
 
     #[test]

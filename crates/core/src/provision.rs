@@ -46,11 +46,7 @@ impl Provisioner {
     /// chunks (linear indices). `Free` chunks enter the pools; `Open` data
     /// chunks resume as their PU's write point; `Closed` chunks are in use;
     /// `Offline` chunks are excluded.
-    pub fn from_report(
-        geo: Geometry,
-        reserved: &[u64],
-        report: &[(ChunkAddr, ChunkInfo)],
-    ) -> Self {
+    pub fn from_report(geo: Geometry, reserved: &[u64], report: &[(ChunkAddr, ChunkInfo)]) -> Self {
         let reserved: HashSet<u64> = reserved.iter().copied().collect();
         let mut p = Provisioner {
             geo,
@@ -236,7 +232,9 @@ mod tests {
     fn horizontal_allocation_round_robins_pus() {
         let g = geo();
         let mut p = Provisioner::fresh(g, &[]);
-        let slots: Vec<WriteSlot> = (0..g.total_pus()).map(|_| p.allocate_horizontal().unwrap()).collect();
+        let slots: Vec<WriteSlot> = (0..g.total_pus())
+            .map(|_| p.allocate_horizontal().unwrap())
+            .collect();
         let pus: Vec<u32> = slots.iter().map(|s| s.chunk.pu_linear(&g)).collect();
         let expect: Vec<u32> = (0..g.total_pus()).collect();
         assert_eq!(pus, expect);

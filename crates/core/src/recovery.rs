@@ -20,6 +20,7 @@ use crate::media::Media;
 use crate::provision::Provisioner;
 use crate::wal::{self, WalRecord};
 use ocssd::{Geometry, Ppa};
+use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -59,13 +60,35 @@ pub fn recover(
     logical_pages: u64,
     now: SimTime,
 ) -> RecoveryOutcome {
+    recover_with_obs(media, layout, geo, logical_pages, now, &Obs::default())
+}
+
+/// [`recover`] with shared observability: each phase (checkpoint load, WAL
+/// scan, replay, provisioner rebuild) is reported as a `recovery.*` span,
+/// and the outcome lands in `recovery.*` counters/histograms.
+pub fn recover_with_obs(
+    media: &Arc<dyn Media>,
+    layout: &Layout,
+    geo: Geometry,
+    logical_pages: u64,
+    now: SimTime,
+    obs: &Obs,
+) -> RecoveryOutcome {
     // 1. Checkpoint.
-    let store = CheckpointStore::new(
+    let mut store = CheckpointStore::new(
         media.clone(),
         layout.checkpoint_a.clone(),
         layout.checkpoint_b.clone(),
     );
+    store.set_obs(obs.clone());
     let (ckpt, mut t) = store.read_latest(now);
+    obs.tracer.span(
+        now,
+        t,
+        "recovery",
+        "checkpoint_load",
+        ckpt.as_ref().map_or(0, |c| c.payload.len() as u64),
+    );
     let (mut map, checkpoint_seq, checkpoint_lsn) = match &ckpt {
         Some(c) => match PageMap::from_snapshot(geo, &c.payload) {
             Some(m) => (m, c.seq, c.durable_lsn),
@@ -76,7 +99,10 @@ pub fn recover(
 
     // 2. Log scan.
     let (frames, scan_done, stats) = wal::scan(media, &layout.wal_chunks, t);
+    obs.tracer
+        .span(t, scan_done, "recovery", "wal_scan", stats.bytes_read);
     t = scan_done;
+    let replay_started = t;
 
     // 3. Replay committed transactions in LSN order.
     let mut open_txns: HashMap<u64, Vec<WalRecord>> = HashMap::new();
@@ -104,18 +130,16 @@ pub fn recover(
                             match op {
                                 WalRecord::MapUpdate {
                                     lpn, ppa_linear, ..
+                                } if lpn < map.logical_pages()
+                                    && ppa_linear < geo.total_sectors() =>
+                                {
+                                    map.map(lpn, Ppa::from_linear(&geo, ppa_linear));
+                                    records_replayed += 1;
                                 }
-                                    if lpn < map.logical_pages()
-                                        && ppa_linear < geo.total_sectors()
-                                    => {
-                                        map.map(lpn, Ppa::from_linear(&geo, ppa_linear));
-                                        records_replayed += 1;
-                                    }
-                                WalRecord::Trim { lpn, .. }
-                                    if lpn < map.logical_pages() => {
-                                        map.unmap(lpn);
-                                        records_replayed += 1;
-                                    }
+                                WalRecord::Trim { lpn, .. } if lpn < map.logical_pages() => {
+                                    map.unmap(lpn);
+                                    records_replayed += 1;
+                                }
                                 _ => {}
                             }
                         }
@@ -126,13 +150,28 @@ pub fn recover(
         }
     }
     let txns_discarded = open_txns.len() as u64;
+    obs.tracer.span(replay_started, t, "recovery", "replay", 0);
 
     // 4. Rebuild provisioning from *report chunk*.
+    let rebuild_started = t;
     let report = media.report_all();
     let reserved = layout.reserved_linear(&geo);
     let provisioner = Provisioner::from_report(geo, &reserved, &report);
     // Charge one admin command round-trip for the report scan.
     t += SimDuration::from_micros(500);
+    obs.tracer
+        .span(rebuild_started, t, "recovery", "rebuild", 0);
+
+    obs.metrics.record("recovery.run", stats.bytes_read);
+    obs.metrics.add("recovery.frames_scanned", stats.frames, 0);
+    obs.metrics
+        .add("recovery.records_replayed", records_replayed, 0);
+    obs.metrics
+        .add("recovery.txns_committed", txns_committed, 0);
+    obs.metrics
+        .add("recovery.txns_discarded", txns_discarded, 0);
+    obs.metrics
+        .observe("recovery.duration_ns", t.saturating_since(now).as_nanos());
 
     RecoveryOutcome {
         map,

@@ -15,6 +15,7 @@
 use crate::codec::{crc32c, Decoder, Encoder};
 use crate::media::Media;
 use ocssd::{ChunkAddr, DeviceError, SECTOR_BYTES};
+use ox_sim::trace::Obs;
 use ox_sim::SimTime;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -90,7 +91,9 @@ impl WalRecord {
 
     fn decode(d: &mut Decoder<'_>) -> Option<WalRecord> {
         Some(match d.u8().ok()? {
-            1 => WalRecord::TxBegin { txid: d.u64().ok()? },
+            1 => WalRecord::TxBegin {
+                txid: d.u64().ok()?,
+            },
             2 => WalRecord::MapUpdate {
                 txid: d.u64().ok()?,
                 lpn: d.u64().ok()?,
@@ -100,7 +103,9 @@ impl WalRecord {
                 txid: d.u64().ok()?,
                 lpn: d.u64().ok()?,
             },
-            4 => WalRecord::TxCommit { txid: d.u64().ok()? },
+            4 => WalRecord::TxCommit {
+                txid: d.u64().ok()?,
+            },
             5 => WalRecord::Blob {
                 txid: d.u64().ok()?,
                 tag: d.u8().ok()?,
@@ -160,6 +165,7 @@ pub struct Wal {
     durable_lsn: u64,
     frames_written: u64,
     bytes_written: u64,
+    obs: Obs,
 }
 
 impl Wal {
@@ -199,9 +205,17 @@ impl Wal {
                 durable_lsn: 0,
                 frames_written: 0,
                 bytes_written: 0,
+                obs: Obs::default(),
             },
             done,
         ))
+    }
+
+    /// Points the log's observability at shared sinks. Group commits are
+    /// reported as `wal.commit` spans/counters, truncation as
+    /// `wal.truncate`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Buffers a record; returns its LSN. Not durable until
@@ -286,6 +300,7 @@ impl Wal {
         }
         let seg = self.segments.back_mut().expect("active segment");
         let addr = self.chunks[seg.ring_idx];
+        let batch_records = self.pending.len() as u64;
         let write = self.media.write(now, addr.ppa(self.wp), &bytes)?;
         let durable = self.media.flush_chunk(write.done, addr).done;
         self.wp += sectors;
@@ -294,6 +309,19 @@ impl Wal {
         self.frames_written += 1;
         self.bytes_written += padded as u64;
         self.pending.clear();
+        self.obs
+            .metrics
+            .add("wal.commit", batch_records, padded as u64);
+        self.obs
+            .metrics
+            .observe("wal.commit_records", batch_records);
+        self.obs.metrics.observe(
+            "wal.commit_latency_ns",
+            durable.saturating_since(now).as_nanos(),
+        );
+        self.obs
+            .tracer
+            .span(now, durable, "wal", "commit", padded as u64);
         if self.wp >= self.chunk_sectors {
             // Chunk exactly full: open the next one lazily on demand.
         }
@@ -323,6 +351,7 @@ impl Wal {
         // Erases are submitted together; chunks on different PUs proceed in
         // parallel (the layout spreads WAL chunks round-robin over PUs).
         let mut done = now;
+        let mut recycled = 0u64;
         while self.segments.len() > 1 {
             let seg = self.segments.front().expect("non-empty");
             if seg.last_lsn == 0 || seg.last_lsn > upto {
@@ -334,6 +363,11 @@ impl Wal {
                 done = done.max(self.media.reset(now, addr)?.done);
             }
             self.free.push_back(seg.ring_idx);
+            recycled += 1;
+        }
+        if recycled > 0 {
+            self.obs.metrics.add("wal.truncate", recycled, 0);
+            self.obs.tracer.span(now, done, "wal", "truncate", 0);
         }
         Ok(done)
     }

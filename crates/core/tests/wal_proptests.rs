@@ -1,49 +1,65 @@
 //! Property tests for the WAL: arbitrary record batches survive the
 //! commit → media → scan round trip byte-exactly and in order, across ring
 //! wraps and truncations.
+//!
+//! Record batches come from the in-repo seeded [`Prng`]; every seed is an
+//! independent case, so a failure names the seed to replay.
 
 use ocssd::{ChunkAddr, DeviceConfig, OcssdDevice, SharedDevice};
 use ox_core::wal::{self, Wal, WalRecord};
 use ox_core::{Media, OcssdMedia};
-use ox_sim::SimTime;
-use proptest::prelude::*;
+use ox_sim::{Prng, SimTime};
 use std::sync::Arc;
 
-fn record_strategy() -> impl Strategy<Value = WalRecord> {
-    prop_oneof![
-        any::<u64>().prop_map(|txid| WalRecord::TxBegin { txid }),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(txid, lpn, ppa_linear)| {
-            WalRecord::MapUpdate {
-                txid,
-                lpn,
-                ppa_linear,
+fn gen_record(rng: &mut Prng) -> WalRecord {
+    match rng.gen_range(5) {
+        0 => WalRecord::TxBegin {
+            txid: rng.next_u64(),
+        },
+        1 => WalRecord::MapUpdate {
+            txid: rng.next_u64(),
+            lpn: rng.next_u64(),
+            ppa_linear: rng.next_u64(),
+        },
+        2 => WalRecord::Trim {
+            txid: rng.next_u64(),
+            lpn: rng.next_u64(),
+        },
+        3 => WalRecord::TxCommit {
+            txid: rng.next_u64(),
+        },
+        _ => {
+            let mut data = vec![0u8; rng.gen_range(200) as usize];
+            rng.fill_bytes(&mut data);
+            WalRecord::Blob {
+                txid: rng.next_u64(),
+                tag: rng.gen_range(256) as u8,
+                data,
             }
-        }),
-        (any::<u64>(), any::<u64>()).prop_map(|(txid, lpn)| WalRecord::Trim { txid, lpn }),
-        any::<u64>().prop_map(|txid| WalRecord::TxCommit { txid }),
-        (any::<u64>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
-            .prop_map(|(txid, tag, data)| WalRecord::Blob { txid, tag, data }),
-    ]
+        }
+    }
 }
 
 fn setup(chunks: u32) -> (Arc<dyn Media>, Vec<ChunkAddr>) {
     let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
     let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
-    let addrs: Vec<ChunkAddr> = (0..chunks).map(|i| ChunkAddr::new(i % 8, 0, i / 8)).collect();
+    let addrs: Vec<ChunkAddr> = (0..chunks)
+        .map(|i| ChunkAddr::new(i % 8, 0, i / 8))
+        .collect();
     (media, addrs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every committed batch scans back byte-exactly, in LSN order.
-    #[test]
-    fn commit_scan_round_trip(
-        batches in proptest::collection::vec(
-            proptest::collection::vec(record_strategy(), 1..20),
-            1..15,
-        )
-    ) {
+/// Every committed batch scans back byte-exactly, in LSN order.
+#[test]
+fn commit_scan_round_trip() {
+    for seed in 0..24u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let batches: Vec<Vec<WalRecord>> = (0..rng.gen_range_in(1, 15))
+            .map(|_| {
+                let len = rng.gen_range_in(1, 20);
+                (0..len).map(|_| gen_record(&mut rng)).collect()
+            })
+            .collect();
         let (media, chunks) = setup(8);
         let (mut wal, mut t) = Wal::format(media.clone(), chunks.clone(), SimTime::ZERO).unwrap();
         let mut expected: Vec<WalRecord> = Vec::new();
@@ -55,18 +71,22 @@ proptest! {
             t = wal.commit(t).unwrap();
         }
         let (frames, _, stats) = wal::scan(&media, &chunks, t);
-        prop_assert_eq!(stats.torn_frames, 0);
-        prop_assert_eq!(stats.frames as usize, batches.len());
+        assert_eq!(stats.torn_frames, 0, "seed {seed}");
+        assert_eq!(stats.frames as usize, batches.len(), "seed {seed}");
         let scanned: Vec<WalRecord> = frames.into_iter().flat_map(|f| f.records).collect();
-        prop_assert_eq!(scanned, expected);
+        assert_eq!(scanned, expected, "seed {seed}");
     }
+}
 
-    /// Truncation never loses records above the truncation point, across
-    /// ring wraps.
-    #[test]
-    fn truncation_preserves_suffix(
-        rounds in proptest::collection::vec((1usize..12, any::<bool>()), 5..40)
-    ) {
+/// Truncation never loses records above the truncation point, across ring
+/// wraps.
+#[test]
+fn truncation_preserves_suffix() {
+    for seed in 0..24u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let rounds: Vec<(usize, bool)> = (0..rng.gen_range_in(5, 40))
+            .map(|_| (rng.gen_range_in(1, 12) as usize, rng.gen_bool(0.5)))
+            .collect();
         let (media, chunks) = setup(4);
         let (mut wal, mut t) = Wal::format(media.clone(), chunks.clone(), SimTime::ZERO).unwrap();
         // Records written since the last truncation (the live tail).
@@ -90,7 +110,7 @@ proptest! {
             }
         }
         let (frames, _, stats) = wal::scan(&media, &chunks, t);
-        prop_assert_eq!(stats.torn_frames, 0);
+        assert_eq!(stats.torn_frames, 0, "seed {seed}");
         // Everything scanned with LSN above the truncation point must be
         // exactly the live tail, in order.
         let mut scanned_tail: Vec<WalRecord> = Vec::new();
@@ -101,6 +121,6 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(scanned_tail, live);
+        assert_eq!(scanned_tail, live, "seed {seed}");
     }
 }

@@ -191,7 +191,12 @@ impl KvSsd {
     /// Flushes staged sectors as `ws_min` units. With `pad_tail`, a partial
     /// final unit is zero-padded out (sync path); otherwise only full units
     /// are written (write coalescing across puts).
-    fn flush_staged(&mut self, now: SimTime, txid: u64, pad_tail: bool) -> Result<SimTime, KvError> {
+    fn flush_staged(
+        &mut self,
+        now: SimTime,
+        txid: u64,
+        pad_tail: bool,
+    ) -> Result<SimTime, KvError> {
         let unit_sectors = self.geo.ws_min as usize;
         let unit_bytes = self.geo.ws_min_bytes();
         let mut t = now;
@@ -200,10 +205,7 @@ impl KvSsd {
                 .staged
                 .drain(..unit_sectors.min(self.staged.len()))
                 .collect();
-            let slot = self
-                .prov
-                .allocate_horizontal()
-                .ok_or(KvError::OutOfSpace)?;
+            let slot = self.prov.allocate_horizontal().ok_or(KvError::OutOfSpace)?;
             let mut buf = vec![0u8; unit_bytes];
             for (i, (_, sector)) in batch.iter().enumerate() {
                 buf[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES].copy_from_slice(sector);
@@ -301,11 +303,7 @@ impl KvSsd {
 
     /// Retrieves a value. Reads exactly the sectors the value occupies — the
     /// KV interface's advantage over block-granular stores.
-    pub fn get(
-        &mut self,
-        now: SimTime,
-        key: &[u8],
-    ) -> Result<(Option<Vec<u8>>, SimTime), KvError> {
+    pub fn get(&mut self, now: SimTime, key: &[u8]) -> Result<(Option<Vec<u8>>, SimTime), KvError> {
         let mut t = now + self.config.command_cpu;
         let Some(&loc) = self.index.get(key) else {
             return Ok((None, t));
@@ -383,7 +381,13 @@ impl KvSsd {
             &self.reserved,
         );
         let pass = gc
-            .collect(now, &self.media, &mut self.map, &mut self.prov, &mut self.wal)
+            .collect(
+                now,
+                &self.media,
+                &mut self.map,
+                &mut self.prov,
+                &mut self.wal,
+            )
             .map_err(KvError::Wal)?;
         self.stats.gc_passes += 1;
         self.stats
@@ -422,7 +426,12 @@ mod tests {
     #[test]
     fn put_get_round_trip_various_sizes() {
         let (mut kv, mut t) = setup();
-        for (key, len) in [("tiny", 10usize), ("page", 4096), ("odd", 5000), ("big", 100_000)] {
+        for (key, len) in [
+            ("tiny", 10usize),
+            ("page", 4096),
+            ("odd", 5000),
+            ("big", 100_000),
+        ] {
             let value: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
             t = kv.put(t, key.as_bytes(), &value).unwrap();
             let (got, done) = kv.get(t, key.as_bytes()).unwrap();
@@ -459,7 +468,10 @@ mod tests {
         let (mut kv, t) = setup();
         assert!(matches!(kv.put(t, b"", b"v"), Err(KvError::BadKey(0))));
         let long_key = vec![b'k'; 300];
-        assert!(matches!(kv.put(t, &long_key, b"v"), Err(KvError::BadKey(300))));
+        assert!(matches!(
+            kv.put(t, &long_key, b"v"),
+            Err(KvError::BadKey(300))
+        ));
         let huge = vec![0u8; 2 * 1024 * 1024];
         assert!(matches!(
             kv.put(t, b"k", &huge),

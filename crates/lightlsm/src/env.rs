@@ -9,6 +9,7 @@ use ox_core::layout::{Layout, LayoutConfig};
 use ox_core::provision::Provisioner;
 use ox_core::wal::{self, Wal, WalError, WalRecord};
 use ox_core::Media;
+use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime, Timeline};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -83,7 +84,10 @@ impl std::fmt::Display for LightLsmError {
                 table,
                 block,
                 blocks,
-            } => write!(f, "block {block} out of range for table {table} ({blocks} blocks)"),
+            } => write!(
+                f,
+                "block {block} out of range for table {table} ({blocks} blocks)"
+            ),
             LightLsmError::OutOfSpace => write!(f, "not enough free chunks"),
             LightLsmError::Wal(e) => write!(f, "log error: {e}"),
             LightLsmError::Device(e) => write!(f, "device error: {e}"),
@@ -150,6 +154,7 @@ pub struct LightLsm {
     /// Vertical placement: groups are assigned round-robin per table.
     next_group: u32,
     stats: LightLsmStats,
+    obs: Obs,
 }
 
 impl LightLsm {
@@ -181,12 +186,22 @@ impl LightLsm {
                 next_pu: 0,
                 next_group: 0,
                 stats: LightLsmStats::default(),
+                obs: Obs::default(),
                 layout,
                 media,
                 config,
             },
             done,
         ))
+    }
+
+    /// Threads shared observability through the FTL and its WAL/checkpoint
+    /// components. Dispatch-level operations report under the `lightlsm`
+    /// subsystem.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.wal.set_obs(obs.clone());
+        self.ckpt.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Reopens LightLSM after a crash: loads the directory checkpoint,
@@ -303,6 +318,7 @@ impl LightLsm {
                 next_pu: 0,
                 next_group: 0,
                 stats: LightLsmStats::default(),
+                obs: Obs::default(),
                 layout,
                 media,
                 config,
@@ -487,6 +503,14 @@ impl LightLsm {
         self.stats.flushes += 1;
         self.stats.blocks_written += blocks as u64;
         self.tables.insert(id, ext);
+        self.obs.metrics.record("lightlsm.flush", data.len() as u64);
+        self.obs.metrics.observe(
+            "lightlsm.flush_latency_ns",
+            done.saturating_since(now).as_nanos(),
+        );
+        self.obs
+            .tracer
+            .span(now, done, "lightlsm", "flush", data.len() as u64);
         Ok((id, done))
     }
 
@@ -511,19 +535,24 @@ impl LightLsm {
             });
         }
         let (chunk, sector) = ext.block_location(&self.geo, block);
-        let submit = self.dispatch.acquire(now, self.config.dispatch_per_block).end;
-        let comp = self.media.read(submit, chunk.ppa(sector), self.geo.ws_min, out)?;
+        let submit = self
+            .dispatch
+            .acquire(now, self.config.dispatch_per_block)
+            .end;
+        let comp = self
+            .media
+            .read(submit, chunk.ppa(sector), self.geo.ws_min, out)?;
         self.stats.blocks_read += 1;
+        self.obs.metrics.record("lightlsm.read", out.len() as u64);
+        self.obs
+            .tracer
+            .span(now, comp.done, "lightlsm", "read", out.len() as u64);
         Ok(comp.done)
     }
 
     /// Deletes a table: commits the directory removal, then resets the
     /// table's chunks (erases only — never page copies) and recycles them.
-    pub fn delete_table(
-        &mut self,
-        now: SimTime,
-        id: TableId,
-    ) -> Result<SimTime, LightLsmError> {
+    pub fn delete_table(&mut self, now: SimTime, id: TableId) -> Result<SimTime, LightLsmError> {
         let ext = self
             .tables
             .remove(&id)
@@ -556,6 +585,8 @@ impl LightLsm {
             self.prov.release_chunk(c);
         }
         self.stats.tables_deleted += 1;
+        self.obs.metrics.record("lightlsm.delete", 0);
+        self.obs.tracer.span(now, done, "lightlsm", "delete", 0);
         Ok(done)
     }
 }
@@ -657,10 +688,20 @@ mod tests {
         let data = table_data(&ftl, 64, 1);
         let (id1, t1) = ftl.flush_table(t0, &data).unwrap();
         let (id2, _) = ftl.flush_table(t1, &data).unwrap();
-        let g1: std::collections::HashSet<u32> =
-            ftl.table(id1).unwrap().chunks.iter().map(|c| c.group).collect();
-        let g2: std::collections::HashSet<u32> =
-            ftl.table(id2).unwrap().chunks.iter().map(|c| c.group).collect();
+        let g1: std::collections::HashSet<u32> = ftl
+            .table(id1)
+            .unwrap()
+            .chunks
+            .iter()
+            .map(|c| c.group)
+            .collect();
+        let g2: std::collections::HashSet<u32> = ftl
+            .table(id2)
+            .unwrap()
+            .chunks
+            .iter()
+            .map(|c| c.group)
+            .collect();
         assert_eq!(g1.len(), 1);
         assert_eq!(g2.len(), 1);
         assert_ne!(g1, g2, "tables rotate across groups");
@@ -738,8 +779,7 @@ mod tests {
         let (id2, t2) = ftl.flush_table(t1, &data).unwrap();
         dev.crash(t2);
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-        let (mut re, t3, count) =
-            LightLsm::open(media, LightLsmConfig::default(), t2).unwrap();
+        let (mut re, t3, count) = LightLsm::open(media, LightLsmConfig::default(), t2).unwrap();
         assert_eq!(count, 2);
         let unit = re.block_bytes();
         let mut out = vec![0u8; unit];

@@ -8,8 +8,8 @@
 
 use crate::db::{DbIter, PutOutcome, SharedDb};
 use ox_sim::stats::TimeSeries;
+use ox_sim::sync::Mutex;
 use ox_sim::{Actor, Ctx, Executor, Prng, SimDuration, SimTime, Step};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -274,7 +274,10 @@ pub fn run_workload(db: &SharedDb, cfg: BenchConfig, start: SimTime) -> (BenchRe
     }
 
     while !client_ids.iter().all(|&id| ex.is_done(id)) {
-        assert!(ex.step_one(), "deadlock: clients pending but nothing scheduled");
+        assert!(
+            ex.step_one(),
+            "deadlock: clients pending but nothing scheduled"
+        );
     }
     let clients_done = *counters
         .finished

@@ -47,7 +47,8 @@ impl BlockBuilder {
     pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
         assert!(!key.is_empty() && key.len() <= u16::MAX as usize, "bad key");
         assert!(self.fits(key, value), "entry does not fit");
-        self.buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
         match value {
             Some(v) => {
                 assert!((v.len() as u64) < TOMBSTONE as u64, "value too large");
@@ -120,11 +121,13 @@ impl<'a> Iterator for BlockIter<'a> {
         if self.pos + 6 > self.data.len() {
             return None;
         }
-        let klen = u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().unwrap()) as usize;
+        let klen =
+            u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().unwrap()) as usize;
         if klen == 0 {
             return None; // zero padding: end of block
         }
-        let vlen_raw = u32::from_le_bytes(self.data[self.pos + 2..self.pos + 6].try_into().unwrap());
+        let vlen_raw =
+            u32::from_le_bytes(self.data[self.pos + 2..self.pos + 6].try_into().unwrap());
         let mut p = self.pos + 6;
         if p + klen > self.data.len() {
             return None;

@@ -116,7 +116,9 @@ mod tests {
         for i in 0..10_000 {
             f.insert(&key(i));
         }
-        let fps = (10_000..110_000).filter(|&i| f.maybe_contains(&key(i))).count();
+        let fps = (10_000..110_000)
+            .filter(|&i| f.maybe_contains(&key(i)))
+            .count();
         let rate = fps as f64 / 100_000.0;
         assert!(rate < 0.03, "false-positive rate {rate}");
         assert!(rate > 0.0001, "suspiciously perfect filter");
@@ -129,7 +131,9 @@ mod tests {
             for i in 0..2_000 {
                 f.insert(&key(i));
             }
-            (2_000..22_000).filter(|&i| f.maybe_contains(&key(i))).count()
+            (2_000..22_000)
+                .filter(|&i| f.maybe_contains(&key(i)))
+                .count()
         };
         assert!(build(4) > build(12));
     }

@@ -5,9 +5,9 @@
 //! merges them newest-wins, writes output tables, and deletes the inputs —
 //! which the FTL turns into chunk erases only.
 
+use crate::block::BlockIter;
 use crate::sstable::TableHandle;
 use crate::store::{StoreError, TableStore};
-use crate::block::BlockIter;
 use ox_sim::SimTime;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -79,7 +79,11 @@ impl TableStream {
             .handle
             .index
             .partition_point(|(last, _)| last.as_slice() < start);
-        self.next_block = self.handle.index.get(i).map_or(self.handle.data_blocks, |&(_, b)| b);
+        self.next_block = self
+            .handle
+            .index
+            .get(i)
+            .map_or(self.handle.data_blocks, |&(_, b)| b);
     }
 
     /// Submits prefetch reads at time `t` until the window is full.

@@ -15,8 +15,9 @@ use crate::memtable::Memtable;
 use crate::sstable::{TableBuilder, TableHandle};
 use crate::store::{StoreError, TableStore};
 use crate::version::{LevelMeta, Version};
+use ox_sim::sync::Mutex;
+use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -164,6 +165,7 @@ pub struct Db {
     active_cursor: usize,
     /// Table ids owned by an in-flight compaction.
     compacting: std::collections::HashSet<u64>,
+    obs: Obs,
 }
 
 /// State of one incremental compaction.
@@ -204,8 +206,16 @@ impl Db {
             actives: Vec::new(),
             active_cursor: 0,
             compacting: std::collections::HashSet::new(),
+            obs: Obs::default(),
             store,
         }
+    }
+
+    /// Points the database's observability at shared sinks. Flushes report
+    /// as `lsm.flush` spans, completed compactions as `lsm.compaction`, and
+    /// write-pressure events as `lsm.stall` / `lsm.slowdown`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Reopens a database from tables surviving in the backend after a
@@ -276,9 +286,7 @@ impl Db {
     fn write_pressure(&mut self, now: SimTime) -> Option<PutOutcome> {
         self.inflight_flushes.retain(|&done| done > now);
         let sealed = self.immutables.len() + self.inflight_flushes.len();
-        if sealed >= self.config.max_immutables
-            || self.version.l0_count() >= self.config.l0_stall
-        {
+        if sealed >= self.config.max_immutables || self.version.l0_count() >= self.config.l0_stall {
             return Some(PutOutcome::Stalled(now + self.config.stall_retry));
         }
         None
@@ -305,6 +313,8 @@ impl Db {
         }
         if let Some(stall) = self.write_pressure(now) {
             self.stats.stalls += 1;
+            self.obs.metrics.record("lsm.stall", 0);
+            self.obs.tracer.instant(now, "lsm", "stall", 0);
             return Ok(stall);
         }
         let mut t = now + self.config.put_cpu;
@@ -314,10 +324,10 @@ impl Db {
             // aggregate drain scales with the compactions in flight.
             let bytes = (key.len() + value.map_or(0, <[u8]>::len)).max(1);
             let aggregate = self.drain_rate * self.actives.len().max(1) as f64;
-            let service =
-                SimDuration::from_nanos((bytes as f64 * 1e9 / aggregate.max(1.0)) as u64);
+            let service = SimDuration::from_nanos((bytes as f64 * 1e9 / aggregate.max(1.0)) as u64);
             t = self.throttle.acquire(t, service).end;
             self.stats.slowdowns += 1;
+            self.obs.metrics.record("lsm.slowdown", bytes as u64);
         }
         match value {
             Some(v) => self.mem.put(key, v),
@@ -334,11 +344,7 @@ impl Db {
     }
 
     /// Looks up a key. Returns the value (if any) and the completion time.
-    pub fn get(
-        &mut self,
-        now: SimTime,
-        key: &[u8],
-    ) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
+    pub fn get(&mut self, now: SimTime, key: &[u8]) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
         if key.is_empty() {
             return Err(DbError::EmptyKey);
         }
@@ -429,6 +435,13 @@ impl Db {
         self.cstats.blocks_written += handle.data_blocks as u64;
         self.version.add_l0(handle);
         self.inflight_flushes.push(t);
+        self.obs.metrics.record("lsm.flush", bytes.len() as u64);
+        self.obs
+            .metrics
+            .observe("lsm.flush_latency_ns", t.saturating_since(now).as_nanos());
+        self.obs
+            .tracer
+            .span(now, t, "lsm", "flush", bytes.len() as u64);
         Ok(Some(t))
     }
 
@@ -560,7 +573,11 @@ impl Db {
             if processed >= budget_entries {
                 break;
             }
-            match ac.merge.next(&mut t, &mut ac.shadowed).map_err(DbError::from)? {
+            match ac
+                .merge
+                .next(&mut t, &mut ac.shadowed)
+                .map_err(DbError::from)?
+            {
                 Some((key, value)) => {
                     processed += 1;
                     t += self.config.build_cpu_per_entry;
@@ -568,8 +585,7 @@ impl Db {
                         ac.tombstones_dropped += 1;
                         continue;
                     }
-                    if ac.builder.projected_total_bytes() + block_bytes
-                        > self.config.table_bytes
+                    if ac.builder.projected_total_bytes() + block_bytes > self.config.table_bytes
                         && !ac.builder.is_empty()
                     {
                         let b = std::mem::replace(
@@ -619,6 +635,15 @@ impl Db {
             self.cstats.entries_out += ac.entries_out;
             self.cstats.tombstones_dropped += ac.tombstones_dropped;
             self.cstats.entries_shadowed += ac.shadowed;
+            let out_bytes = ac.blocks_written * block_bytes as u64;
+            self.obs.metrics.record("lsm.compaction", out_bytes);
+            self.obs.metrics.observe(
+                "lsm.compaction_latency_ns",
+                t.saturating_since(ac.started).as_nanos(),
+            );
+            self.obs
+                .tracer
+                .span(ac.started, t, "lsm", "compaction", out_bytes);
         } else {
             ac.frontier = t;
             self.actives.push(ac);
@@ -749,6 +774,11 @@ impl SharedDb {
     /// Runs `f` with exclusive access.
     pub fn with<R>(&self, f: impl FnOnce(&mut Db) -> R) -> R {
         f(&mut self.0.lock())
+    }
+
+    /// See [`Db::set_obs`].
+    pub fn set_obs(&self, obs: Obs) {
+        self.0.lock().set_obs(obs)
     }
 
     /// See [`Db::put`].

@@ -43,8 +43,7 @@ pub struct TableHandle {
 impl TableHandle {
     /// Data block that may contain `key`, or `None` if out of range.
     pub fn block_for(&self, key: &[u8]) -> Option<u32> {
-        if self.index.is_empty() || key < self.min_key.as_slice() || key > self.max_key.as_slice()
-        {
+        if self.index.is_empty() || key < self.min_key.as_slice() || key > self.max_key.as_slice() {
             return None;
         }
         let i = self
@@ -214,8 +213,7 @@ impl TableBuilder {
         // Pack meta into trailing blocks, reserving the trailer in the last.
         let total_meta = meta.len() + TRAILER_BYTES;
         let meta_blocks = total_meta.div_ceil(self.block_bytes).max(1);
-        let mut out =
-            Vec::with_capacity((data_blocks as usize + meta_blocks) * self.block_bytes);
+        let mut out = Vec::with_capacity((data_blocks as usize + meta_blocks) * self.block_bytes);
         for b in &self.blocks {
             out.extend_from_slice(b);
         }
@@ -283,7 +281,11 @@ mod tests {
             let b = h.block_for(&k).expect("in range") as usize;
             let block = &bytes[b * BLOCK..(b + 1) * BLOCK];
             let found = BlockIter::find(block, &k);
-            assert_eq!(found, Some(Some(&vec![(i % 251) as u8; 100][..])), "key {i}");
+            assert_eq!(
+                found,
+                Some(Some(&vec![(i % 251) as u8; 100][..])),
+                "key {i}"
+            );
         }
     }
 
@@ -302,7 +304,9 @@ mod tests {
         for i in 0..300 {
             assert!(h.bloom.maybe_contains(&key(i)));
         }
-        let fps = (1000..2000).filter(|&i| h.bloom.maybe_contains(&key(i))).count();
+        let fps = (1000..2000)
+            .filter(|&i| h.bloom.maybe_contains(&key(i)))
+            .count();
         assert!(fps < 60, "{fps} false positives");
     }
 
@@ -362,7 +366,11 @@ mod tests {
 
     #[test]
     fn projection_never_underestimates() {
-        for (block, n, vlen) in [(8192usize, 400u64, 100usize), (96 * 1024, 5000, 1024), (512, 300, 50)] {
+        for (block, n, vlen) in [
+            (8192usize, 400u64, 100usize),
+            (96 * 1024, 5000, 1024),
+            (512, 300, 50),
+        ] {
             let mut b = TableBuilder::new(block, 10);
             for i in 0..n {
                 b.add(&key(i), Some(&vec![1u8; vlen]));
@@ -387,6 +395,9 @@ mod tests {
         let (bytes, h) = b.finish();
         let back = TableHandle::from_bytes(3, 512, &bytes).unwrap();
         assert_eq!(back.index, h.index);
-        assert!(bytes.len() / 512 > h.data_blocks as usize + 1, "meta spans blocks");
+        assert!(
+            bytes.len() / 512 > h.data_blocks as usize + 1,
+            "meta spans blocks"
+        );
     }
 }

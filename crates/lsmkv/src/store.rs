@@ -12,8 +12,8 @@
 use lightlsm::{LightLsm, LightLsmError};
 use ocssd::SECTOR_BYTES;
 use ox_block::{BlockFtl, BlockFtlError};
+use ox_sim::sync::Mutex;
 use ox_sim::SimTime;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -240,10 +240,7 @@ impl TableStore for BlockStore {
     ) -> Result<SimTime, StoreError> {
         assert_eq!(out.len(), self.block_bytes);
         let mut inner = self.inner.lock();
-        let ext = inner
-            .tables
-            .get(&id)
-            .ok_or(StoreError::UnknownTable(id))?;
+        let ext = inner.tables.get(&id).ok_or(StoreError::UnknownTable(id))?;
         let pages_per_block = (self.block_bytes / SECTOR_BYTES) as u64;
         let start = ext.first_lpn + block as u64 * pages_per_block;
         if block as u64 * pages_per_block >= ext.pages {

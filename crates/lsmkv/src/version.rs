@@ -178,7 +178,11 @@ mod tests {
             1,
             1,
             &[],
-            vec![handle(10, "a", "f"), handle(11, "g", "m"), handle(12, "n", "z")],
+            vec![
+                handle(10, "a", "f"),
+                handle(11, "g", "m"),
+                handle(12, "n", "z"),
+            ],
         );
         let probes = v.tables_for_get(b"h");
         assert_eq!(probes.len(), 1);
@@ -196,7 +200,11 @@ mod tests {
             1,
             1,
             &[],
-            vec![handle(1, "a", "f"), handle(2, "g", "m"), handle(3, "n", "z")],
+            vec![
+                handle(1, "a", "f"),
+                handle(2, "g", "m"),
+                handle(3, "n", "z"),
+            ],
         );
         let o = v.overlapping(1, b"e", b"h");
         let ids: Vec<u64> = o.iter().map(|t| t.id).collect();

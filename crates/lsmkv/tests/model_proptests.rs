@@ -1,12 +1,15 @@
 //! Property test: the LSM store agrees with a `BTreeMap` model under random
 //! interleavings of puts, deletes, gets, scans, flushes and compactions.
+//!
+//! Interleavings come from the in-repo seeded [`Prng`] with the original
+//! proptest weights (put 5, delete 2, get 3, flush 1, compact 1, scan 1);
+//! every seed is an independent case, so a failure names the seed to replay.
 
 use lightlsm::{LightLsm, LightLsmConfig};
 use lsmkv::{Db, DbConfig, LightLsmStore, PutOutcome, TableStore};
 use ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice};
 use ox_core::{Media, OcssdMedia};
-use ox_sim::SimTime;
-use proptest::prelude::*;
+use ox_sim::{Prng, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -20,15 +23,16 @@ enum Op {
     Scan(u16),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
-        2 => any::<u16>().prop_map(Op::Delete),
-        3 => any::<u16>().prop_map(Op::Get),
-        1 => Just(Op::Flush),
-        1 => Just(Op::Compact),
-        1 => any::<u16>().prop_map(Op::Scan),
-    ]
+fn gen_op(rng: &mut Prng) -> Op {
+    // Weighted choice matching the original strategy: 5/2/3/1/1/1.
+    match rng.gen_range(13) {
+        0..=4 => Op::Put(rng.gen_range(1 << 16) as u16, rng.gen_range(256) as u8),
+        5..=6 => Op::Delete(rng.gen_range(1 << 16) as u16),
+        7..=9 => Op::Get(rng.gen_range(1 << 16) as u16),
+        10 => Op::Flush,
+        11 => Op::Compact,
+        _ => Op::Scan(rng.gen_range(1 << 16) as u16),
+    }
 }
 
 fn key(k: u16) -> [u8; 16] {
@@ -59,11 +63,13 @@ fn drain(db: &mut Db, mut t: SimTime) -> SimTime {
     t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn db_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+#[test]
+fn db_matches_btreemap_model() {
+    for seed in 0..32u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let ops: Vec<Op> = (0..rng.gen_range_in(1, 250))
+            .map(|_| gen_op(&mut rng))
+            .collect();
         let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
             Geometry::paper_tlc_scaled(22, 32),
         )));
@@ -114,10 +120,10 @@ proptest! {
                     t = done;
                     match model.get(&k) {
                         Some(&v) => {
-                            let got = got.unwrap_or_else(|| panic!("key {k} missing"));
-                            prop_assert_eq!(got[16], v, "key {} wrong version", k);
+                            let got = got.unwrap_or_else(|| panic!("seed {seed}: key {k} missing"));
+                            assert_eq!(got[16], v, "seed {seed}: key {k} wrong version");
                         }
-                        None => prop_assert_eq!(got, None, "key {} resurrected", k),
+                        None => assert_eq!(got, None, "seed {seed}: key {k} resurrected"),
                     }
                 }
                 Op::Flush => {
@@ -134,19 +140,17 @@ proptest! {
                 Op::Scan(from) => {
                     let mut iter = db.scan_from(&key(from));
                     let mut tt = t;
-                    let expect: Vec<(u16, u8)> = model
-                        .range(from..)
-                        .map(|(&k, &v)| (k, v))
-                        .collect();
+                    let expect: Vec<(u16, u8)> =
+                        model.range(from..).map(|(&k, &v)| (k, v)).collect();
                     let mut got = Vec::new();
                     while let Some((k, v)) = iter.next(&mut tt).unwrap() {
                         got.push((k, v));
                     }
-                    prop_assert_eq!(got.len(), expect.len(), "scan length");
+                    assert_eq!(got.len(), expect.len(), "seed {seed}: scan length");
                     for ((gk, gv), (ek, ev)) in got.iter().zip(expect.iter()) {
                         let ek_bytes = key(*ek);
-                        prop_assert_eq!(gk.as_slice(), &ek_bytes[..]);
-                        prop_assert_eq!(gv[16], *ev);
+                        assert_eq!(gk.as_slice(), &ek_bytes[..], "seed {seed}");
+                        assert_eq!(gv[16], *ev, "seed {seed}");
                     }
                     t = tt;
                 }
@@ -158,8 +162,8 @@ proptest! {
         for (&k, &v) in &model {
             let (got, done) = db.get(t, &key(k)).unwrap();
             t = done;
-            let got = got.unwrap_or_else(|| panic!("key {k} lost at end"));
-            prop_assert_eq!(got[16], v);
+            let got = got.unwrap_or_else(|| panic!("seed {seed}: key {k} lost at end"));
+            assert_eq!(got[16], v, "seed {seed}");
         }
     }
 }

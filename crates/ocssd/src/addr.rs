@@ -45,8 +45,7 @@ impl ChunkAddr {
     /// Dense index in `[0, geo.total_chunks())`, ordered group-major.
     pub fn linear(&self, geo: &Geometry) -> u64 {
         debug_assert!(self.is_valid(geo));
-        ((self.group as u64 * geo.pus_per_group as u64) + self.pu as u64)
-            * geo.chunks_per_pu as u64
+        ((self.group as u64 * geo.pus_per_group as u64) + self.pu as u64) * geo.chunks_per_pu as u64
             + self.chunk as u64
     }
 
@@ -141,7 +140,11 @@ impl fmt::Display for ChunkAddr {
 
 impl fmt::Debug for Ppa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "g{}p{}c{}s{}", self.group, self.pu, self.chunk, self.sector)
+        write!(
+            f,
+            "g{}p{}c{}s{}",
+            self.group, self.pu, self.chunk, self.sector
+        )
     }
 }
 

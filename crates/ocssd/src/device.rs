@@ -28,10 +28,10 @@ use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::media::MediaStore;
 use crate::stats::DeviceStats;
-use crate::trace::{TraceBuffer, TraceEntry, TraceKind};
 use crate::SECTOR_BYTES;
+use ox_sim::sync::Mutex;
+use ox_sim::trace::{Obs, TraceEvent};
 use ox_sim::{Prng, SimDuration, SimTime, Timeline};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Completion record of a device command.
@@ -136,7 +136,7 @@ pub struct OcssdDevice {
     rng: Prng,
     stats: DeviceStats,
     events: Vec<MediaEvent>,
-    trace: TraceBuffer,
+    obs: Obs,
 }
 
 impl OcssdDevice {
@@ -169,7 +169,7 @@ impl OcssdDevice {
             rng,
             stats: DeviceStats::default(),
             events: Vec::new(),
-            trace: TraceBuffer::new(4096),
+            obs: Obs::new(4096),
         }
     }
 
@@ -218,12 +218,44 @@ impl OcssdDevice {
 
     /// Enables or disables I/O tracing.
     pub fn set_trace(&mut self, on: bool) {
-        self.trace.set_enabled(on);
+        self.obs.tracer.set_enabled(on);
     }
 
-    /// Snapshot of the trace buffer.
-    pub fn trace_snapshot(&self) -> Vec<TraceEntry> {
-        self.trace.snapshot()
+    /// Snapshot of the trace buffer (oldest first; bounded drop-oldest).
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.obs.tracer.snapshot()
+    }
+
+    /// Replaces the device's observability sinks with shared ones so the
+    /// device reports into the same [`Obs`] as the layers above it. The
+    /// tracer's enabled state carries over from the handed-in pair.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The device's observability sinks (tracer + metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Publishes point-in-time per-PU gauges into the metrics registry:
+    /// `device.pu.<i>.queue_delay_ns` (total queueing delay imposed so far)
+    /// and `device.pu.<i>.busy_ppm` (utilization over `[0, horizon]`, in
+    /// parts per million). Called by exporters before snapshotting.
+    pub fn publish_pu_metrics(&self, horizon: SimTime) {
+        for (i, pu) in self.pus.iter().enumerate() {
+            let delay = pu.total_queue_delay().as_nanos();
+            let busy = (pu.utilization(horizon) * 1e6) as i64;
+            self.obs
+                .metrics
+                .gauge_set(&format!("device.pu.{i}.queue_delay_ns"), delay as i64);
+            self.obs
+                .metrics
+                .gauge_set(&format!("device.pu.{i}.busy_ppm"), busy);
+        }
+        self.obs
+            .metrics
+            .gauge_set("device.cache.stalls", self.cache.stalls() as i64);
     }
 
     /// Utilization of each parallel unit over `[0, horizon]`.
@@ -305,13 +337,18 @@ impl OcssdDevice {
         let chan_done = chan.acquire(ack, self.profile.transfer_time(sectors)).end;
         let units = sectors / self.geo.ws_min;
         let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
-        let durable_at = pu.acquire(chan_done, self.profile.program_time(units)).end;
+        let grant = pu.acquire(chan_done, self.profile.program_time(units));
+        let durable_at = grant.end;
+        self.obs.metrics.observe(
+            "device.pu.queue_delay_ns",
+            grant.start.saturating_since(chan_done).as_nanos(),
+        );
         self.cache.commit(bytes, durable_at);
 
         // Error model: a failed program retires the chunk *after* the ack —
         // reported through the asynchronous event log.
-        let failed = self.config.program_fail_prob > 0.0
-            && self.rng.gen_bool(self.config.program_fail_prob);
+        let failed =
+            self.config.program_fail_prob > 0.0 && self.rng.gen_bool(self.config.program_fail_prob);
 
         let idx = self.chunk_index(addr);
         self.chunks[idx].accept_write(ppa.sector, sectors, self.geo.sectors_per_chunk, durable_at);
@@ -322,8 +359,13 @@ impl OcssdDevice {
         }
         if failed {
             self.chunks[idx].set_offline();
-            self.media.discard_range(base, base + self.geo.sectors_per_chunk as u64);
+            self.media
+                .discard_range(base, base + self.geo.sectors_per_chunk as u64);
             self.stats.media_failures += 1;
+            self.obs.metrics.record("device.media_failure", 0);
+            self.obs
+                .tracer
+                .instant(durable_at, "device", "program_fail", 0);
             self.events.push(MediaEvent {
                 at: durable_at,
                 chunk: addr,
@@ -336,13 +378,12 @@ impl OcssdDevice {
         self.stats
             .write_latency
             .record(ack.saturating_since(now).as_nanos());
-        self.trace.record(TraceEntry {
-            at: now,
-            done: ack,
-            kind: TraceKind::Write,
-            chunk: addr,
-            sectors,
-        });
+        self.obs.metrics.record("device.write", bytes);
+        self.obs.metrics.observe(
+            "device.write_latency_ns",
+            ack.saturating_since(now).as_nanos(),
+        );
+        self.obs.tracer.span(now, ack, "device", "write", bytes);
         Ok(Completion {
             submitted: now,
             done: ack,
@@ -376,7 +417,13 @@ impl OcssdDevice {
     /// Reads `sectors` contiguous logical blocks starting at `ppa` into
     /// `out` (must be exactly `sectors * 4096` bytes). Sectors still in the
     /// controller cache are served at cache latency.
-    pub fn read(&mut self, now: SimTime, ppa: Ppa, sectors: u32, out: &mut [u8]) -> Result<Completion> {
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        ppa: Ppa,
+        sectors: u32,
+        out: &mut [u8],
+    ) -> Result<Completion> {
         if out.len() != sectors as usize * SECTOR_BYTES {
             return Err(DeviceError::BufferSizeMismatch {
                 expected: sectors as usize * SECTOR_BYTES,
@@ -394,35 +441,37 @@ impl OcssdDevice {
             ppa.sector >= durable
         };
 
+        let bytes = sectors as u64 * SECTOR_BYTES as u64;
         let done = if all_cached {
             let t = self.profile.cache_hit + self.host_link_time(sectors);
             let done = self.host_link.acquire(now, t).end;
-            self.stats.cache_reads.record(sectors as u64 * SECTOR_BYTES as u64);
-            self.trace.record(TraceEntry {
-                at: now,
-                done,
-                kind: TraceKind::CacheRead,
-                chunk: addr,
-                sectors,
-            });
+            self.stats.cache_reads.record(bytes);
+            self.obs.metrics.record("device.read.cache", bytes);
+            self.obs
+                .tracer
+                .span(now, done, "device", "read.cache", bytes);
             done
         } else {
             let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
-            let media_done = pu
-                .acquire(now, self.profile.read_media_time(sectors, self.geo.sectors_per_page))
-                .end;
+            let grant = pu.acquire(
+                now,
+                self.profile
+                    .read_media_time(sectors, self.geo.sectors_per_page),
+            );
+            self.obs.metrics.observe(
+                "device.pu.queue_delay_ns",
+                grant.start.saturating_since(now).as_nanos(),
+            );
+            let media_done = grant.end;
             let chan = &mut self.channels[addr.group as usize];
             let done = chan
                 .acquire(media_done, self.profile.transfer_time(sectors))
                 .end;
-            self.stats.media_reads.record(sectors as u64 * SECTOR_BYTES as u64);
-            self.trace.record(TraceEntry {
-                at: now,
-                done,
-                kind: TraceKind::MediaRead,
-                chunk: addr,
-                sectors,
-            });
+            self.stats.media_reads.record(bytes);
+            self.obs.metrics.record("device.read.media", bytes);
+            self.obs
+                .tracer
+                .span(now, done, "device", "read.media", bytes);
             done
         };
 
@@ -435,7 +484,13 @@ impl OcssdDevice {
             );
             debug_assert!(found, "validated sector missing from media store");
         }
-        self.stats.read_latency.record(done.saturating_since(now).as_nanos());
+        self.stats
+            .read_latency
+            .record(done.saturating_since(now).as_nanos());
+        self.obs.metrics.observe(
+            "device.read_latency_ns",
+            done.saturating_since(now).as_nanos(),
+        );
         Ok(Completion {
             submitted: now,
             done,
@@ -445,7 +500,12 @@ impl OcssdDevice {
     /// Scatter read of arbitrary logical blocks (the OCSSD vector read).
     /// `out` must be `ppas.len() * 4096` bytes; completion is the last
     /// sector's arrival.
-    pub fn read_vector(&mut self, now: SimTime, ppas: &[Ppa], out: &mut [u8]) -> Result<Completion> {
+    pub fn read_vector(
+        &mut self,
+        now: SimTime,
+        ppas: &[Ppa],
+        out: &mut [u8],
+    ) -> Result<Completion> {
         if out.len() != ppas.len() * SECTOR_BYTES {
             return Err(DeviceError::BufferSizeMismatch {
                 expected: ppas.len() * SECTOR_BYTES,
@@ -493,18 +553,19 @@ impl OcssdDevice {
         self.media
             .discard_range(base, base + self.geo.sectors_per_chunk as u64);
         self.stats.resets.record(self.geo.chunk_bytes());
-        self.trace.record(TraceEntry {
-            at: now,
-            done,
-            kind: TraceKind::Reset,
-            chunk: addr,
-            sectors: self.geo.sectors_per_chunk,
-        });
+        self.obs
+            .metrics
+            .record("device.reset", self.geo.chunk_bytes());
+        self.obs
+            .tracer
+            .span(now, done, "device", "reset", self.geo.chunk_bytes());
 
         // Wear-out / erase-failure model.
         if wear >= self.geo.endurance {
             self.chunks[idx].set_offline();
             self.stats.media_failures += 1;
+            self.obs.metrics.record("device.media_failure", 0);
+            self.obs.tracer.instant(done, "device", "wear_out", 0);
             self.events.push(MediaEvent {
                 at: done,
                 chunk: addr,
@@ -517,6 +578,8 @@ impl OcssdDevice {
             if self.rng.gen_bool(self.config.erase_fail_prob * wear_factor) {
                 self.chunks[idx].set_offline();
                 self.stats.media_failures += 1;
+                self.obs.metrics.record("device.media_failure", 0);
+                self.obs.tracer.instant(done, "device", "erase_fail", 0);
                 self.events.push(MediaEvent {
                     at: done,
                     chunk: addr,
@@ -558,28 +621,22 @@ impl OcssdDevice {
         }
         let units = sectors / self.geo.ws_min;
         let pu = &mut self.pus[dst.pu_linear(&self.geo) as usize];
-        let done = pu
-            .acquire(last_read, self.profile.program_time(units))
-            .end;
+        let done = pu.acquire(last_read, self.profile.program_time(units)).end;
 
         let idx = self.chunk_index(dst);
         self.chunks[idx].accept_write(dst_wp, sectors, self.geo.sectors_per_chunk, done);
         let dst_base = dst.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
         for (i, &src) in srcs.iter().enumerate() {
             let src_idx = src.linear(&self.geo);
-            let ok = self.media.copy_sector(src_idx, dst_base + dst_wp as u64 + i as u64);
+            let ok = self
+                .media
+                .copy_sector(src_idx, dst_base + dst_wp as u64 + i as u64);
             debug_assert!(ok, "validated source sector missing");
         }
-        self.stats
-            .copies
-            .record(sectors as u64 * SECTOR_BYTES as u64);
-        self.trace.record(TraceEntry {
-            at: now,
-            done,
-            kind: TraceKind::Copy,
-            chunk: dst,
-            sectors,
-        });
+        let bytes = sectors as u64 * SECTOR_BYTES as u64;
+        self.stats.copies.record(bytes);
+        self.obs.metrics.record("device.copy", bytes);
+        self.obs.tracer.span(now, done, "device", "copy", bytes);
         Ok(Completion {
             submitted: now,
             done,
@@ -689,6 +746,16 @@ impl SharedDevice {
     /// See [`OcssdDevice::crash`].
     pub fn crash(&self, now: SimTime) {
         self.0.lock().crash(now)
+    }
+
+    /// See [`OcssdDevice::set_obs`].
+    pub fn set_obs(&self, obs: Obs) {
+        self.0.lock().set_obs(obs)
+    }
+
+    /// Clone of the device's observability sinks.
+    pub fn obs(&self) -> Obs {
+        self.0.lock().obs().clone()
     }
 }
 
@@ -811,8 +878,13 @@ mod tests {
         let c = dev.reset_chunk(t(1000), addr).unwrap();
         dev.write(c.done, addr.ppa(0), &unit_data(&geo, 7)).unwrap();
         let mut out = vec![0u8; geo.ws_min_bytes()];
-        dev.read(c.done + SimDuration::from_secs(1), addr.ppa(0), geo.ws_min, &mut out)
-            .unwrap();
+        dev.read(
+            c.done + SimDuration::from_secs(1),
+            addr.ppa(0),
+            geo.ws_min,
+            &mut out,
+        )
+        .unwrap();
         assert!(out.iter().all(|&b| b == 7));
     }
 
@@ -1105,6 +1177,7 @@ mod tests {
 
     #[test]
     fn trace_records_operations() {
+        use ox_sim::trace::TracePhase;
         let mut dev = small_device();
         let geo = *dev.geometry();
         dev.set_trace(true);
@@ -1113,8 +1186,25 @@ mod tests {
         let mut out = vec![0u8; SECTOR_BYTES];
         dev.read(t(1_000_000), addr.ppa(0), 1, &mut out).unwrap();
         let snap = dev.trace_snapshot();
-        assert_eq!(snap.len(), 2);
-        assert_eq!(snap[0].kind, TraceKind::Write);
-        assert_eq!(snap[1].kind, TraceKind::MediaRead);
+        // One begin/end pair per operation.
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].op, "write");
+        assert_eq!(snap[0].phase, TracePhase::Begin);
+        assert_eq!(snap[1].op, "write");
+        assert_eq!(snap[1].phase, TracePhase::End);
+        assert_eq!(snap[0].span, snap[1].span);
+        assert_eq!(snap[2].op, "read.media");
+        assert_eq!(snap[3].op, "read.media");
+        assert_eq!(snap[2].span, snap[3].span);
+        // Metrics saw the same traffic as DeviceStats.
+        let m = dev.obs().metrics.clone();
+        assert_eq!(
+            m.counter("device.write").bytes(),
+            dev.stats().writes.bytes()
+        );
+        assert_eq!(
+            m.counter("device.read.media").bytes(),
+            dev.stats().media_reads.bytes()
+        );
     }
 }

@@ -75,7 +75,10 @@ impl fmt::Display for DeviceError {
             DeviceError::ChunkOffline(c) => write!(f, "chunk {c} is offline"),
             DeviceError::MediaFailure(c) => write!(f, "media failure on {c}"),
             DeviceError::BufferSizeMismatch { expected, got } => {
-                write!(f, "buffer size mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "buffer size mismatch: expected {expected} bytes, got {got}"
+                )
             }
         }
     }

@@ -39,7 +39,6 @@ mod error;
 mod geometry;
 mod media;
 mod stats;
-mod trace;
 
 pub use addr::{ChunkAddr, Ppa};
 pub use cache::CacheConfig;
@@ -48,8 +47,8 @@ pub use chunk::{ChunkInfo, ChunkState};
 pub use device::{Completion, DeviceConfig, MediaEvent, MediaEventKind, OcssdDevice, SharedDevice};
 pub use error::{DeviceError, Result};
 pub use geometry::Geometry;
+pub use ox_sim::trace::{Obs, TraceEvent, TracePhase};
 pub use stats::DeviceStats;
-pub use trace::{TraceEntry, TraceKind};
 
 /// Size of one logical block (sector) in bytes: the unit of read.
 pub const SECTOR_BYTES: usize = 4096;

@@ -26,10 +26,7 @@ impl MediaStore {
     /// trim keeps simulated multi-gigabyte logs cheap in host memory.
     pub(crate) fn write_sector(&mut self, index: u64, data: &[u8]) {
         debug_assert_eq!(data.len(), SECTOR_BYTES);
-        let used = data
-            .iter()
-            .rposition(|&b| b != 0)
-            .map_or(0, |p| p + 1);
+        let used = data.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
         self.sectors.insert(index, data[..used].into());
     }
 

@@ -1,10 +1,16 @@
 //! Property-based tests: the device is checked against a simple in-memory
 //! model under random command sequences, and crash-consistency invariants are
 //! verified at arbitrary crash points.
+//!
+//! Random interleavings come from the in-repo seeded [`Prng`]; every seed is
+//! an independent case, so an assertion failure names the seed to replay.
+//! Together these check the OCSSD 2.0 chunk state machine: sequential-write
+//! discipline at the write pointer, Free→Open→Closed transitions, reset
+//! semantics and wear accounting, and the rule that reads beyond the write
+//! pointer fail.
 
 use ocssd::{ChunkAddr, ChunkState, DeviceConfig, OcssdDevice, SECTOR_BYTES};
-use ox_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use ox_sim::{Prng, SimDuration, SimTime};
 
 fn device() -> OcssdDevice {
     OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8))
@@ -27,12 +33,21 @@ enum Op {
     Read { c: u8, frac: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..8, 1u8..5, any::<u8>()).prop_map(|(c, units, fill)| Op::Write { c, units, fill }),
-        (0u8..8).prop_map(|c| Op::Reset { c }),
-        (0u8..8, any::<u8>()).prop_map(|(c, frac)| Op::Read { c, frac }),
-    ]
+fn gen_op(rng: &mut Prng) -> Op {
+    match rng.gen_range(3) {
+        0 => Op::Write {
+            c: rng.gen_range(8) as u8,
+            units: rng.gen_range_in(1, 5) as u8,
+            fill: rng.gen_range(256) as u8,
+        },
+        1 => Op::Reset {
+            c: rng.gen_range(8) as u8,
+        },
+        _ => Op::Read {
+            c: rng.gen_range(8) as u8,
+            frac: rng.gen_range(256) as u8,
+        },
+    }
 }
 
 fn chunk_addr(i: u8) -> ChunkAddr {
@@ -40,13 +55,15 @@ fn chunk_addr(i: u8) -> ChunkAddr {
     ChunkAddr::new((i % 4) as u32, (i / 4) as u32, (i % 3) as u32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The device agrees with a straightforward append-only model under
-    /// arbitrary interleavings of writes, resets and reads.
-    #[test]
-    fn device_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// The device agrees with a straightforward append-only model under
+/// arbitrary interleavings of writes, resets and reads.
+#[test]
+fn device_matches_model() {
+    for seed in 0..64u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let ops: Vec<Op> = (0..rng.gen_range_in(1, 60))
+            .map(|_| gen_op(&mut rng))
+            .collect();
         let mut dev = device();
         let geo = *dev.geometry();
         let unit_bytes = geo.ws_min_bytes();
@@ -69,7 +86,7 @@ proptest! {
                         now = comp.done;
                         m.data.extend_from_slice(&data);
                     } else {
-                        prop_assert!(res.is_err(), "overflowing write must fail");
+                        assert!(res.is_err(), "seed {seed}: overflowing write must fail");
                     }
                 }
                 Op::Reset { c } => {
@@ -77,7 +94,7 @@ proptest! {
                     let m = &mut model[c as usize];
                     let res = dev.reset_chunk(now, addr);
                     if m.data.is_empty() {
-                        prop_assert!(res.is_err(), "reset of free chunk must fail");
+                        assert!(res.is_err(), "seed {seed}: reset of free chunk must fail");
                     } else {
                         now = res.expect("reset of written chunk succeeds").done;
                         m.data.clear();
@@ -90,15 +107,19 @@ proptest! {
                     let written_sectors = (m.data.len() / SECTOR_BYTES) as u32;
                     if written_sectors == 0 {
                         let mut out = vec![0u8; SECTOR_BYTES];
-                        prop_assert!(dev.read(now, addr.ppa(0), 1, &mut out).is_err());
+                        assert!(
+                            dev.read(now, addr.ppa(0), 1, &mut out).is_err(),
+                            "seed {seed}: read of empty chunk must fail"
+                        );
                     } else {
                         let s = (frac as u32) % written_sectors;
                         let mut out = vec![0u8; SECTOR_BYTES];
-                        let comp = dev.read(now, addr.ppa(s), 1, &mut out)
+                        let comp = dev
+                            .read(now, addr.ppa(s), 1, &mut out)
                             .expect("read of written sector succeeds");
                         now = comp.done;
                         let off = s as usize * SECTOR_BYTES;
-                        prop_assert_eq!(&out[..], &m.data[off..off + SECTOR_BYTES]);
+                        assert_eq!(&out[..], &m.data[off..off + SECTOR_BYTES], "seed {seed}");
                     }
                 }
             }
@@ -107,8 +128,12 @@ proptest! {
         // Final metadata agreement.
         for (i, m) in model.iter().enumerate() {
             let info = dev.chunk_info(chunk_addr(i as u8));
-            prop_assert_eq!(info.write_ptr as usize * SECTOR_BYTES, m.data.len());
-            prop_assert_eq!(info.wear, m.wear);
+            assert_eq!(
+                info.write_ptr as usize * SECTOR_BYTES,
+                m.data.len(),
+                "seed {seed}: chunk {i} write pointer"
+            );
+            assert_eq!(info.wear, m.wear, "seed {seed}: chunk {i} wear");
             let expect_state = if m.data.is_empty() {
                 ChunkState::Free
             } else if m.data.len() == chunk_bytes {
@@ -116,19 +141,30 @@ proptest! {
             } else {
                 ChunkState::Open
             };
-            prop_assert_eq!(info.state, expect_state);
+            assert_eq!(info.state, expect_state, "seed {seed}: chunk {i} state");
         }
     }
+}
 
-    /// After a crash at an arbitrary instant, every chunk's write pointer is
-    /// a prefix of what was acknowledged, flushed data always survives, and
-    /// all surviving sectors are readable with correct contents.
-    #[test]
-    fn crash_preserves_durable_prefix(
-        writes in proptest::collection::vec((0u8..8, 1u8..4, any::<u8>()), 1..20),
-        crash_frac in 0.0f64..1.0,
-        flush_before_crash in any::<bool>(),
-    ) {
+/// After a crash at an arbitrary instant, every chunk's write pointer is a
+/// prefix of what was acknowledged, flushed data always survives, and all
+/// surviving sectors are readable with correct contents.
+#[test]
+fn crash_preserves_durable_prefix() {
+    for seed in 0..64u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let writes: Vec<(u8, u8, u8)> = (0..rng.gen_range_in(1, 20))
+            .map(|_| {
+                (
+                    rng.gen_range(8) as u8,
+                    rng.gen_range_in(1, 4) as u8,
+                    rng.gen_range(256) as u8,
+                )
+            })
+            .collect();
+        let crash_frac = rng.gen_f64();
+        let flush_before_crash = rng.gen_bool(0.5);
+
         let mut dev = device();
         let geo = *dev.geometry();
         let unit_bytes = geo.ws_min_bytes();
@@ -164,24 +200,42 @@ proptest! {
         for (i, m) in model.iter().enumerate() {
             let addr = chunk_addr(i as u8);
             let info = dev.chunk_info(addr);
-            prop_assert!(info.write_ptr <= acked[i], "never more than acked");
+            assert!(
+                info.write_ptr <= acked[i],
+                "seed {seed}: never more than acked"
+            );
             if flush_before_crash {
-                prop_assert_eq!(info.write_ptr, acked[i], "flushed data survives");
+                assert_eq!(
+                    info.write_ptr, acked[i],
+                    "seed {seed}: flushed data survives"
+                );
             }
             // Surviving sectors read back exactly the model prefix.
             for s in 0..info.write_ptr {
                 let mut out = vec![0u8; SECTOR_BYTES];
-                dev.read(crash_at + SimDuration::from_secs(10), addr.ppa(s), 1, &mut out)
-                    .expect("durable sector readable after crash");
+                dev.read(
+                    crash_at + SimDuration::from_secs(10),
+                    addr.ppa(s),
+                    1,
+                    &mut out,
+                )
+                .expect("durable sector readable after crash");
                 let off = s as usize * SECTOR_BYTES;
-                prop_assert_eq!(&out[..], &m.data[off..off + SECTOR_BYTES]);
+                assert_eq!(&out[..], &m.data[off..off + SECTOR_BYTES], "seed {seed}");
             }
             // The first lost sector is unreadable.
             if info.write_ptr < acked[i] {
                 let mut out = vec![0u8; SECTOR_BYTES];
-                prop_assert!(dev
-                    .read(crash_at + SimDuration::from_secs(10), addr.ppa(info.write_ptr), 1, &mut out)
-                    .is_err());
+                assert!(
+                    dev.read(
+                        crash_at + SimDuration::from_secs(10),
+                        addr.ppa(info.write_ptr),
+                        1,
+                        &mut out
+                    )
+                    .is_err(),
+                    "seed {seed}: lost sector must be unreadable"
+                );
             }
         }
     }

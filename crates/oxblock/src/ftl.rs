@@ -10,6 +10,7 @@ use ox_core::recovery::{self, RecoveryOutcome};
 use ox_core::stats::FtlStats;
 use ox_core::wal::{Wal, WalError, WalRecord};
 use ox_core::{badblock::BadBlockTable, Media};
+use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -116,6 +117,7 @@ pub struct BlockFtl {
     /// Per-group instant until which GC activity occupies the group
     /// (interference accounting for the §4.3 locality numbers).
     gc_busy_until: Vec<SimTime>,
+    obs: Obs,
 }
 
 impl BlockFtl {
@@ -157,6 +159,7 @@ impl BlockFtl {
             next_txid: 1,
             last_checkpoint: now,
             gc_busy_until: vec![SimTime::ZERO; geo.num_groups as usize],
+            obs: Obs::default(),
             layout,
             wal,
             ckpt,
@@ -164,6 +167,16 @@ impl BlockFtl {
             config,
         };
         Ok((ftl, done))
+    }
+
+    /// Threads shared observability through the FTL and its framework
+    /// components (WAL, GC, checkpoint store). Dispatch-level operations are
+    /// reported under the `oxblock` subsystem.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.wal.set_obs(obs.clone());
+        self.gc.set_obs(obs.clone());
+        self.ckpt.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Recovers OX-Block after a crash: loads the newest checkpoint, replays
@@ -174,10 +187,21 @@ impl BlockFtl {
         config: BlockFtlConfig,
         now: SimTime,
     ) -> Result<(BlockFtl, RecoveryOutcome), BlockFtlError> {
+        Self::recover_with_obs(media, config, now, Obs::default())
+    }
+
+    /// [`BlockFtl::recover`] with shared observability threaded through the
+    /// recovery phases and the rebuilt WAL/GC/checkpoint components.
+    pub fn recover_with_obs(
+        media: Arc<dyn Media>,
+        config: BlockFtlConfig,
+        now: SimTime,
+        obs: Obs,
+    ) -> Result<(BlockFtl, RecoveryOutcome), BlockFtlError> {
         let geo = media.geometry();
         let layout = Layout::plan(&geo, config.layout);
         let logical_pages = config.logical_capacity_bytes / SECTOR_BYTES as u64;
-        let outcome = recovery::recover(&media, &layout, geo, logical_pages, now);
+        let outcome = recovery::recover_with_obs(&media, &layout, geo, logical_pages, now, &obs);
         let mut t = outcome.done;
 
         // Persist the recovered state so the old log can be retired, then
@@ -187,6 +211,7 @@ impl BlockFtl {
             layout.checkpoint_a.clone(),
             layout.checkpoint_b.clone(),
         );
+        ckpt.set_obs(obs.clone());
         let snapshot = outcome.map.snapshot();
         let covered = outcome
             .frames_scanned
@@ -199,12 +224,12 @@ impl BlockFtl {
         t = wal_done;
 
         let reserved = layout.reserved_linear(&geo);
-        let map = PageMap::from_snapshot(geo, &snapshot)
-            .expect("snapshot we just produced must decode");
+        let map =
+            PageMap::from_snapshot(geo, &snapshot).expect("snapshot we just produced must decode");
         let prov = Provisioner::from_report(geo, &reserved, &media.report_all());
         let mut stats = FtlStats::default();
         stats.checkpoints += 1;
-        let ftl = BlockFtl {
+        let mut ftl = BlockFtl {
             geo,
             map,
             prov,
@@ -214,12 +239,14 @@ impl BlockFtl {
             next_txid: 1,
             last_checkpoint: t,
             gc_busy_until: vec![SimTime::ZERO; geo.num_groups as usize],
+            obs: Obs::default(),
             layout,
             wal,
             ckpt,
             media,
             config,
         };
+        ftl.set_obs(obs);
         let mut outcome = outcome;
         outcome.done = t;
         outcome.duration = t.saturating_since(now);
@@ -264,9 +291,9 @@ impl BlockFtl {
         let mut gc_ran = false;
         let mut t = self.ensure_log_space(now)?;
         while self.gc.needs_gc(&self.prov) {
-            let pass = self
-                .gc
-                .collect(t, &self.media, &mut self.map, &mut self.prov, &mut self.wal)?;
+            let pass =
+                self.gc
+                    .collect(t, &self.media, &mut self.map, &mut self.prov, &mut self.wal)?;
             gc_ran = true;
             self.stats.gc_passes += 1;
             self.stats
@@ -322,9 +349,7 @@ impl BlockFtl {
                     ppa_linear: ppa.linear(&self.geo),
                 });
             }
-            self.stats
-                .physical_user_writes
-                .record(unit_bytes as u64);
+            self.stats.physical_user_writes.record(unit_bytes as u64);
             sector_idx += in_unit;
         }
 
@@ -337,6 +362,10 @@ impl BlockFtl {
         let done = self.wal.commit(durable)?;
         self.stats.user_writes.record(data.len() as u64);
         self.stats.metadata_writes.record(0); // tracked via wal bytes below
+        self.obs.metrics.record("oxblock.write", data.len() as u64);
+        self.obs
+            .tracer
+            .span(now, done, "oxblock", "write", data.len() as u64);
         Ok(WriteOutcome { done, gc_ran })
     }
 
@@ -351,29 +380,29 @@ impl BlockFtl {
         assert_eq!(out.len(), SECTOR_BYTES, "read buffer must be one page");
         self.check_lpn(lpn)?;
         self.stats.user_reads.record(SECTOR_BYTES as u64);
-        match self.map.lookup(lpn) {
+        let comp = match self.map.lookup(lpn) {
             Some(ppa) => {
                 self.note_user_io(now, ppa.group);
-                Ok(self.media.read(now, ppa, 1, out)?)
+                self.media.read(now, ppa, 1, out)?
             }
             None => {
                 out.fill(0);
                 // Mapping lookup only; charge a microsecond of FTL CPU.
-                Ok(Completion {
+                Completion {
                     submitted: now,
                     done: now + SimDuration::from_micros(1),
-                })
+                }
             }
-        }
+        };
+        self.obs.metrics.record("oxblock.read", SECTOR_BYTES as u64);
+        self.obs
+            .tracer
+            .span(now, comp.done, "oxblock", "read", SECTOR_BYTES as u64);
+        Ok(comp)
     }
 
     /// Trims `pages` logical pages starting at `lpn` (transactional).
-    pub fn trim(
-        &mut self,
-        now: SimTime,
-        lpn: u64,
-        pages: u64,
-    ) -> Result<SimTime, BlockFtlError> {
+    pub fn trim(&mut self, now: SimTime, lpn: u64, pages: u64) -> Result<SimTime, BlockFtlError> {
         if pages == 0 {
             return Ok(now);
         }
@@ -388,7 +417,10 @@ impl BlockFtl {
             }
         }
         self.wal.append(WalRecord::TxCommit { txid });
-        Ok(self.wal.commit(now)?)
+        let done = self.wal.commit(now)?;
+        self.obs.metrics.add("oxblock.trim", pages, 0);
+        self.obs.tracer.span(now, done, "oxblock", "trim", 0);
+        Ok(done)
     }
 
     /// Checkpoints under log pressure: when the WAL ring is nearly full and
@@ -414,6 +446,12 @@ impl BlockFtl {
         self.stats.checkpoints += 1;
         self.stats.metadata_writes.record(snapshot.len() as u64);
         self.last_checkpoint = done;
+        self.obs
+            .metrics
+            .record("oxblock.checkpoint", snapshot.len() as u64);
+        self.obs
+            .tracer
+            .span(now, done, "oxblock", "checkpoint", snapshot.len() as u64);
         Ok(done)
     }
 
@@ -431,9 +469,13 @@ impl BlockFtl {
     /// Runs one GC pass unconditionally (experiment control: the §4.3
     /// locality measurement keeps the collector busy in its marked group).
     pub fn gc_once(&mut self, now: SimTime) -> Result<GcPass, BlockFtlError> {
-        let pass = self
-            .gc
-            .collect(now, &self.media, &mut self.map, &mut self.prov, &mut self.wal)?;
+        let pass = self.gc.collect(
+            now,
+            &self.media,
+            &mut self.map,
+            &mut self.prov,
+            &mut self.wal,
+        )?;
         self.stats.gc_passes += 1;
         self.stats
             .gc_writes
@@ -448,9 +490,13 @@ impl BlockFtl {
         if !self.gc.needs_gc(&self.prov) {
             return Ok(None);
         }
-        let pass = self
-            .gc
-            .collect(now, &self.media, &mut self.map, &mut self.prov, &mut self.wal)?;
+        let pass = self.gc.collect(
+            now,
+            &self.media,
+            &mut self.map,
+            &mut self.prov,
+            &mut self.wal,
+        )?;
         self.stats.gc_passes += 1;
         self.stats
             .gc_writes
@@ -515,8 +561,8 @@ impl BlockFtl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ox_core::OcssdMedia;
     use ocssd::{DeviceConfig, OcssdDevice, SharedDevice};
+    use ox_core::OcssdMedia;
 
     fn page(fill: u8) -> Vec<u8> {
         vec![fill; SECTOR_BYTES]
@@ -571,7 +617,9 @@ mod tests {
     fn multi_page_write_round_trips() {
         let mut r = rig();
         // 1 MB transaction — the Figure 3 workload's upper bound.
-        let mb: Vec<u8> = (0..256 * SECTOR_BYTES).map(|i| (i / SECTOR_BYTES) as u8).collect();
+        let mb: Vec<u8> = (0..256 * SECTOR_BYTES)
+            .map(|i| (i / SECTOR_BYTES) as u8)
+            .collect();
         let w = r.ftl.write(r.t, 100, &mb).unwrap();
         for p in 0..256u64 {
             let mut out = page(0);
@@ -589,7 +637,8 @@ mod tests {
             Err(BlockFtlError::OutOfRange { .. })
         ));
         assert!(matches!(
-            r.ftl.write(r.t, cap_pages - 1, &[page(1), page(2)].concat()),
+            r.ftl
+                .write(r.t, cap_pages - 1, &[page(1), page(2)].concat()),
             Err(BlockFtlError::OutOfRange { .. })
         ));
         assert!(matches!(
@@ -623,12 +672,8 @@ mod tests {
         }
         r.dev.crash(t);
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(r.dev.clone()));
-        let (mut ftl2, outcome) = BlockFtl::recover(
-            media,
-            BlockFtlConfig::with_capacity(64 * 1024 * 1024),
-            t,
-        )
-        .unwrap();
+        let (mut ftl2, outcome) =
+            BlockFtl::recover(media, BlockFtlConfig::with_capacity(64 * 1024 * 1024), t).unwrap();
         assert_eq!(outcome.txns_committed, 20);
         for i in 0..20u64 {
             let mut out = page(0);

@@ -45,8 +45,8 @@ impl Default for CpuModel {
 impl CpuModel {
     /// Service time charged for one write of `bytes` (all copies + overhead).
     pub fn write_service_time(&self, bytes: u64) -> SimDuration {
-        let copy_ns =
-            (bytes as u128 * self.copies_per_write as u128 * 1_000_000_000 / self.copy_bandwidth as u128) as u64;
+        let copy_ns = (bytes as u128 * self.copies_per_write as u128 * 1_000_000_000
+            / self.copy_bandwidth as u128) as u64;
         self.per_command + SimDuration::from_nanos(copy_ns)
     }
 
@@ -101,7 +101,11 @@ impl ControllerCpu {
         if self.cores.is_empty() {
             return 0.0;
         }
-        self.cores.iter().map(|c| c.utilization(horizon)).sum::<f64>() / self.cores.len() as f64
+        self.cores
+            .iter()
+            .map(|c| c.utilization(horizon))
+            .sum::<f64>()
+            / self.cores.len() as f64
     }
 
     /// Total bytes moved by copies.

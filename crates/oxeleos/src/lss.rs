@@ -205,29 +205,29 @@ impl EleosFtl {
                         }
                     }
                     WalRecord::TxCommit { txid } => {
-                        let Some(ops) = pending.remove(txid) else { continue };
+                        let Some(ops) = pending.remove(txid) else {
+                            continue;
+                        };
                         for op in ops {
                             match op {
-                                WalRecord::MapUpdate { lpn, ppa_linear, .. } => {
-                                    if lpn < window_pages && ppa_linear < geo.total_sectors() {
-                                        map.map(lpn, ocssd::Ppa::from_linear(&geo, ppa_linear));
-                                    }
+                                WalRecord::MapUpdate {
+                                    lpn, ppa_linear, ..
+                                } if lpn < window_pages && ppa_linear < geo.total_sectors() => {
+                                    map.map(lpn, ocssd::Ppa::from_linear(&geo, ppa_linear));
                                 }
-                                WalRecord::Blob { tag, data, .. } if tag == TAG_BUFFER => {
-                                    if data.len() == 16 {
-                                        let first =
-                                            u64::from_le_bytes(data[..8].try_into().unwrap());
-                                        let pages =
-                                            u64::from_le_bytes(data[8..].try_into().unwrap());
-                                        tail_lpn = tail_lpn.max(first + pages);
-                                        buffers += 1;
-                                    }
+                                WalRecord::Blob { tag, data, .. }
+                                    if tag == TAG_BUFFER && data.len() == 16 =>
+                                {
+                                    let first = u64::from_le_bytes(data[..8].try_into().unwrap());
+                                    let pages = u64::from_le_bytes(data[8..].try_into().unwrap());
+                                    tail_lpn = tail_lpn.max(first + pages);
+                                    buffers += 1;
                                 }
-                                WalRecord::Blob { tag, data, .. } if tag == TAG_TRIM => {
-                                    if data.len() == 8 {
-                                        head_lpn = head_lpn
-                                            .max(u64::from_le_bytes(data[..].try_into().unwrap()));
-                                    }
+                                WalRecord::Blob { tag, data, .. }
+                                    if tag == TAG_TRIM && data.len() == 8 =>
+                                {
+                                    head_lpn = head_lpn
+                                        .max(u64::from_le_bytes(data[..].try_into().unwrap()));
                                 }
                                 _ => {}
                             }
@@ -250,7 +250,11 @@ impl EleosFtl {
                 } else {
                     // Smallest absolute ≥ lo congruent to lpn mod window.
                     let base = lo - (lo % window_pages) + lpn;
-                    let cand = if base >= lo { base } else { base + window_pages };
+                    let cand = if base >= lo {
+                        base
+                    } else {
+                        base + window_pages
+                    };
                     cand < hi
                 }
             };
@@ -538,7 +542,9 @@ mod tests {
     }
 
     fn buffer(seed: u8, len: usize) -> Vec<u8> {
-        (0..len).map(|i| seed.wrapping_add((i / SECTOR_BYTES) as u8)).collect()
+        (0..len)
+            .map(|i| seed.wrapping_add((i / SECTOR_BYTES) as u8))
+            .collect()
     }
 
     #[test]
@@ -600,8 +606,7 @@ mod tests {
         let buf = buffer(1, 768 * 1024);
         let (_, done) = r.ftl.append_buffer(r.t, &buf).unwrap();
         assert!(matches!(
-            r.ftl
-                .read(done, LogAddr(768 * 1024 - 5), &mut out),
+            r.ftl.read(done, LogAddr(768 * 1024 - 5), &mut out),
             Err(EleosError::OutOfLog(_))
         ));
     }
@@ -652,10 +657,7 @@ mod tests {
             t = done;
         }
         let free_before = r.ftl.prov.free_chunks();
-        let t2 = r
-            .ftl
-            .trim_until(t, LogAddr(r.ftl.live_bytes()))
-            .unwrap();
+        let t2 = r.ftl.trim_until(t, LogAddr(r.ftl.live_bytes())).unwrap();
         assert!(t2 > t, "resets take device time");
         assert!(
             r.ftl.prov.free_chunks() > free_before,
@@ -718,7 +720,9 @@ mod recovery_tests {
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
         let (mut ftl, mut t) = EleosFtl::format(media, cfg(), SimTime::ZERO).unwrap();
         let mk = |seed: u8| -> Vec<u8> {
-            (0..768 * 1024).map(|i| seed.wrapping_add((i / 4096) as u8)).collect()
+            (0..768 * 1024)
+                .map(|i| seed.wrapping_add((i / 4096) as u8))
+                .collect()
         };
         let mut addrs = Vec::new();
         for s in 0..5u8 {
@@ -733,7 +737,8 @@ mod recovery_tests {
         assert_eq!(re.live_bytes(), 5 * 768 * 1024);
         for (s, a) in addrs.iter().enumerate() {
             let mut out = vec![0u8; 768 * 1024];
-            re.read(t2 + SimDuration::from_secs(1), *a, &mut out).unwrap();
+            re.read(t2 + SimDuration::from_secs(1), *a, &mut out)
+                .unwrap();
             assert_eq!(out, mk(s as u8), "buffer {s}");
         }
     }

@@ -177,8 +177,7 @@ impl ZnsFtl {
                 });
             }
         }
-        let zone_sectors =
-            config.chunks_per_zone as u64 * geo.sectors_per_chunk as u64;
+        let zone_sectors = config.chunks_per_zone as u64 * geo.sectors_per_chunk as u64;
         Ok((
             ZnsFtl {
                 media,
@@ -208,9 +207,7 @@ impl ZnsFtl {
                     let group = pu / geo.pus_per_group;
                     let pu_local = pu % geo.pus_per_group;
                     let chunks: Vec<ChunkAddr> = (0..config.chunks_per_zone)
-                        .map(|i| {
-                            ChunkAddr::new(group, pu_local, row * config.chunks_per_zone + i)
-                        })
+                        .map(|i| ChunkAddr::new(group, pu_local, row * config.chunks_per_zone + i))
                         .collect();
                     zones.push(Zone {
                         state: ZoneState::Empty,
@@ -225,8 +222,7 @@ impl ZnsFtl {
                     media,
                     geo,
                     zones,
-                    zone_sectors: config.chunks_per_zone as u64
-                        * geo.sectors_per_chunk as u64,
+                    zone_sectors: config.chunks_per_zone as u64 * geo.sectors_per_chunk as u64,
                 },
                 now,
             )
@@ -315,9 +311,7 @@ impl ZnsFtl {
             .get_mut(zone as usize)
             .ok_or(ZnsError::NoSuchZone(zone))?;
         let sectors = (data.len() / SECTOR_BYTES) as u64;
-        if !matches!(z.state, ZoneState::Empty | ZoneState::Open)
-            || z.wp + sectors > zone_sectors
-        {
+        if !matches!(z.state, ZoneState::Empty | ZoneState::Open) || z.wp + sectors > zone_sectors {
             return Err(ZnsError::ZoneNotWritable {
                 zone,
                 state: z.state,
@@ -372,9 +366,12 @@ impl ZnsFtl {
             let in_chunk = (per_chunk - cur % per_chunk).min(remaining);
             let (chunk, within) = self.location(z, cur);
             let bytes = in_chunk as usize * SECTOR_BYTES;
-            let comp = self
-                .media
-                .read(t, chunk.ppa(within), in_chunk as u32, &mut out[off..off + bytes])?;
+            let comp = self.media.read(
+                t,
+                chunk.ppa(within),
+                in_chunk as u32,
+                &mut out[off..off + bytes],
+            )?;
             done = done.max(comp.done);
             t = now; // reads of different chunks proceed in parallel
             cur += in_chunk;
@@ -438,8 +435,8 @@ mod tests {
     fn setup() -> (ZnsFtl, SharedDevice, SimTime) {
         let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-        let (ftl, t) = ZnsFtl::format(media, ZnsConfig { chunks_per_zone: 2 }, SimTime::ZERO)
-            .unwrap();
+        let (ftl, t) =
+            ZnsFtl::format(media, ZnsConfig { chunks_per_zone: 2 }, SimTime::ZERO).unwrap();
         (ftl, dev, t)
     }
 
@@ -542,8 +539,7 @@ mod tests {
         let f = dev.flush(t2);
         dev.crash(f.done);
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
-        let (mut re, t3) =
-            ZnsFtl::open(media, ZnsConfig { chunks_per_zone: 2 }, f.done).unwrap();
+        let (mut re, t3) = ZnsFtl::open(media, ZnsConfig { chunks_per_zone: 2 }, f.done).unwrap();
         assert_eq!(re.zone_info(0).unwrap().write_pointer, 24);
         assert_eq!(re.zone_info(0).unwrap().state, ZoneState::Open);
         assert_eq!(re.zone_info(2).unwrap().state, ZoneState::Empty);
@@ -563,7 +559,10 @@ mod tests {
             let data: Vec<u8> = vec![1u8; ftl.append_bytes() * data_units];
             let mut t = t0;
             t = ftl.append(t, 0, &data).unwrap().1;
-            t = ftl.append(t, if same_zone { 0 } else { 1 }, &data).unwrap().1;
+            t = ftl
+                .append(t, if same_zone { 0 } else { 1 }, &data)
+                .unwrap()
+                .1;
             dev.flush(t).done.saturating_since(t0)
         };
         let parallel = drain_time(false);

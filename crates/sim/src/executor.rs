@@ -216,7 +216,9 @@ impl Executor {
                 _ => break,
             }
         }
-        self.now = self.now.max(deadline.min(self.next_deadline().unwrap_or(deadline)));
+        self.now = self
+            .now
+            .max(deadline.min(self.next_deadline().unwrap_or(deadline)));
         self.now
     }
 
@@ -255,7 +257,7 @@ mod tests {
     struct Ticker {
         period: SimDuration,
         remaining: u32,
-        log: Arc<parking_lot::Mutex<Vec<(u64, &'static str)>>>,
+        log: Arc<crate::sync::Mutex<Vec<(u64, &'static str)>>>,
         name: &'static str,
     }
 
@@ -272,7 +274,7 @@ mod tests {
 
     #[test]
     fn actors_interleave_in_time_order() {
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(crate::sync::Mutex::new(Vec::new()));
         let mut ex = Executor::new();
         ex.spawn(
             Box::new(Ticker {
@@ -312,7 +314,7 @@ mod tests {
 
     #[test]
     fn fifo_within_equal_deadlines() {
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(crate::sync::Mutex::new(Vec::new()));
         let mut ex = Executor::new();
         for name in ["x", "y", "z"] {
             ex.spawn(
@@ -362,7 +364,7 @@ mod tests {
 
     #[test]
     fn wake_pulls_scheduled_actor_earlier_but_never_later() {
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(crate::sync::Mutex::new(Vec::new()));
         let mut ex = Executor::new();
         let t = ex.spawn(
             Box::new(Ticker {
@@ -381,7 +383,7 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(crate::sync::Mutex::new(Vec::new()));
         let mut ex = Executor::new();
         ex.spawn(
             Box::new(Ticker {
@@ -400,7 +402,7 @@ mod tests {
 
     #[test]
     fn done_actor_ignores_wakes() {
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(crate::sync::Mutex::new(Vec::new()));
         let mut ex = Executor::new();
         let id = ex.spawn(
             Box::new(Ticker {

@@ -15,6 +15,11 @@
 //!   not depend on external RNG implementation details.
 //! * [`stats`] — counters, log-linear histograms and fixed-window time series
 //!   used by the experiment harness to report the paper's figures.
+//! * [`trace`] — the cross-crate observability layer: a span-style [`Tracer`]
+//!   plus a named-metric [`MetricsRegistry`], bundled as an [`Obs`] handle
+//!   threaded through the device, FTL and KV layers and exportable as JSON.
+//! * [`sync`] — non-poisoning wrappers over `std::sync` locks so the
+//!   workspace builds with zero external dependencies.
 //!
 //! The design deliberately avoids real threads and wall-clock time: all
 //! experiments in the paper reproduction are exact functions of
@@ -27,9 +32,12 @@ mod executor;
 mod resource;
 mod rng;
 pub mod stats;
-mod time;
+pub mod sync;
+pub mod time;
+pub mod trace;
 
 pub use executor::{Actor, ActorId, Ctx, Executor, Step};
 pub use resource::Timeline;
 pub use rng::Prng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{MetricsRegistry, MetricsSnapshot, Obs, SpanId, TraceEvent, TracePhase, Tracer};

@@ -1,80 +1,103 @@
 //! Property tests for the simulation core: resource timelines are
 //! work-conserving FIFO servers, and histograms track true quantiles within
 //! their resolution bound.
+//!
+//! Cases are generated with the in-repo seeded [`Prng`] (no external
+//! property-testing dependency); each seed is an independent case, so a
+//! failure report names the seed to replay.
 
 use ox_sim::stats::Histogram;
-use ox_sim::{SimDuration, SimTime, Timeline};
-use proptest::prelude::*;
+use ox_sim::{Prng, SimDuration, SimTime, Timeline};
 
-proptest! {
-    /// A timeline never starts a request before its arrival, never overlaps
-    /// service, is work-conserving (total busy = sum of services), and
-    /// serves in acquisition order.
-    #[test]
-    fn timeline_is_fifo_and_work_conserving(
-        reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100)
-    ) {
+/// A timeline never starts a request before its arrival, never overlaps
+/// service, is work-conserving (total busy = sum of services), and serves
+/// in acquisition order.
+#[test]
+fn timeline_is_fifo_and_work_conserving() {
+    for seed in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = rng.gen_range_in(1, 100) as usize;
         let mut tl = Timeline::new();
         let mut arrival = SimTime::ZERO;
         let mut prev_end = SimTime::ZERO;
         let mut total_service = SimDuration::ZERO;
-        for (gap, service_us) in reqs {
-            arrival += SimDuration::from_micros(gap);
-            let service = SimDuration::from_micros(service_us);
+        for _ in 0..n {
+            arrival += SimDuration::from_micros(rng.gen_range(10_000));
+            let service = SimDuration::from_micros(rng.gen_range_in(1, 500));
             let grant = tl.acquire(arrival, service);
-            prop_assert!(grant.start >= arrival, "no time travel");
-            prop_assert!(grant.start >= prev_end, "no overlap");
-            prop_assert_eq!(grant.end, grant.start + service);
-            prop_assert_eq!(grant.wait(arrival), grant.start - arrival);
+            assert!(grant.start >= arrival, "seed {seed}: no time travel");
+            assert!(grant.start >= prev_end, "seed {seed}: no overlap");
+            assert_eq!(grant.end, grant.start + service, "seed {seed}");
+            assert_eq!(grant.wait(arrival), grant.start - arrival, "seed {seed}");
             prev_end = grant.end;
             total_service += service;
         }
-        prop_assert_eq!(tl.busy_time(), total_service);
-        prop_assert_eq!(tl.busy_until(), prev_end);
+        assert_eq!(tl.busy_time(), total_service, "seed {seed}");
+        assert_eq!(tl.busy_until(), prev_end, "seed {seed}");
     }
+}
 
-    /// Histogram quantiles stay within the log-linear resolution (≈3 %
-    /// relative error) of the true order statistics, and min/max/mean are
-    /// exact.
-    #[test]
-    fn histogram_quantiles_bounded_error(
-        mut values in proptest::collection::vec(1u64..1_000_000_000, 10..400),
-        q in 0.01f64..1.0,
-    ) {
+/// Histogram quantiles stay within the log-linear resolution (≈3 % relative
+/// error) of the true order statistics, and min/max/mean are exact.
+#[test]
+fn histogram_quantiles_bounded_error() {
+    for seed in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = rng.gen_range_in(10, 400) as usize;
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range_in(1, 1_000_000_000)).collect();
+        let q = 0.01 + rng.gen_f64() * 0.98;
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
         values.sort_unstable();
-        prop_assert_eq!(h.min(), values[0]);
-        prop_assert_eq!(h.max(), *values.last().unwrap());
+        assert_eq!(h.min(), values[0], "seed {seed}");
+        assert_eq!(h.max(), *values.last().unwrap(), "seed {seed}");
         let true_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
-        prop_assert!((h.mean() - true_mean).abs() < 1e-6 * true_mean.max(1.0));
+        assert!(
+            (h.mean() - true_mean).abs() < 1e-6 * true_mean.max(1.0),
+            "seed {seed}: mean"
+        );
         let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
         let true_q = values[rank - 1];
         let est = h.quantile(q);
         let rel = (est as f64 - true_q as f64).abs() / true_q as f64;
-        prop_assert!(rel < 0.04, "q={q} est={est} true={true_q} rel={rel}");
+        assert!(
+            rel < 0.04,
+            "seed {seed}: q={q} est={est} true={true_q} rel={rel}"
+        );
     }
+}
 
-    /// Merged histograms agree with a histogram built from the union.
-    #[test]
-    fn histogram_merge_equals_union(
-        a in proptest::collection::vec(1u64..1_000_000, 1..100),
-        b in proptest::collection::vec(1u64..1_000_000, 1..100),
-    ) {
+/// Merged histograms agree with a histogram built from the union.
+#[test]
+fn histogram_merge_equals_union() {
+    for seed in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a: Vec<u64> = (0..rng.gen_range_in(1, 100))
+            .map(|_| rng.gen_range_in(1, 1_000_000))
+            .collect();
+        let b: Vec<u64> = (0..rng.gen_range_in(1, 100))
+            .map(|_| rng.gen_range_in(1, 1_000_000))
+            .collect();
         let mut ha = Histogram::new();
-        for &v in &a { ha.record(v); }
+        for &v in &a {
+            ha.record(v);
+        }
         let mut hb = Histogram::new();
-        for &v in &b { hb.record(v); }
+        for &v in &b {
+            hb.record(v);
+        }
         ha.merge(&hb);
         let mut hu = Histogram::new();
-        for &v in a.iter().chain(b.iter()) { hu.record(v); }
-        prop_assert_eq!(ha.count(), hu.count());
-        prop_assert_eq!(ha.min(), hu.min());
-        prop_assert_eq!(ha.max(), hu.max());
+        for &v in a.iter().chain(b.iter()) {
+            hu.record(v);
+        }
+        assert_eq!(ha.count(), hu.count(), "seed {seed}");
+        assert_eq!(ha.min(), hu.min(), "seed {seed}");
+        assert_eq!(ha.max(), hu.max(), "seed {seed}");
         for q in [0.1, 0.5, 0.9, 0.99] {
-            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+            assert_eq!(ha.quantile(q), hu.quantile(q), "seed {seed}: q={q}");
         }
     }
 }

@@ -92,9 +92,12 @@ fn main() {
     );
     let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
     let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-    let (mut ftl, t0) =
-        BlockFtl::format(media, BlockFtlConfig::with_capacity(CAPACITY), SimTime::ZERO)
-            .expect("format");
+    let (mut ftl, t0) = BlockFtl::format(
+        media,
+        BlockFtlConfig::with_capacity(CAPACITY),
+        SimTime::ZERO,
+    )
+    .expect("format");
     let mut page = vec![0xAAu8; SECTOR_BYTES];
     let committed = ftl.write(t0, 0, &page).expect("committed txn").done;
     page.fill(0xBB);

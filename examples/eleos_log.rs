@@ -41,7 +41,11 @@ fn main() {
     let mut hundred = vec![0u8; 100];
     let off = 4096 - 50; // straddles a page boundary
     let done = ftl
-        .read(t + SimDuration::from_secs(1), LogAddr(first.0 + off), &mut hundred)
+        .read(
+            t + SimDuration::from_secs(1),
+            LogAddr(first.0 + off),
+            &mut hundred,
+        )
         .expect("read");
     println!(
         "\nread 100 bytes at log offset {off}: {} — two full 4 KB sectors from media",

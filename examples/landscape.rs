@@ -21,7 +21,11 @@ fn main() {
             m.integration,
             m.transparency,
             m.access,
-            if m.available { "" } else { "  (not fully available)" },
+            if m.available {
+                ""
+            } else {
+                "  (not fully available)"
+            },
         );
     }
 

@@ -29,9 +29,14 @@ fn make_ftl(placement: Placement) -> LightLsm {
 
 fn main() {
     let table_mb = 24;
-    let data: Vec<u8> = (0..table_mb * 1024 * 1024).map(|i| (i / 4096) as u8).collect();
+    let data: Vec<u8> = (0..table_mb * 1024 * 1024)
+        .map(|i| (i / 4096) as u8)
+        .collect();
 
-    println!("SSTable = {} MB = one full-width stripe (paper: 768 MB = 32 PUs × 24 MB chunks)\n", table_mb);
+    println!(
+        "SSTable = {} MB = one full-width stripe (paper: 768 MB = 32 PUs × 24 MB chunks)\n",
+        table_mb
+    );
 
     // --- Single flush: horizontal uses all 32 PUs, vertical only 4. ---
     for placement in [Placement::Horizontal, Placement::Vertical] {

@@ -13,7 +13,8 @@ fn main() {
     //        drive, scaled down 22×8 so everything runs instantly). ---
     let config = DeviceConfig::paper_tlc_scaled(22, 8);
     let geo = config.geometry;
-    println!("device: {} groups × {} PUs × {} chunks × {} KB chunks; ws_min = {} KB",
+    println!(
+        "device: {} groups × {} PUs × {} chunks × {} KB chunks; ws_min = {} KB",
         geo.num_groups,
         geo.pus_per_group,
         geo.chunks_per_pu,
@@ -26,11 +27,21 @@ fn main() {
     // written sectors, reset before rewrite.
     let chunk = ChunkAddr::new(0, 0, 0);
     let unit = vec![0xABu8; geo.ws_min_bytes()];
-    let w = device.write(SimTime::ZERO, chunk.ppa(0), &unit).expect("write at write pointer");
-    println!("raw write of one 96 KB unit acknowledged after {} (write-back cache)", w.latency());
+    let w = device
+        .write(SimTime::ZERO, chunk.ppa(0), &unit)
+        .expect("write at write pointer");
+    println!(
+        "raw write of one 96 KB unit acknowledged after {} (write-back cache)",
+        w.latency()
+    );
     let mut sector = vec![0u8; SECTOR_BYTES];
-    let r = device.read(w.done, chunk.ppa(0), 1, &mut sector).expect("read written sector");
-    println!("raw read of one sector: {} (served from controller cache — program still in flight)", r.latency());
+    let r = device
+        .read(w.done, chunk.ppa(0), 1, &mut sector)
+        .expect("read written sector");
+    println!(
+        "raw read of one sector: {} (served from controller cache — program still in flight)",
+        r.latency()
+    );
 
     // Writing anywhere but the write pointer is rejected by the device.
     let err = device.write(r.done, chunk.ppa(0), &unit).unwrap_err();
@@ -49,7 +60,10 @@ fn main() {
     let mut page = vec![0u8; SECTOR_BYTES];
     page[..13].copy_from_slice(b"hello, ocssd!");
     let out = ftl.write(t, 42, &page).expect("transactional write");
-    println!("wrote logical page 42 as a transaction (durable at {})", out.done);
+    println!(
+        "wrote logical page 42 as a transaction (durable at {})",
+        out.done
+    );
 
     let mut back = vec![0u8; SECTOR_BYTES];
     ftl.read(out.done, 42, &mut back).expect("read");
@@ -68,6 +82,10 @@ fn main() {
         "\nkill -9 → recovery replayed {} txns from {} log frames in {}",
         outcome.txns_committed, outcome.frames_scanned, outcome.duration
     );
-    ftl2.read(outcome.done, 42, &mut back).expect("read after recovery");
-    println!("page 42 after recovery: {:?}", std::str::from_utf8(&back[..13]).unwrap());
+    ftl2.read(outcome.done, 42, &mut back)
+        .expect("read after recovery");
+    println!(
+        "page 42 after recovery: {:?}",
+        std::str::from_utf8(&back[..13]).unwrap()
+    );
 }

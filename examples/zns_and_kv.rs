@@ -26,11 +26,16 @@ fn main() {
 
     let record = vec![0xCDu8; zns.append_bytes()];
     let (start, t1) = zns.append(t0, 0, &record).expect("zone append");
-    println!("appended one record to zone 0 at sector {start}; state {:?}", zns.zone_info(0).unwrap().state);
+    println!(
+        "appended one record to zone 0 at sector {start}; state {:?}",
+        zns.zone_info(0).unwrap().state
+    );
 
     // Sequential-only discipline, enforced by zones (and beneath them, by
     // the Open-Channel chunk write pointers).
-    let err = zns.read(t1, 0, 100, 1, &mut vec![0u8; SECTOR_BYTES]).unwrap_err();
+    let err = zns
+        .read(t1, 0, 100, 1, &mut vec![0u8; SECTOR_BYTES])
+        .unwrap_err();
     println!("reading past the write pointer fails: {err}");
 
     // Crash: zone state reconstructs from `report chunk` alone — ZNS needs
@@ -56,7 +61,10 @@ fn main() {
         t = kv.put(t, key.as_bytes(), value.as_bytes()).unwrap();
     }
     t = kv.sync(t).unwrap();
-    println!("KV-SSD: stored {} keys (group-committed journal + coalesced value log)", kv.len());
+    println!(
+        "KV-SSD: stored {} keys (group-committed journal + coalesced value log)",
+        kv.len()
+    );
 
     let settle = t + SimDuration::from_secs(1);
     let (value, done) = kv.get(settle, b"user:000500").unwrap();

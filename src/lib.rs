@@ -32,6 +32,6 @@ pub use ocssd;
 pub use ox_block;
 pub use ox_core;
 pub use ox_eleos;
-pub use ox_sim;
 pub use ox_kvssd;
+pub use ox_sim;
 pub use ox_zns;

@@ -3,9 +3,7 @@
 //! layer.
 
 use ox_workbench::lightlsm::{LightLsm, LightLsmConfig, Placement};
-use ox_workbench::lsmkv::bench::{
-    bench_key, bench_value, run_workload, BenchConfig, Workload,
-};
+use ox_workbench::lsmkv::bench::{bench_key, bench_value, run_workload, BenchConfig, Workload};
 use ox_workbench::lsmkv::{Db, DbConfig, LightLsmStore, SharedDb, TableStore};
 use ox_workbench::ocssd::{DeviceConfig, Geometry, OcssdDevice, SharedDevice};
 use ox_workbench::ox_core::{Media, OcssdMedia};
@@ -114,13 +112,8 @@ fn kv_data_survives_power_failure_through_every_layer() {
     // ...then the KV store from the surviving tables.
     let surviving = store.surviving_tables();
     assert_eq!(surviving.len(), recovered);
-    let (mut db2, t2) = Db::open_with_tables(
-        store as Arc<dyn TableStore>,
-        db_config(),
-        &surviving,
-        t1,
-    )
-    .unwrap();
+    let (mut db2, t2) =
+        Db::open_with_tables(store as Arc<dyn TableStore>, db_config(), &surviving, t1).unwrap();
     assert!(t2 > t1, "recovery read table metadata from media");
 
     // All data the workload runner quiesced (flushed) is intact.
