@@ -109,7 +109,7 @@ impl Provisioner {
             let chunk = self.free[pu].pop()?;
             self.open[pu] = Some(OpenChunk { chunk, wp: 0 });
         }
-        let oc = self.open[pu].as_mut().expect("ensured above");
+        let oc = self.open[pu].as_mut()?;
         let addr = ChunkAddr::new(
             pu_linear / self.geo.pus_per_group,
             pu_linear % self.geo.pus_per_group,

@@ -298,6 +298,7 @@ impl Wal {
         if self.wp + sectors > self.chunk_sectors {
             self.advance_chunk(now)?;
         }
+        // oxcheck:allow(panic_path): format() seeds one segment and truncate() always keeps the active one; an empty ring is a logic bug, not a recoverable device state.
         let seg = self.segments.back_mut().expect("active segment");
         let addr = self.chunks[seg.ring_idx];
         let batch_records = self.pending.len() as u64;
@@ -353,11 +354,15 @@ impl Wal {
         let mut done = now;
         let mut recycled = 0u64;
         while self.segments.len() > 1 {
-            let seg = self.segments.front().expect("non-empty");
+            let Some(seg) = self.segments.front() else {
+                break;
+            };
             if seg.last_lsn == 0 || seg.last_lsn > upto {
                 break;
             }
-            let seg = self.segments.pop_front().expect("checked");
+            let Some(seg) = self.segments.pop_front() else {
+                break;
+            };
             let addr = self.chunks[seg.ring_idx];
             if self.media.chunk_info(addr).state != ocssd::ChunkState::Free {
                 done = done.max(self.media.reset(now, addr)?.done);

@@ -323,6 +323,7 @@ impl KvSsd {
             let ppa: Ppa = self
                 .map
                 .lookup(self.slot(lpn))
+                // oxcheck:allow(panic_path): put() maps every page before indexing the value, and GC remaps before dropping; an indexed-but-unmapped page is a logic bug.
                 .expect("indexed value must be mapped");
             let comp = self
                 .media

@@ -280,14 +280,13 @@ impl LightLsm {
         // only after the data barrier, so this only defends against media
         // loss, not protocol races.
         tables.retain(|_, ext| {
-            ext.chunks.iter().all(|&c| {
+            ext.chunks.iter().enumerate().all(|(pos, &c)| {
                 let info = media.chunk_info(c);
                 let needed = {
-                    // Sectors this extent needs in chunk position p.
+                    // Sectors this extent needs in chunk position `pos`.
                     let n = ext.chunks.len() as u32;
-                    let pos = ext.chunks.iter().position(|&x| x == c).unwrap() as u32;
                     let full_rows = ext.blocks / n;
-                    let extra = u32::from(pos < ext.blocks % n);
+                    let extra = u32::from((pos as u32) < ext.blocks % n);
                     (full_rows + extra) * geo.ws_min
                 };
                 info.state != ChunkState::Offline && info.write_ptr >= needed

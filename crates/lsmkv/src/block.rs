@@ -121,13 +121,16 @@ impl<'a> Iterator for BlockIter<'a> {
         if self.pos + 6 > self.data.len() {
             return None;
         }
-        let klen =
-            u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().unwrap()) as usize;
+        let klen = u16::from_le_bytes([self.data[self.pos], self.data[self.pos + 1]]) as usize;
         if klen == 0 {
             return None; // zero padding: end of block
         }
-        let vlen_raw =
-            u32::from_le_bytes(self.data[self.pos + 2..self.pos + 6].try_into().unwrap());
+        let vlen_raw = u32::from_le_bytes([
+            self.data[self.pos + 2],
+            self.data[self.pos + 3],
+            self.data[self.pos + 4],
+            self.data[self.pos + 5],
+        ]);
         let mut p = self.pos + 6;
         if p + klen > self.data.len() {
             return None;

@@ -164,20 +164,24 @@ impl MergeIter {
             let Some(k) = s.peek_key() else { continue };
             winner = match winner {
                 None => Some((i, s.rank)),
-                Some((wi, wr)) => {
-                    let wk = self.streams[wi].peek_key().expect("buffered");
-                    match k.cmp(wk) {
+                Some((wi, wr)) => match self.streams[wi].peek_key() {
+                    // A winner with an empty buffer is unreachable (it was
+                    // chosen via peek_key); treat it as superseded anyway.
+                    None => Some((i, s.rank)),
+                    Some(wk) => match k.cmp(wk) {
                         std::cmp::Ordering::Less => Some((i, s.rank)),
                         std::cmp::Ordering::Equal if s.rank < wr => Some((i, s.rank)),
                         _ => Some((wi, wr)),
-                    }
-                }
+                    },
+                },
             };
         }
         let Some((wi, _)) = winner else {
             return Ok(None);
         };
-        let (key, value) = self.streams[wi].buf.pop_front().expect("buffered");
+        let Some((key, value)) = self.streams[wi].buf.pop_front() else {
+            return Ok(None); // unreachable: the winner was chosen via peek_key
+        };
         // Drop the same key from every other stream (shadowed versions).
         for (i, s) in self.streams.iter_mut().enumerate() {
             if i == wi {

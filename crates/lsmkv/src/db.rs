@@ -734,7 +734,9 @@ impl DbIter {
                 _ => false,
             };
             let (key, value) = if use_mem {
-                let (mk, mv) = self.mem.pop_front().expect("checked");
+                let Some((mk, mv)) = self.mem.pop_front() else {
+                    return Ok(None); // unreachable: use_mem requires a front entry
+                };
                 if let Some((tk, tv)) = table_next {
                     if tk != mk {
                         self.table_pending = Some((tk, tv));

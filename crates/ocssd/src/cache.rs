@@ -60,8 +60,11 @@ impl WriteCache {
 
     /// Releases records whose drain completed by `now`.
     fn release_until(&mut self, now: SimTime) {
-        while matches!(self.outstanding.peek(), Some(&Reverse((t, _))) if t <= now) {
-            let Reverse((_, bytes)) = self.outstanding.pop().expect("peeked");
+        while let Some(&Reverse((t, bytes))) = self.outstanding.peek() {
+            if t > now {
+                break;
+            }
+            self.outstanding.pop();
             self.occupancy -= bytes;
         }
     }

@@ -140,12 +140,19 @@ pub struct OcssdDevice {
 }
 
 impl OcssdDevice {
-    /// Builds a device; panics on invalid geometry.
+    /// Builds a device; panics on invalid geometry. Prefer
+    /// [`OcssdDevice::try_new`] when the geometry comes from user input.
     pub fn new(config: DeviceConfig) -> Self {
+        // oxcheck:allow(panic_path): documented contract — the compiled-in paper geometries always validate; fallible construction is try_new.
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a device, propagating geometry validation errors.
+    pub fn try_new(config: DeviceConfig) -> Result<Self> {
         config
             .geometry
             .validate()
-            .unwrap_or_else(|e| panic!("invalid geometry: {e}"));
+            .map_err(DeviceError::InvalidGeometry)?;
         let geo = config.geometry;
         let mut rng = Prng::seed_from_u64(config.seed);
         let mut chunks: Vec<Chunk> = (0..geo.total_chunks()).map(|_| Chunk::new()).collect();
@@ -156,7 +163,7 @@ impl OcssdDevice {
                 }
             }
         }
-        OcssdDevice {
+        Ok(OcssdDevice {
             geo,
             profile: config.profile,
             config,
@@ -170,7 +177,7 @@ impl OcssdDevice {
             stats: DeviceStats::default(),
             events: Vec::new(),
             obs: Obs::new(4096),
-        }
+        })
     }
 
     /// Device geometry.

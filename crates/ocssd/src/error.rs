@@ -10,6 +10,8 @@ pub type Result<T> = std::result::Result<T, DeviceError>;
 /// Errors returned by the simulated device.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DeviceError {
+    /// The configured geometry fails validation (see `Geometry::validate`).
+    InvalidGeometry(String),
     /// Address outside the device geometry.
     InvalidAddress(Ppa),
     /// Write did not start at the chunk's write pointer.
@@ -56,6 +58,7 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            DeviceError::InvalidGeometry(why) => write!(f, "invalid geometry: {why}"),
             DeviceError::InvalidAddress(p) => write!(f, "invalid address {p}"),
             DeviceError::WritePointerMismatch {
                 chunk,

@@ -224,8 +224,9 @@ impl BlockFtl {
         t = wal_done;
 
         let reserved = layout.reserved_linear(&geo);
-        let map =
-            PageMap::from_snapshot(geo, &snapshot).expect("snapshot we just produced must decode");
+        let map = PageMap::from_snapshot(geo, &snapshot)
+            // oxcheck:allow(panic_path): the snapshot was produced two lines up by map.snapshot(); failing to re-decode our own encoding is a codec bug, not a media state.
+            .expect("snapshot we just produced must decode");
         let prov = Provisioner::from_report(geo, &reserved, &media.report_all());
         let mut stats = FtlStats::default();
         stats.checkpoints += 1;

@@ -1,0 +1,164 @@
+//! L4: the offline dependency gate over `Cargo.toml` manifests.
+//!
+//! The build container has no access to a crates registry, so every
+//! dependency in the workspace must be an in-repo `path` dependency (or a
+//! `workspace = true` reference to one). A hand-rolled line scanner is enough
+//! structure for this: we track the current `[section]`, and inside any
+//! dependency section require each entry to name `path` or `workspace`.
+
+use crate::{Finding, Lint};
+
+fn is_dep_section(name: &str) -> bool {
+    // [dependencies], [dev-dependencies], [build-dependencies],
+    // [workspace.dependencies], [target.'cfg(..)'.dependencies]
+    name == "dependencies"
+        || name == "workspace.dependencies"
+        || name.ends_with("-dependencies")
+        || name.ends_with(".dependencies")
+}
+
+/// `[dependencies.foo]` style subsection: the entry is the section itself.
+fn dep_subsection(name: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(dep) = name.strip_prefix(prefix) {
+            return Some(dep);
+        }
+    }
+    None
+}
+
+fn entry_is_internal(value: &str) -> bool {
+    value.contains("path") || value.contains("workspace")
+}
+
+/// Runs the L4 pass over one manifest.
+pub fn check_cargo_toml(rel_path: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_deps = false;
+    // Some((name, line, seen_internal_key)) while inside [dependencies.<name>].
+    let mut subsection: Option<(String, u32, bool)> = None;
+
+    let flush_subsection = |sub: &mut Option<(String, u32, bool)>, out: &mut Vec<Finding>| {
+        if let Some((name, line, ok)) = sub.take() {
+            if !ok {
+                out.push(external_dep(rel_path, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[') {
+            let section = section.trim_end_matches(']').trim_matches('[').trim();
+            flush_subsection(&mut subsection, &mut findings);
+            if let Some(dep) = dep_subsection(section) {
+                subsection = Some((dep.to_string(), line_no, false));
+                in_deps = false;
+            } else {
+                in_deps = is_dep_section(section);
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = subsection.as_mut() {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || key == "workspace" {
+                *ok = true;
+            }
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // `foo.workspace = true` / `foo.path = "..."` dotted-key form.
+        if key.ends_with(".workspace") || key.ends_with(".path") {
+            continue;
+        }
+        if !entry_is_internal(value) {
+            findings.push(external_dep(rel_path, line_no, key));
+        }
+    }
+    flush_subsection(&mut subsection, &mut findings);
+    findings
+}
+
+fn external_dep(rel_path: &str, line: u32, name: &str) -> Finding {
+    Finding::new(
+        rel_path,
+        line,
+        Lint::ExternalDep,
+        format!(
+            "dependency `{name}` is not an in-repo path/workspace dependency; \
+             the workspace must stay offline-buildable (see ROADMAP.md)"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "\
+[package]
+name = \"x\"
+
+[dependencies]
+ox-sim = { path = \"../sim\" }
+ocssd.workspace = true
+lsmkv = { workspace = true }
+
+[dev-dependencies]
+oxcheck = { path = \"../oxcheck\" }
+";
+        assert!(check_cargo_toml("crates/x/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn registry_and_git_deps_flagged() {
+        let src = "\
+[dependencies]
+serde = \"1.0\"
+rand = { version = \"0.8\", features = [\"small_rng\"] }
+remote = { git = \"https://example.com/x\" }
+";
+        let f = check_cargo_toml("Cargo.toml", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == Lint::ExternalDep));
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn dep_subsections_checked() {
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\n";
+        assert_eq!(check_cargo_toml("Cargo.toml", bad).len(), 1);
+        let good = "[dependencies.ox-sim]\npath = \"crates/sim\"\n";
+        assert!(check_cargo_toml("Cargo.toml", good).is_empty());
+        // Subsection at end of file without trailing section.
+        let bad_tail = "[package]\nname = \"x\"\n\n[dev-dependencies.proptest]\nversion = \"1\"";
+        assert_eq!(check_cargo_toml("Cargo.toml", bad_tail).len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_ignored() {
+        let src = "[profile.release]\ndebug = \"line-tables-only\"\n[workspace]\nmembers = [\"crates/*\"]\n";
+        assert!(check_cargo_toml("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_must_be_paths_too() {
+        let src = "[workspace.dependencies]\nox-sim = { path = \"crates/sim\" }\nserde = \"1\"\n";
+        let f = check_cargo_toml("Cargo.toml", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+    }
+}

@@ -1,0 +1,214 @@
+//! # oxcheck — in-repo static analysis for the OX workbench
+//!
+//! The workbench's correctness story rests on three host-side invariants the
+//! compiler cannot check for us (and, since the workspace is
+//! dependency-free, clippy cannot be extended to check either):
+//!
+//! * **L1 `std_sync_lock`** — all locking goes through `ox_sim::sync`, which
+//!   layers lockdep-style order verification on top of `std::sync`. A raw
+//!   `std::sync::Mutex`/`RwLock` anywhere else is invisible to the deadlock
+//!   detector.
+//! * **L2 `wall_clock`** — simulations are exact functions of
+//!   `(configuration, seed)`; `Instant::now`/`SystemTime` outside
+//!   `ox_sim::time` and the bench harness silently destroys that.
+//! * **L3 `panic_path`** — media/durability paths (device, WAL, GC, KV)
+//!   must propagate errors, not `.unwrap()`. Genuinely unreachable cases are
+//!   annotated `// oxcheck:allow(panic_path): <why>`.
+//! * **L4 `external_dep`** — every `Cargo.toml` dependency must resolve
+//!   in-repo; the build container has no crates registry.
+//!
+//! See `docs/static-analysis.md` for the full catalog and pragma syntax.
+
+pub mod deps;
+pub mod lexer;
+pub mod lints;
+
+use std::fmt;
+use std::path::Path;
+
+pub use deps::check_cargo_toml;
+pub use lints::check_rust_source;
+
+/// The project lints, in catalog order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// L1: raw `std::sync` locks outside `ox_sim::sync`.
+    StdSyncLock,
+    /// L2: wall-clock reads outside `ox_sim::time` and the bench harness.
+    WallClock,
+    /// L3: panic-family calls on device/WAL/GC paths.
+    PanicPath,
+    /// L4: dependencies that do not resolve in-repo.
+    ExternalDep,
+}
+
+impl Lint {
+    /// Name accepted by `// oxcheck:allow(<name>)` pragmas.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::StdSyncLock => "std_sync_lock",
+            Lint::WallClock => "wall_clock",
+            Lint::PanicPath => "panic_path",
+            Lint::ExternalDep => "external_dep",
+        }
+    }
+
+    /// Catalog code (L1–L4).
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::StdSyncLock => "L1",
+            Lint::WallClock => "L2",
+            Lint::PanicPath => "L3",
+            Lint::ExternalDep => "L4",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(path: &str, line: u32, lint: Lint, message: impl Into<String>) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            lint,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    // Renders one `path:line: [Lx lint_name] message` row.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{} {}] {}",
+            self.path,
+            self.line,
+            self.lint.code(),
+            self.lint.name(),
+            self.message
+        )
+    }
+}
+
+/// Scope configuration: which paths each lint applies to. Paths are
+/// workspace-root-relative with forward slashes; prefix matching.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Files where raw `std::sync` locks are allowed (the wrapper itself and
+    /// the lockdep machinery it is built on).
+    pub l1_allow: Vec<String>,
+    /// Files where wall-clock reads are allowed (the virtual-clock module
+    /// and the self-calibrating bench harness).
+    pub l2_allow: Vec<String>,
+    /// Path prefixes whose non-test code is held to L3.
+    pub l3_scope: Vec<String>,
+    /// Exceptions within the L3 scope (in-crate bench harnesses).
+    pub l3_exclude: Vec<String>,
+    /// Directory names skipped entirely during the walk.
+    pub skip_dirs: Vec<String>,
+}
+
+impl Default for Config {
+    /// The OX workbench policy.
+    fn default() -> Config {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        Config {
+            l1_allow: s(&["crates/sim/src/sync.rs", "crates/sim/src/lockdep.rs"]),
+            l2_allow: s(&["crates/sim/src/time.rs", "crates/bench/"]),
+            l3_scope: s(&[
+                "crates/ocssd/src/",
+                "crates/core/src/",
+                "crates/lsmkv/src/",
+                "crates/oxblock/src/",
+                "crates/oxeleos/src/",
+                "crates/lightlsm/src/",
+                "crates/oxzns/src/",
+                "crates/kvssd/src/",
+            ]),
+            l3_exclude: s(&["crates/lsmkv/src/bench.rs"]),
+            skip_dirs: s(&["target", ".git", ".github", ".claude", "results"]),
+        }
+    }
+}
+
+impl Config {
+    pub(crate) fn allowed(&self, allow: &[String], rel_path: &str) -> bool {
+        allow.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+
+    pub(crate) fn l3_in_scope(&self, rel_path: &str) -> bool {
+        self.l3_scope
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+            && !self
+                .l3_exclude
+                .iter()
+                .any(|p| rel_path.starts_with(p.as_str()))
+    }
+}
+
+/// Walks the workspace at `root` and runs every lint. Findings come back
+/// sorted by path, then line.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    analyze_workspace_with(root, &Config::default())
+}
+
+/// [`analyze_workspace`] with an explicit scope configuration.
+pub fn analyze_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        if rel.ends_with(".rs") {
+            findings.extend(check_rust_source(rel, &src, cfg));
+        } else {
+            findings.extend(check_cargo_toml(rel, &src));
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    Ok(findings)
+}
+
+fn collect_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if cfg.skip_dirs.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

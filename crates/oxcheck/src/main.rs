@@ -1,0 +1,46 @@
+//! CLI entry point: `cargo run -p oxcheck [--] [ROOT]`.
+//!
+//! Walks the workspace (default: the current directory, or the workspace
+//! root when invoked through cargo), prints every finding as
+//! `path:line: [Lx lint] message`, and exits non-zero if any lint fired —
+//! suitable as a CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Under `cargo run -p oxcheck` the cwd is wherever the user is; the
+            // workspace root is two levels above this crate's manifest.
+            let manifest: PathBuf = env!("CARGO_MANIFEST_DIR").into();
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."))
+        });
+    let findings = match oxcheck::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("oxcheck: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("oxcheck: clean ({} ok)", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "oxcheck: {} finding(s); fix them or annotate with \
+             `// oxcheck:allow(<lint>): <why>` (docs/static-analysis.md)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -89,6 +89,7 @@ impl ControllerCpu {
             .cores
             .iter_mut()
             .min_by_key(|c| c.busy_until())
+            // oxcheck:allow(panic_path): new() asserts model.cores > 0, so the pool is never empty.
             .expect("non-empty pool");
         let grant = core.acquire(now, service);
         self.bytes_copied += bytes * self.model.copies_per_write as u64;

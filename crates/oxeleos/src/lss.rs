@@ -21,6 +21,13 @@ use ox_core::Media;
 use ox_sim::SimTime;
 use std::sync::Arc;
 
+/// Little-endian `u64` from the first 8 bytes, if present. WAL blob
+/// payloads are length-guarded at the match site, but decode stays fallible
+/// so a short record can never panic the recovery path.
+fn le64(b: &[u8]) -> Option<u64> {
+    b.first_chunk::<8>().map(|a| u64::from_le_bytes(*a))
+}
+
 const TAG_BUFFER: u8 = 1;
 const TAG_TRIM: u8 = 2;
 
@@ -218,16 +225,20 @@ impl EleosFtl {
                                 WalRecord::Blob { tag, data, .. }
                                     if tag == TAG_BUFFER && data.len() == 16 =>
                                 {
-                                    let first = u64::from_le_bytes(data[..8].try_into().unwrap());
-                                    let pages = u64::from_le_bytes(data[8..].try_into().unwrap());
+                                    let (Some(first), Some(pages)) =
+                                        (le64(&data[..8]), le64(&data[8..]))
+                                    else {
+                                        continue;
+                                    };
                                     tail_lpn = tail_lpn.max(first + pages);
                                     buffers += 1;
                                 }
                                 WalRecord::Blob { tag, data, .. }
                                     if tag == TAG_TRIM && data.len() == 8 =>
                                 {
-                                    head_lpn = head_lpn
-                                        .max(u64::from_le_bytes(data[..].try_into().unwrap()));
+                                    if let Some(h) = le64(&data) {
+                                        head_lpn = head_lpn.max(h);
+                                    }
                                 }
                                 _ => {}
                             }

@@ -19,7 +19,10 @@
 //!   plus a named-metric [`MetricsRegistry`], bundled as an [`Obs`] handle
 //!   threaded through the device, FTL and KV layers and exportable as JSON.
 //! * [`sync`] — non-poisoning wrappers over `std::sync` locks so the
-//!   workspace builds with zero external dependencies.
+//!   workspace builds with zero external dependencies. In debug builds the
+//!   [`sync::Mutex`] additionally runs lockdep-style lock-order verification:
+//!   an acquisition that inverts the globally observed order panics with both
+//!   lock construction sites instead of deadlocking a soak run.
 //!
 //! The design deliberately avoids real threads and wall-clock time: all
 //! experiments in the paper reproduction are exact functions of
@@ -29,6 +32,8 @@
 #![warn(clippy::all)]
 
 mod executor;
+#[cfg(debug_assertions)]
+mod lockdep;
 mod resource;
 mod rng;
 pub mod stats;

@@ -1,0 +1,227 @@
+//! Lockdep-style runtime lock-order verification for [`crate::sync::Mutex`].
+//!
+//! Inspired by the kernel's lockdep: every mutex belongs to a *class* keyed
+//! by its construction site (`file:line:column` of the `Mutex::new` call), so
+//! all mutexes created at one site — e.g. every `Tracer`'s event buffer —
+//! share ordering state. On each blocking acquisition the checker records
+//! "class A was held while acquiring class B" edges in a global directed
+//! graph; an acquisition that would close a cycle panics immediately with
+//! both construction sites and both acquisition sites, turning a latent ABBA
+//! deadlock between device/FTL/LSM layers into a deterministic test failure
+//! instead of a soak-run hang.
+//!
+//! The machinery is compiled only under `cfg(debug_assertions)`; release
+//! builds pay nothing. Same-class nesting (two mutexes from one `Vec` of
+//! locks) is deliberately not ordered — a per-instance discipline cannot be
+//! expressed with per-site classes — and `try_lock` records the held lock
+//! but never adds edges, since a non-blocking acquisition cannot deadlock.
+//!
+//! This module may use `std::sync` primitives directly (it *is* the checker
+//! the L1 lint points everything else at); the registry lock is internal and
+//! never held across user code.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+/// Per-mutex class handle: the construction site plus a lazily assigned
+/// class id (0 = not yet registered).
+#[derive(Debug)]
+pub(crate) struct ClassCell {
+    site: &'static Location<'static>,
+    id: AtomicU32,
+}
+
+impl ClassCell {
+    pub(crate) const fn new(site: &'static Location<'static>) -> ClassCell {
+        ClassCell {
+            site,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    fn id(&self) -> u32 {
+        match self.id.load(Ordering::Relaxed) {
+            0 => {
+                let id = registry().lock_classes(|c| c.intern(self.site));
+                self.id.store(id, Ordering::Relaxed);
+                id
+            }
+            id => id,
+        }
+    }
+}
+
+/// RAII record of one held lock; pops the thread's hold stack on drop.
+#[derive(Debug)]
+pub(crate) struct HeldToken {
+    class: u32,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        // try_with: guards may be dropped during thread teardown after the
+        // TLS slot is gone; losing the pop then is harmless.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(at) = held.iter().rposition(|&c| c == self.class) {
+                held.remove(at);
+            }
+        });
+    }
+}
+
+thread_local! {
+    /// Classes currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Classes {
+    /// `(file, line, column) -> class id` (ids start at 1).
+    by_site: HashMap<(&'static str, u32, u32), u32>,
+    /// Construction site per class, indexed by `id - 1`.
+    sites: Vec<&'static Location<'static>>,
+}
+
+impl Classes {
+    fn intern(&mut self, site: &'static Location<'static>) -> u32 {
+        let key = (site.file(), site.line(), site.column());
+        if let Some(&id) = self.by_site.get(&key) {
+            return id;
+        }
+        self.sites.push(site);
+        let id = self.sites.len() as u32;
+        self.by_site.insert(key, id);
+        id
+    }
+
+    fn site(&self, class: u32) -> &'static Location<'static> {
+        self.sites[(class - 1) as usize]
+    }
+}
+
+struct Graph {
+    /// `held -> later acquired` adjacency.
+    succ: HashMap<u32, Vec<u32>>,
+    /// Acquisition site that first established each edge.
+    edge_site: HashMap<(u32, u32), &'static Location<'static>>,
+}
+
+impl Graph {
+    fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.edge_site.contains_key(&(a, b))
+    }
+
+    fn add_edge(&mut self, a: u32, b: u32, at: &'static Location<'static>) {
+        self.succ.entry(a).or_default().push(b);
+        self.edge_site.insert((a, b), at);
+    }
+
+    /// Depth-first path from `from` to `to`, if one exists.
+    fn find_path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![vec![from]];
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(from);
+        while let Some(path) = stack.pop() {
+            let last = *path.last().unwrap_or(&from);
+            if last == to {
+                return Some(path);
+            }
+            for &next in self.succ.get(&last).into_iter().flatten() {
+                if visited.insert(next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+struct Registry {
+    classes: StdMutex<Classes>,
+    graph: StdMutex<Graph>,
+}
+
+impl Registry {
+    fn lock_classes<R>(&self, f: impl FnOnce(&mut Classes) -> R) -> R {
+        f(&mut self.classes.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        classes: StdMutex::new(Classes {
+            by_site: HashMap::new(),
+            sites: Vec::new(),
+        }),
+        graph: StdMutex::new(Graph {
+            succ: HashMap::new(),
+            edge_site: HashMap::new(),
+        }),
+    })
+}
+
+/// Records an acquisition of `cell`'s class at `acq`. When `order_check` is
+/// set (blocking acquisitions) this validates the global acquisition order
+/// first and panics on an inversion; `try_lock` passes `false`.
+pub(crate) fn acquire(
+    cell: &ClassCell,
+    acq: &'static Location<'static>,
+    order_check: bool,
+) -> HeldToken {
+    let class = cell.id();
+    let held: Vec<u32> = HELD.with(|h| h.borrow().clone());
+    if order_check && !held.is_empty() {
+        let reg = registry();
+        let mut graph = reg.graph.lock().unwrap_or_else(PoisonError::into_inner);
+        for &prior in &held {
+            if prior == class || graph.has_edge(prior, class) {
+                continue;
+            }
+            if let Some(path) = graph.find_path(class, prior) {
+                let msg = inversion_message(reg, &graph, class, prior, acq, &path);
+                drop(graph);
+                panic!("{msg}");
+            }
+            graph.add_edge(prior, class, acq);
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push(class));
+    HeldToken { class }
+}
+
+/// Builds the panic text: both lock classes with their construction sites,
+/// the acquisition being attempted, and where the conflicting order was
+/// established.
+fn inversion_message(
+    reg: &Registry,
+    graph: &Graph,
+    acquiring: u32,
+    held: u32,
+    acq: &'static Location<'static>,
+    path: &[u32],
+) -> String {
+    let (acq_site, held_site) = reg.lock_classes(|c| (c.site(acquiring), c.site(held)));
+    let prior = path
+        .windows(2)
+        .next()
+        .and_then(|w| graph.edge_site.get(&(w[0], w[1])))
+        .map(|l| l.to_string())
+        .unwrap_or_else(|| "<unknown>".to_string());
+    let via = if path.len() > 2 {
+        format!(" via {} intermediate lock class(es)", path.len() - 2)
+    } else {
+        String::new()
+    };
+    format!(
+        "lockdep: lock-order inversion (possible ABBA deadlock)\n  \
+         acquiring lock class C{acquiring} (Mutex created at {acq_site}) at {acq}\n  \
+         while holding lock class C{held} (Mutex created at {held_site})\n  \
+         but the reverse order C{acquiring} -> C{held} was established at {prior}{via}"
+    )
+}

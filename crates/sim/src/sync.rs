@@ -1,5 +1,5 @@
 //! Thin wrappers over [`std::sync`] locks with ergonomic, non-poisoning
-//! semantics.
+//! semantics — plus runtime lock-order verification in debug builds.
 //!
 //! The workbench is single-process and panics abort the experiment anyway, so
 //! lock poisoning carries no information here — a poisoned lock is simply
@@ -7,41 +7,143 @@
 //! of `Result`s, which keeps call sites identical to the `parking_lot` API the
 //! workspace used before it went dependency-free (the container building this
 //! repo has no access to a crates registry).
+//!
+//! Under `cfg(debug_assertions)`, every [`Mutex`] participates in
+//! lockdep-style deadlock detection (see [`crate::lockdep`]): mutexes are
+//! grouped into classes by construction site, blocking acquisitions record
+//! the global acquisition order, and an acquisition that would close an
+//! ABBA-style cycle panics with both construction sites named. The `oxcheck`
+//! L1 lint (`std_sync_lock`) funnels all workspace locking through this
+//! module so no lock escapes the checker.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
-/// A mutual-exclusion lock whose `lock()` returns the guard directly.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+#[cfg(debug_assertions)]
+use crate::lockdep;
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: lockdep::ClassCell,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`] / [`Mutex::try_lock`]. Dereferences to
+/// the protected value; in debug builds it also keeps the lockdep hold
+/// record alive until release.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: lockdep::HeldToken,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex protecting `value`.
+    /// Creates a new mutex protecting `value`. The *call site* of this
+    /// constructor is the mutex's lockdep class.
+    #[track_caller]
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            class: lockdep::ClassCell::new(std::panic::Location::caller()),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available. Poison is ignored.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if this acquisition inverts the lock order
+    /// already observed between this mutex's class and a currently held one
+    /// (a latent ABBA deadlock).
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(debug_assertions)]
+        let _held = lockdep::acquire(&self.class, std::panic::Location::caller(), true);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            _held,
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking; returns `None` if it
+    /// is currently held elsewhere. Poison is ignored. A successful
+    /// `try_lock` is recorded as held for lockdep but never adds ordering
+    /// constraints — a non-blocking acquisition cannot deadlock.
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        use std::sync::TryLockError;
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _held: lockdep::acquire(&self.class, std::panic::Location::caller(), false),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
     }
 }
 
 /// A reader-writer lock whose `read()`/`write()` return guards directly.
+/// `RwLock` does not participate in lockdep (the workbench holds reader
+/// guards only in leaf code); use [`Mutex`] for anything acquired nested.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
@@ -68,9 +170,29 @@ impl<T: ?Sized> RwLock<T> {
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Attempts to acquire a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        use std::sync::TryLockError;
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires an exclusive write guard. Poison is ignored.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        use std::sync::TryLockError;
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -110,5 +232,48 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(5);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none(), "held elsewhere");
+            drop(held);
+        }
+        {
+            let mut g = m.try_lock().expect("free");
+            *g += 1;
+        }
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(3));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*m.try_lock().expect("poisoned but free"), 3);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(1);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer excluded by reader");
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+        }
+        assert!(l.try_write().is_some());
     }
 }

@@ -1,0 +1,139 @@
+//! Integration tests for the debug-build lockdep checker behind
+//! [`ox_sim::sync::Mutex`].
+//!
+//! Lockdep only exists under `cfg(debug_assertions)` (release builds pay
+//! nothing), so the whole file is gated; `cargo test --release` compiles it
+//! to an empty binary.
+
+#![cfg(debug_assertions)]
+
+use ox_sim::sync::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+/// Extracts the panic payload as a string (lockdep panics with a formatted
+/// `String`; `&'static str` is handled for robustness).
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => payload
+            .downcast::<&'static str>()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| "<non-string panic payload>".to_string()),
+    }
+}
+
+/// The classic ABBA inversion: one thread locks A then B (establishing the
+/// order A -> B), a second thread locks B then A. The second acquisition
+/// must panic — deterministically, because the threads run sequentially —
+/// and the message must name the construction sites of *both* lock classes.
+#[test]
+fn abba_inversion_panics_with_both_sites() {
+    let line_a = line!() + 1;
+    let a = Arc::new(Mutex::new(0u32));
+    let line_b = line!() + 1;
+    let b = Arc::new(Mutex::new(0u32));
+
+    // Thread 1: A -> B. Legal; records the edge A -> B.
+    let (a1, b1) = (a.clone(), b.clone());
+    thread::spawn(move || {
+        let _ga = a1.lock();
+        let _gb = b1.lock();
+    })
+    .join()
+    .expect("forward order must not panic");
+
+    // Thread 2: B -> A. Closes the cycle; lockdep must panic *before*
+    // blocking (this test would otherwise pass by deadlocking).
+    let (a2, b2) = (a.clone(), b.clone());
+    let err = thread::spawn(move || {
+        let _gb = b2.lock();
+        let _ga = a2.lock();
+    })
+    .join()
+    .expect_err("reverse order must panic");
+
+    let msg = panic_text(err);
+    assert!(
+        msg.contains("lock-order inversion"),
+        "unexpected panic message: {msg}"
+    );
+    assert!(
+        msg.contains(&format!("lockdep.rs:{line_a}")),
+        "message must name lock A's construction site (line {line_a}): {msg}"
+    );
+    assert!(
+        msg.contains(&format!("lockdep.rs:{line_b}")),
+        "message must name lock B's construction site (line {line_b}): {msg}"
+    );
+}
+
+/// Consistent hierarchical order (outer -> middle -> inner, and legal
+/// prefixes of it) across many threads must never trip the checker.
+#[test]
+fn hierarchical_order_passes() {
+    let outer = Arc::new(Mutex::new(0u32));
+    let middle = Arc::new(Mutex::new(0u32));
+    let inner = Arc::new(Mutex::new(0u32));
+
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let (o, m, n) = (outer.clone(), middle.clone(), inner.clone());
+        handles.push(thread::spawn(move || {
+            for _ in 0..50 {
+                let mut go = o.lock();
+                *go += 1;
+                if i % 2 == 0 {
+                    let mut gm = m.lock();
+                    *gm += 1;
+                    let mut gn = n.lock();
+                    *gn += 1;
+                } else {
+                    // Skipping a level is still order-consistent.
+                    let mut gn = n.lock();
+                    *gn += 1;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("hierarchical locking must not panic");
+    }
+    assert_eq!(*outer.lock(), 8 * 50);
+}
+
+/// Mutexes constructed at the same site share a lockdep class; nesting two
+/// of them (e.g. hand-over-hand over a `Vec` of stripes) must not panic,
+/// because per-site classes cannot express a per-instance discipline.
+#[test]
+fn same_class_nesting_is_not_flagged() {
+    let stripes: Vec<Mutex<u32>> = (0..4).map(Mutex::new).collect();
+    let _g0 = stripes[0].lock();
+    let _g1 = stripes[1].lock();
+    let _g2 = stripes[2].lock();
+}
+
+/// `try_lock` never adds ordering edges: probing B-then-A after the world
+/// has established A-then-B is fine, because a non-blocking acquisition
+/// cannot deadlock.
+#[test]
+fn try_lock_adds_no_ordering_edges() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    let (a1, b1) = (a.clone(), b.clone());
+    thread::spawn(move || {
+        let _ga = a1.lock();
+        let _gb = b1.lock();
+    })
+    .join()
+    .expect("forward order must not panic");
+
+    let (a2, b2) = (a.clone(), b.clone());
+    thread::spawn(move || {
+        let _gb = b2.lock();
+        let _ga = a2.try_lock().expect("uncontended");
+    })
+    .join()
+    .expect("try_lock in reverse order must not panic");
+}

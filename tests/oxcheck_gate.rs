@@ -1,0 +1,25 @@
+//! Tier-1 gate: the in-repo static analyzer must report zero findings.
+//!
+//! This makes `cargo test -q` fail the moment anyone reintroduces a raw
+//! `std::sync` lock, a wall-clock read, an unchecked panic on a storage
+//! path, or an external dependency — the same check CI runs as
+//! `cargo run -p oxcheck`, kept in the test suite so it also bites locally
+//! and in environments without the workflow runner.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_oxcheck_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = oxcheck::analyze_workspace(root).expect("workspace sources must be readable");
+    assert!(
+        findings.is_empty(),
+        "oxcheck found {} finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
