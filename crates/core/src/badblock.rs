@@ -8,14 +8,31 @@
 
 use crate::mapping::PageMap;
 use crate::provision::Provisioner;
-use ocssd::{ChunkAddr, Geometry, MediaEvent};
+use ocssd::{ChunkAddr, Geometry, MediaEvent, Ppa};
 use std::collections::HashSet;
+
+/// A logical page stranded by a retired chunk, awaiting re-placement.
+///
+/// `ppa` is where the page lived when the chunk died. After a program
+/// failure the chunk freezes with its written prefix intact, so the page is
+/// still readable there; after wear-out or erase failure the chunk is
+/// offline and the page must come from higher-level redundancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Orphan {
+    /// The orphaned logical page.
+    pub lpn: u64,
+    /// The page's physical location on the retired chunk.
+    pub ppa: Ppa,
+}
 
 /// FTL-side table of retired chunks.
 #[derive(Default)]
 pub struct BadBlockTable {
     retired: HashSet<(u32, u32, u32)>,
+    /// Logical pages orphaned by retirements and not yet re-placed.
+    orphans: HashSet<u64>,
     events_seen: u64,
+    replaced: u64,
 }
 
 impl BadBlockTable {
@@ -44,16 +61,44 @@ impl BadBlockTable {
         self.events_seen
     }
 
+    /// Logical pages orphaned by retirements and still awaiting
+    /// re-placement.
+    pub fn orphans_pending(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Whether `lpn` is currently orphaned.
+    pub fn is_orphaned(&self, lpn: u64) -> bool {
+        self.orphans.contains(&lpn)
+    }
+
+    /// Orphans re-placed since construction.
+    pub fn orphans_replaced(&self) -> u64 {
+        self.replaced
+    }
+
+    /// Records that an orphaned page was rewritten to a healthy chunk (or
+    /// its loss was resolved some other way, e.g. the host overwrote or
+    /// trimmed it). Returns whether the page was in the orphan set.
+    pub fn mark_replaced(&mut self, lpn: u64) -> bool {
+        let was = self.orphans.remove(&lpn);
+        if was {
+            self.replaced += 1;
+        }
+        was
+    }
+
     /// Ingests device events: retires the chunks in the provisioner, unmaps
-    /// any logical pages that lived there, and returns the orphaned LPNs so
-    /// the caller can re-write them from higher-level redundancy.
+    /// any logical pages that lived there, and returns the orphaned pages so
+    /// the caller can re-place them. Each orphan stays in the pending set
+    /// until [`BadBlockTable::mark_replaced`] confirms its rewrite.
     pub fn ingest(
         &mut self,
         geo: &Geometry,
         events: &[MediaEvent],
         prov: &mut Provisioner,
         map: &mut PageMap,
-    ) -> Vec<u64> {
+    ) -> Vec<Orphan> {
         let mut orphans = Vec::new();
         for ev in events {
             self.events_seen += 1;
@@ -62,9 +107,10 @@ impl BadBlockTable {
                 continue;
             }
             prov.mark_offline(addr);
-            for (_ppa, lpn) in map.valid_sectors(addr.linear(geo)) {
+            for (ppa, lpn) in map.valid_sectors(addr.linear(geo)) {
                 map.unmap(lpn);
-                orphans.push(lpn);
+                self.orphans.insert(lpn);
+                orphans.push(Orphan { lpn, ppa });
             }
         }
         orphans
@@ -100,12 +146,57 @@ mod tests {
         map.map(11, bad.ppa(1));
         map.map(12, Ppa::new(0, 0, 0, 0));
         let orphans = table.ingest(&g, &[event(bad)], &mut prov, &mut map);
-        assert_eq!(orphans, vec![10, 11]);
+        assert_eq!(
+            orphans,
+            vec![
+                Orphan {
+                    lpn: 10,
+                    ppa: bad.ppa(0)
+                },
+                Orphan {
+                    lpn: 11,
+                    ppa: bad.ppa(1)
+                },
+            ]
+        );
         assert!(table.contains(bad));
         assert_eq!(table.len(), 1);
         assert_eq!(map.lookup(10), None);
         assert_eq!(map.lookup(12), Some(Ppa::new(0, 0, 0, 0)));
         assert_eq!(prov.offline_chunks(), 1);
+    }
+
+    #[test]
+    fn orphan_lifecycle_tracks_replacement() {
+        let g = geo();
+        let mut table = BadBlockTable::new();
+        let mut prov = Provisioner::fresh(g, &[]);
+        let mut map = PageMap::new(g, 1000);
+        let bad = ChunkAddr::new(1, 2, 3);
+        map.map(10, bad.ppa(0));
+        map.map(11, bad.ppa(1));
+        let orphans = table.ingest(&g, &[event(bad)], &mut prov, &mut map);
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(table.orphans_pending(), 2);
+        assert!(table.is_orphaned(10) && table.is_orphaned(11));
+
+        // Re-placing one page removes exactly it from the pending set.
+        assert!(table.mark_replaced(10));
+        assert_eq!(table.orphans_pending(), 1);
+        assert!(!table.is_orphaned(10));
+        assert!(table.is_orphaned(11));
+        assert_eq!(table.orphans_replaced(), 1);
+
+        // Replacement is idempotent; unknown pages are a no-op.
+        assert!(!table.mark_replaced(10));
+        assert!(!table.mark_replaced(999));
+        assert_eq!(table.orphans_replaced(), 1);
+
+        // A second retirement of pages already in the set does not double
+        // count, and the remaining orphan drains normally.
+        assert!(table.mark_replaced(11));
+        assert_eq!(table.orphans_pending(), 0);
+        assert_eq!(table.orphans_replaced(), 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::codec::{crc32c, Decoder, Encoder};
 use crate::media::Media;
 use crate::wal::WalError;
-use ocssd::{ChunkAddr, ChunkState, SECTOR_BYTES};
+use ocssd::{ChunkAddr, ChunkState, DeviceError, SECTOR_BYTES};
 use ox_sim::trace::Obs;
 use ox_sim::SimTime;
 use std::sync::Arc;
@@ -34,9 +34,13 @@ pub struct CheckpointData {
 pub struct CheckpointStore {
     media: Arc<dyn Media>,
     areas: [Vec<ChunkAddr>; 2],
+    /// Areas retired after a media failure; never written again. Reads
+    /// still scan them (older frames may be intact).
+    dead: [bool; 2],
     next_seq: u64,
     next_area: usize,
     checkpoints_taken: u64,
+    area_failovers: u64,
     obs: Obs,
 }
 
@@ -47,9 +51,11 @@ impl CheckpointStore {
         CheckpointStore {
             media,
             areas: [area_a, area_b],
+            dead: [false, false],
             next_seq: 1,
             next_area: 0,
             checkpoints_taken: 0,
+            area_failovers: 0,
             obs: Obs::default(),
         }
     }
@@ -72,6 +78,18 @@ impl CheckpointStore {
         self.checkpoints_taken
     }
 
+    /// Writes that had to fail over to the other area after a media failure.
+    pub fn area_failovers(&self) -> u64 {
+        self.area_failovers
+    }
+
+    /// Areas retired after a media failure (0, 1 or 2). With both areas
+    /// dead, checkpointing is impossible and [`CheckpointStore::write`]
+    /// errors.
+    pub fn dead_areas(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
     /// Writes a checkpoint covering `durable_lsn` with `payload` and waits
     /// for durability. Returns the completion time and assigned sequence.
     pub fn write(
@@ -81,7 +99,6 @@ impl CheckpointStore {
         payload: &[u8],
     ) -> Result<(SimTime, u64), WalError> {
         let seq = self.next_seq;
-        let area_idx = self.next_area;
         let geo = self.media.geometry();
         let unit_bytes = geo.ws_min_bytes();
 
@@ -101,8 +118,64 @@ impl CheckpointStore {
             self.area_capacity()
         );
 
-        // Reset the target area (erases in parallel across PUs), then
-        // stream the blob chunk by chunk.
+        // Bounded failover: a media failure retires the target area and the
+        // write retries on the other one. Both areas dead means the store
+        // can no longer checkpoint; report the last device error. The
+        // alternating discipline is preserved on the surviving area — a
+        // torn blob in the dead area never validates, so recovery falls
+        // back to the newest intact snapshot.
+        let mut area_idx = self.next_area;
+        let mut last_err = WalError::Device(DeviceError::ChunkOffline(self.areas[area_idx][0]));
+        for _ in 0..2 {
+            if self.dead[area_idx] {
+                area_idx = 1 - area_idx;
+                continue;
+            }
+            match self.write_area(now, area_idx, &bytes) {
+                Ok(t) => {
+                    self.next_seq += 1;
+                    self.next_area = 1 - area_idx;
+                    self.checkpoints_taken += 1;
+                    self.obs
+                        .metrics
+                        .record("checkpoint.write", bytes.len() as u64);
+                    self.obs.metrics.observe(
+                        "checkpoint.write_latency_ns",
+                        t.saturating_since(now).as_nanos(),
+                    );
+                    self.obs
+                        .tracer
+                        .span(now, t, "checkpoint", "write", bytes.len() as u64);
+                    return Ok((t, seq));
+                }
+                Err(
+                    e @ WalError::Device(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ),
+                ) => {
+                    self.dead[area_idx] = true;
+                    self.area_failovers += 1;
+                    self.obs.metrics.record("checkpoint.area_failover", 0);
+                    last_err = e;
+                    area_idx = 1 - area_idx;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Resets one area (erases in parallel across PUs), then streams the
+    /// blob chunk by chunk. Returns the durability time.
+    fn write_area(
+        &mut self,
+        now: SimTime,
+        area_idx: usize,
+        bytes: &[u8],
+    ) -> Result<SimTime, WalError> {
+        let geo = self.media.geometry();
         let mut t = now;
         for &c in &self.areas[area_idx] {
             if self.media.chunk_info(c).state != ChunkState::Free {
@@ -116,21 +189,7 @@ impl CheckpointStore {
             let durable = self.media.flush_chunk(comp.done, chunk).done;
             t = t.max(durable);
         }
-
-        self.next_seq += 1;
-        self.next_area = 1 - area_idx;
-        self.checkpoints_taken += 1;
-        self.obs
-            .metrics
-            .record("checkpoint.write", bytes.len() as u64);
-        self.obs.metrics.observe(
-            "checkpoint.write_latency_ns",
-            t.saturating_since(now).as_nanos(),
-        );
-        self.obs
-            .tracer
-            .span(now, t, "checkpoint", "write", bytes.len() as u64);
-        Ok((t, seq))
+        Ok(t)
     }
 
     /// Reads the newest valid checkpoint, if any, together with the read
@@ -165,11 +224,19 @@ impl CheckpointStore {
         if info.write_ptr < geo.ws_min {
             return (None, now);
         }
-        // Read the first unit for the header.
+        // Read the first unit for the header. Bounded retry: a transient
+        // uncorrectable read must not discard an intact snapshot.
         let unit_bytes = geo.ws_min_bytes();
         let mut head = vec![0u8; unit_bytes];
         let mut t = now;
-        match self.media.read(t, first.ppa(0), geo.ws_min, &mut head) {
+        match crate::media::read_with_retry(
+            self.media.as_ref(),
+            t,
+            first.ppa(0),
+            geo.ws_min,
+            &mut head,
+            3,
+        ) {
             Ok(c) => t = c.done,
             Err(_) => return (None, now),
         }
@@ -197,10 +264,14 @@ impl CheckpointStore {
             if info.write_ptr < sectors {
                 return (None, t); // torn
             }
-            match self
-                .media
-                .read(t, chunk.ppa(0), sectors, &mut blob[off..off + want])
-            {
+            match crate::media::read_with_retry(
+                self.media.as_ref(),
+                t,
+                chunk.ppa(0),
+                sectors,
+                &mut blob[off..off + want],
+                3,
+            ) {
                 Ok(c) => t = c.done,
                 Err(_) => return (None, t),
             }
@@ -301,6 +372,53 @@ mod tests {
         let (done, _) = store.write(SimTime::ZERO, 5, &payload).unwrap();
         let (data, _) = store.read_latest(done);
         assert_eq!(data.unwrap().payload, payload);
+    }
+
+    #[test]
+    fn write_fails_over_to_surviving_area() {
+        let (_, mut store, dev) = setup();
+        // Area A's first chunk fails its very first program: the write must
+        // land on area B instead, and A never gets written again.
+        let mut plan = ocssd::FaultPlan::default();
+        plan.program_fails.push(ocssd::ProgramFault {
+            chunk: ChunkAddr::new(1, 0, 0),
+            wp: 0,
+        });
+        dev.set_fault_plan(plan);
+
+        let (t1, s1) = store.write(SimTime::ZERO, 11, b"survives").unwrap();
+        assert_eq!(s1, 1);
+        assert_eq!(store.area_failovers(), 1);
+        assert_eq!(store.dead_areas(), 1);
+        let (data, _) = store.read_latest(t1);
+        let d = data.expect("checkpoint landed on the surviving area");
+        assert_eq!(d.payload, b"survives");
+        assert_eq!(d.durable_lsn, 11);
+
+        // Subsequent checkpoints keep working on the one healthy area.
+        let (t2, s2) = store.write(t1, 22, b"still going").unwrap();
+        assert_eq!(s2, 2);
+        assert_eq!(store.area_failovers(), 1, "dead area skipped, not retried");
+        let (data, _) = store.read_latest(t2);
+        assert_eq!(data.unwrap().payload, b"still going");
+    }
+
+    #[test]
+    fn read_retries_transient_uncorrectable_reads() {
+        let (_, mut store, dev) = setup();
+        let payload = vec![9u8; 50_000];
+        let (done, _) = store.write(SimTime::ZERO, 33, &payload).unwrap();
+        let mut plan = ocssd::FaultPlan::default();
+        plan.read_fails.push(ocssd::ReadFault {
+            ppa: ChunkAddr::new(1, 0, 0).ppa(0),
+            attempts: 2,
+        });
+        dev.set_fault_plan(plan);
+        let (data, _) = store.read_latest(done);
+        let d = data.expect("transient read fault must not discard the snapshot");
+        assert_eq!(d.payload, payload);
+        assert_eq!(d.durable_lsn, 33);
+        assert_eq!(dev.fault_ledger().read_fails, 2);
     }
 
     #[test]

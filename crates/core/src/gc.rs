@@ -64,6 +64,12 @@ pub struct GcStats {
     pub moved_sectors: u64,
     /// Total padding sectors.
     pub padded_sectors: u64,
+    /// Relocation batches that failed over to a fresh destination chunk
+    /// after a program failure.
+    pub copy_failovers: u64,
+    /// Victim resets that failed, forfeiting the chunk as a grown bad
+    /// block instead of recycling it.
+    pub reset_failures: u64,
 }
 
 /// The garbage collector.
@@ -201,19 +207,38 @@ impl GarbageCollector {
                     cursor += geo.ws_min as usize;
 
                     // Destination in the same group, never the victim chunk.
-                    let slot = loop {
-                        let Some(slot) = prov.allocate_in_group(group) else {
-                            // Group out of space: fall back to any group.
-                            match prov.allocate_horizontal() {
-                                Some(s) => break s,
-                                None => return Err(WalError::LogFull),
+                    // A program failure on the destination freezes it; the
+                    // write point is retired and the batch retries on a
+                    // fresh chunk. Every retry permanently consumes a chunk
+                    // from provisioning, so the loop is bounded by the
+                    // healthy-chunk supply.
+                    let (slot, comp) = loop {
+                        let slot = loop {
+                            let Some(slot) = prov.allocate_in_group(group) else {
+                                // Group out of space: fall back to any group.
+                                match prov.allocate_horizontal() {
+                                    Some(s) => break s,
+                                    None => return Err(WalError::LogFull),
+                                }
+                            };
+                            if slot.chunk != victim {
+                                break slot;
                             }
                         };
-                        if slot.chunk != victim {
-                            break slot;
+                        match media.copy(t, &batch, slot.chunk) {
+                            Ok(comp) => break (slot, comp),
+                            Err(
+                                ocssd::DeviceError::MediaFailure(_)
+                                | ocssd::DeviceError::ChunkOffline(_)
+                                | ocssd::DeviceError::InvalidChunkState { .. },
+                            ) => {
+                                prov.mark_offline(slot.chunk);
+                                self.stats.copy_failovers += 1;
+                                self.obs.metrics.record("gc.copy_failover", 0);
+                            }
+                            Err(e) => return Err(e.into()),
                         }
                     };
-                    let comp = media.copy(t, &batch, slot.chunk)?;
                     t = comp.done;
                     for (k, lpn) in lpns.iter().enumerate() {
                         if let Some(lpn) = lpn {
@@ -232,11 +257,23 @@ impl GarbageCollector {
                 t = wal.commit(t)?;
             }
 
-            // Victim is now dead; erase and recycle.
-            let comp = media.reset(t, victim)?;
-            t = comp.done;
-            prov.release_chunk(victim);
-            pass.victims += 1;
+            // Victim is now dead; erase and recycle. An erase failure
+            // retires the victim as a grown bad block (the device already
+            // queued the media event). Its live data is relocated and
+            // journaled, so the pass just forfeits the chunk rather than
+            // failing the collection.
+            match media.reset(t, victim) {
+                Ok(comp) => {
+                    t = comp.done;
+                    prov.release_chunk(victim);
+                    pass.victims += 1;
+                }
+                Err(_) => {
+                    prov.mark_offline(victim);
+                    self.stats.reset_failures += 1;
+                    self.obs.metrics.record("gc.reset_failure", 0);
+                }
+            }
             pass.done = t;
         }
         self.stats.passes += 1;

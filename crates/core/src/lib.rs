@@ -37,6 +37,7 @@ pub mod badblock;
 pub mod checkpoint;
 pub mod codec;
 pub mod contract;
+pub mod faultharness;
 pub mod gc;
 pub mod landscape;
 pub mod layout;

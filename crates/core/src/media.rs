@@ -43,6 +43,33 @@ pub trait Media: Send + Sync {
     fn drain_events(&self) -> Vec<ocssd::MediaEvent>;
 }
 
+/// Reads with bounded retry on transient uncorrectable-read errors.
+///
+/// The recovery paths (WAL scan, checkpoint load) must not discard durable
+/// state over an ECC-exhaustion fluke that a second attempt would clear —
+/// the data-path read retries already do this, recovery gets the same
+/// defense. Other errors (and a read that stays uncorrectable past the
+/// retry budget) propagate.
+pub fn read_with_retry(
+    media: &dyn Media,
+    now: SimTime,
+    ppa: Ppa,
+    sectors: u32,
+    out: &mut [u8],
+    max_retries: u32,
+) -> Result<Completion> {
+    let mut attempts = 0u32;
+    loop {
+        match media.read(now, ppa, sectors, out) {
+            Ok(c) => return Ok(c),
+            Err(ocssd::DeviceError::UncorrectableRead(_)) if attempts < max_retries => {
+                attempts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// [`Media`] over the simulated Open-Channel SSD.
 #[derive(Clone)]
 pub struct OcssdMedia {

@@ -260,6 +260,29 @@ mod tests {
     }
 
     #[test]
+    fn recovery_retries_transient_read_faults_during_scan() {
+        let r = rig();
+        let (mut wal, mut t) =
+            Wal::format(r.media.clone(), r.layout.wal_chunks.clone(), SimTime::ZERO).unwrap();
+        t = commit_txn(&mut wal, 1, &[(5, 100), (6, 200)], t);
+        t = commit_txn(&mut wal, 2, &[(5, 300)], t);
+        r.dev.crash(t);
+        // ECC exhaustion that clears on a second attempt, right on the first
+        // WAL frame: the scan must retry, not silently truncate replay.
+        let mut plan = ocssd::FaultPlan::default();
+        plan.read_fails.push(ocssd::ReadFault {
+            ppa: r.layout.wal_chunks[0].ppa(0),
+            attempts: 2,
+        });
+        r.dev.set_fault_plan(plan);
+        let out = recover(&r.media, &r.layout, r.geo, 1024, t);
+        assert_eq!(out.txns_committed, 2);
+        assert_eq!(out.map.lookup(5), Some(Ppa::from_linear(&r.geo, 300)));
+        assert_eq!(out.map.lookup(6), Some(Ppa::from_linear(&r.geo, 200)));
+        assert_eq!(r.dev.fault_ledger().read_fails, 2, "both attempts fired");
+    }
+
+    #[test]
     fn uncommitted_tail_is_discarded() {
         let r = rig();
         let (mut wal, mut t) =

@@ -24,6 +24,15 @@ pub struct FtlStats {
     pub ios_gc_interfered: u64,
     /// User I/Os issued while GC was active in a *different* group.
     pub ios_gc_clean: u64,
+    /// Writes re-placed on a fresh chunk after a program failure.
+    pub write_failovers: u64,
+    /// Reads retried after an uncorrectable-read error (transient ECC
+    /// exhaustion recovered by read-retry).
+    pub read_retries: u64,
+    /// Orphaned pages salvaged from frozen chunks and rewritten.
+    pub orphans_salvaged: u64,
+    /// Orphaned pages whose media was gone (data lost at this layer).
+    pub orphans_lost: u64,
 }
 
 impl FtlStats {

@@ -165,6 +165,10 @@ pub struct Wal {
     durable_lsn: u64,
     frames_written: u64,
     bytes_written: u64,
+    /// Commits that had to fail over to a fresh chunk after a media failure.
+    failovers: u64,
+    /// Ring slots permanently lost to grown bad blocks.
+    dead_chunks: u64,
     obs: Obs,
 }
 
@@ -179,11 +183,30 @@ impl Wal {
         assert!(chunks.len() >= 2, "WAL needs at least 2 chunks");
         let geo = media.geometry();
         let mut done = now;
+        // Drop retired ring chunks instead of failing the format: a reopen
+        // after grown bad blocks (fault injection, wear-out) must come up on
+        // whatever healthy chunks remain.
+        let mut chunks = chunks;
+        chunks.retain(|&c| media.chunk_info(c).state != ocssd::ChunkState::Offline);
+        let mut usable = Vec::with_capacity(chunks.len());
         for &c in &chunks {
             let info = media.chunk_info(c);
             if info.state != ocssd::ChunkState::Free {
-                done = done.max(media.reset(now, c)?.done);
+                match media.reset(now, c) {
+                    Ok(comp) => done = done.max(comp.done),
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => continue, // erase failure retires the chunk
+                    Err(e) => return Err(e.into()),
+                }
             }
+            usable.push(c);
+        }
+        let chunks = usable;
+        if chunks.len() < 2 {
+            return Err(WalError::LogFull);
         }
         let free: VecDeque<usize> = (1..chunks.len()).collect();
         let mut segments = VecDeque::new();
@@ -205,6 +228,8 @@ impl Wal {
                 durable_lsn: 0,
                 frames_written: 0,
                 bytes_written: 0,
+                failovers: 0,
+                dead_chunks: 0,
                 obs: Obs::default(),
             },
             done,
@@ -257,6 +282,17 @@ impl Wal {
         self.chunks.len()
     }
 
+    /// Commits that survived a media failure by failing over to a fresh
+    /// chunk.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Ring chunks permanently retired as grown bad blocks.
+    pub fn dead_chunks(&self) -> u64 {
+        self.dead_chunks
+    }
+
     fn unit_bytes(&self) -> usize {
         self.unit_sectors as usize * SECTOR_BYTES
     }
@@ -298,13 +334,34 @@ impl Wal {
         if self.wp + sectors > self.chunk_sectors {
             self.advance_chunk(now)?;
         }
-        // oxcheck:allow(panic_path): format() seeds one segment and truncate() always keeps the active one; an empty ring is a logic bug, not a recoverable device state.
-        let seg = self.segments.back_mut().expect("active segment");
-        let addr = self.chunks[seg.ring_idx];
         let batch_records = self.pending.len() as u64;
-        let write = self.media.write(now, addr.ppa(self.wp), &bytes)?;
+        // Bounded failover: a program failure freezes the active chunk, so
+        // the frame never landed there. Retire the chunk from the rotation
+        // and retry on a fresh one. Each attempt permanently consumes a
+        // ring slot, so the loop terminates in at most `capacity_chunks()`
+        // iterations (then `advance_chunk` reports `LogFull`).
+        let (addr, write) = loop {
+            // oxcheck:allow(panic_path): format() seeds one segment and every retire/advance below preserves it; an empty ring is a logic bug, not a recoverable device state.
+            let seg = self.segments.back().expect("active segment");
+            let addr = self.chunks[seg.ring_idx];
+            match self.media.write(now, addr.ppa(self.wp), &bytes) {
+                Ok(w) => break (addr, w),
+                Err(
+                    DeviceError::MediaFailure(_)
+                    | DeviceError::ChunkOffline(_)
+                    | DeviceError::InvalidChunkState { .. },
+                ) => {
+                    self.failovers += 1;
+                    self.obs.metrics.record("wal.failover", 0);
+                    self.retire_active_chunk(now)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         let durable = self.media.flush_chunk(write.done, addr).done;
         self.wp += sectors;
+        // oxcheck:allow(panic_path): same invariant as above — the ring always holds an active segment.
+        let seg = self.segments.back_mut().expect("active segment");
         seg.last_lsn = last_lsn;
         self.durable_lsn = last_lsn;
         self.frames_written += 1;
@@ -329,21 +386,53 @@ impl Wal {
         Ok(durable)
     }
 
-    fn advance_chunk(&mut self, now: SimTime) -> Result<(), WalError> {
-        let Some(idx) = self.free.pop_front() else {
-            return Err(WalError::LogFull);
+    /// Removes the active chunk from the rotation after a media failure and
+    /// opens a fresh one. A chunk holding earlier frames stays in `segments`
+    /// (its frames are still readable and will be reclaimed by truncation);
+    /// an empty chunk went offline and is dropped entirely.
+    fn retire_active_chunk(&mut self, now: SimTime) -> Result<(), WalError> {
+        let dead_seg = if self.wp == 0 {
+            self.dead_chunks += 1;
+            self.segments.pop_back()
+        } else {
+            None
         };
-        // Reset if it holds stale (already truncated) data.
-        let addr = self.chunks[idx];
-        if self.media.chunk_info(addr).state != ocssd::ChunkState::Free {
-            self.media.reset(now, addr)?;
+        match self.advance_chunk(now) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Keep the ring's "one active segment" invariant even when
+                // the ring is exhausted, so a later truncate + commit can
+                // still make progress (and fail over again if needed).
+                if let Some(seg) = dead_seg {
+                    self.segments.push_back(seg);
+                }
+                Err(e)
+            }
         }
-        self.segments.push_back(Segment {
-            ring_idx: idx,
-            last_lsn: 0,
-        });
-        self.wp = 0;
-        Ok(())
+    }
+
+    fn advance_chunk(&mut self, now: SimTime) -> Result<(), WalError> {
+        loop {
+            let Some(idx) = self.free.pop_front() else {
+                return Err(WalError::LogFull);
+            };
+            // Reset if it holds stale (already truncated) data. A failed
+            // reset means the chunk grew bad while idle: drop it from the
+            // rotation and try the next free slot.
+            let addr = self.chunks[idx];
+            if self.media.chunk_info(addr).state != ocssd::ChunkState::Free
+                && self.media.reset(now, addr).is_err()
+            {
+                self.dead_chunks += 1;
+                continue;
+            }
+            self.segments.push_back(Segment {
+                ring_idx: idx,
+                last_lsn: 0,
+            });
+            self.wp = 0;
+            return Ok(());
+        }
     }
 
     /// Truncates the log: chunks whose entire contents have LSN ≤ `upto`
@@ -365,7 +454,15 @@ impl Wal {
             };
             let addr = self.chunks[seg.ring_idx];
             if self.media.chunk_info(addr).state != ocssd::ChunkState::Free {
-                done = done.max(self.media.reset(now, addr)?.done);
+                match self.media.reset(now, addr) {
+                    Ok(c) => done = done.max(c.done),
+                    Err(_) => {
+                        // Erase failure: the chunk is a grown bad block.
+                        // Drop it from the rotation but keep truncating.
+                        self.dead_chunks += 1;
+                        continue;
+                    }
+                }
             }
             self.free.push_back(seg.ring_idx);
             recycled += 1;
@@ -423,8 +520,17 @@ pub fn scan(
         }
         let mut sector = 0u32;
         while sector + geo.ws_min <= info.write_ptr {
-            // Read the first unit to learn the frame length.
-            let comp = match media.read(t, chunk.ppa(sector), geo.ws_min, &mut buf) {
+            // Read the first unit to learn the frame length. Bounded retry:
+            // a transient uncorrectable read must not silently truncate the
+            // replay — that would drop durable frames.
+            let comp = match crate::media::read_with_retry(
+                media.as_ref(),
+                t,
+                chunk.ppa(sector),
+                geo.ws_min,
+                &mut buf,
+                3,
+            ) {
                 Ok(c) => c,
                 Err(_) => break,
             };
@@ -448,7 +554,14 @@ pub fn scan(
             }
             // Gather the full frame.
             let mut frame_bytes = vec![0u8; frame_sectors as usize * SECTOR_BYTES];
-            let comp = match media.read(t, chunk.ppa(sector), frame_sectors, &mut frame_bytes) {
+            let comp = match crate::media::read_with_retry(
+                media.as_ref(),
+                t,
+                chunk.ppa(sector),
+                frame_sectors,
+                &mut frame_bytes,
+                3,
+            ) {
                 Ok(c) => c,
                 Err(_) => break,
             };
@@ -657,6 +770,99 @@ mod tests {
         assert_eq!(stats.frames, 1);
         assert_eq!(frames[0].records.len(), 8002);
         assert!(wal.bytes_written() > media.geometry().ws_min_bytes() as u64);
+    }
+
+    #[test]
+    fn commit_fails_over_to_fresh_chunk_on_program_failure() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let chunks: Vec<ChunkAddr> = (0..4).map(|i| ChunkAddr::new(0, 0, i)).collect();
+        let (mut wal, mut t) = Wal::format(media.clone(), chunks.clone(), SimTime::ZERO).unwrap();
+        let ws_min = media.geometry().ws_min;
+
+        // First frame lands; the second hits an injected program failure at
+        // the chunk's write pointer and must fail over to the next ring
+        // chunk without losing either frame.
+        let mut plan = ocssd::FaultPlan::default();
+        plan.program_fails.push(ocssd::ProgramFault {
+            chunk: chunks[0],
+            wp: ws_min,
+        });
+        dev.set_fault_plan(plan);
+
+        for txid in 0..2u64 {
+            for rec in tx(txid, 2) {
+                wal.append(rec);
+            }
+            t = wal.commit(t).unwrap();
+        }
+        assert_eq!(wal.failovers(), 1);
+        assert_eq!(wal.dead_chunks(), 0, "written chunk freezes, not dies");
+        assert_eq!(wal.live_chunks(), 2, "frozen segment stays scannable");
+        assert_eq!(media.chunk_info(chunks[0]).state, ocssd::ChunkState::Closed);
+        let (frames, _, stats) = scan(&media, &chunks, t);
+        assert_eq!(stats.frames, 2, "both frames durable despite the fault");
+        assert_eq!(frames[0].records, tx(0, 2));
+        assert_eq!(frames[1].records, tx(1, 2));
+        assert_eq!(dev.fault_ledger().program_fails, 1);
+    }
+
+    #[test]
+    fn empty_chunk_that_fails_programming_is_dropped_from_the_ring() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let chunks: Vec<ChunkAddr> = (0..3).map(|i| ChunkAddr::new(0, 0, i)).collect();
+        let (mut wal, t) = Wal::format(media.clone(), chunks.clone(), SimTime::ZERO).unwrap();
+
+        // The very first program on the active chunk fails: the chunk goes
+        // offline and leaves the rotation entirely.
+        let mut plan = ocssd::FaultPlan::default();
+        plan.program_fails.push(ocssd::ProgramFault {
+            chunk: chunks[0],
+            wp: 0,
+        });
+        dev.set_fault_plan(plan);
+
+        for rec in tx(7, 2) {
+            wal.append(rec);
+        }
+        let done = wal.commit(t).unwrap();
+        assert_eq!(wal.failovers(), 1);
+        assert_eq!(wal.dead_chunks(), 1);
+        assert_eq!(wal.live_chunks(), 1, "dead empty segment dropped");
+        assert_eq!(
+            media.chunk_info(chunks[0]).state,
+            ocssd::ChunkState::Offline
+        );
+        let (frames, _, stats) = scan(&media, &chunks, done);
+        assert_eq!(stats.frames, 1);
+        assert_eq!(frames[0].records, tx(7, 2));
+    }
+
+    #[test]
+    fn scan_retries_transient_uncorrectable_reads() {
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let chunks: Vec<ChunkAddr> = (0..2).map(|i| ChunkAddr::new(0, 0, i)).collect();
+        let (mut wal, mut t) = Wal::format(media.clone(), chunks.clone(), SimTime::ZERO).unwrap();
+        for txid in 0..3u64 {
+            for rec in tx(txid, 2) {
+                wal.append(rec);
+            }
+            t = wal.commit(t).unwrap();
+        }
+        // A transient uncorrectable read in the middle frame must not
+        // truncate the replay: all three frames still decode.
+        let mut plan = ocssd::FaultPlan::default();
+        plan.read_fails.push(ocssd::ReadFault {
+            ppa: chunks[0].ppa(media.geometry().ws_min),
+            attempts: 2,
+        });
+        dev.set_fault_plan(plan);
+        let (frames, _, stats) = scan(&media, &chunks, t);
+        assert_eq!(stats.frames, 3, "transient read fault dropped frames");
+        assert_eq!(frames.len(), 3);
+        assert_eq!(dev.fault_ledger().read_fails, 2);
     }
 
     #[test]

@@ -133,6 +133,13 @@ pub struct LightLsmStats {
     pub flush_barrier_nanos: u64,
     /// See `flush_ensure_nanos`.
     pub flush_commit_nanos: u64,
+    /// Flushes restarted on a fresh extent after a program failure retired
+    /// one of the stripe's chunks.
+    pub flush_failovers: u64,
+    /// Block reads retried after a transient uncorrectable-read error.
+    pub read_retries: u64,
+    /// Grown-bad-block events ingested from the device.
+    pub media_events: u64,
 }
 
 /// The LightLSM FTL.
@@ -428,6 +435,39 @@ impl LightLsm {
         Ok(chunks)
     }
 
+    /// Dismantles a partially written extent after a program failure: the
+    /// failed chunk is retired, the rest are erased (tolerating further
+    /// failures) and recycled.
+    fn abandon_extent(
+        &mut self,
+        now: SimTime,
+        chunks: &[ocssd::ChunkAddr],
+        bad: ocssd::ChunkAddr,
+    ) -> Result<(), LightLsmError> {
+        for &c in chunks {
+            if c == bad {
+                self.prov.mark_offline(c);
+                continue;
+            }
+            if self.media.chunk_info(c).state != ChunkState::Free {
+                match self.media.reset(now, c) {
+                    Ok(_) => {}
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => {
+                        self.prov.mark_offline(c);
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            self.prov.release_chunk(c);
+        }
+        Ok(())
+    }
+
     /// Atomically flushes an SSTable: stripes the data over a fresh chunk
     /// extent, waits for media durability, then commits the directory
     /// update. Returns the table id and completion time.
@@ -449,34 +489,58 @@ impl LightLsm {
         self.stats.flush_ensure_nanos += t.saturating_since(now).as_nanos();
         let unit = self.geo.ws_min_bytes();
         let blocks = data.len().div_ceil(unit) as u32;
-        let chunks = self.allocate_extent(blocks)?;
         let id = self.next_id;
         self.next_id += 1;
-        let ext = TableExtent {
-            id,
-            placement: self.config.placement,
-            chunks,
-            blocks,
-        };
 
         // Submit block writes through the single dispatch thread; the last
-        // block may be zero-padded to the 96 KB unit.
-        let mut ack = t;
+        // block may be zero-padded to the 96 KB unit. A program failure
+        // retires the stripe's failed chunk and restarts the flush on a
+        // fresh extent — an extent's block→chunk mapping is positional, so a
+        // chunk cannot be swapped out mid-stripe. Bounded: every restart
+        // permanently removes a chunk from provisioning.
+        let mut ack;
         let mut padded = vec![0u8; unit];
-        for b in 0..blocks {
-            let (chunk, sector) = ext.block_location(&self.geo, b);
-            let off = b as usize * unit;
-            let payload: &[u8] = if off + unit <= data.len() {
-                &data[off..off + unit]
-            } else {
-                padded.fill(0);
-                padded[..data.len() - off].copy_from_slice(&data[off..]);
-                &padded
+        let ext = loop {
+            let chunks = self.allocate_extent(blocks)?;
+            let ext = TableExtent {
+                id,
+                placement: self.config.placement,
+                chunks,
+                blocks,
             };
-            let submit = self.dispatch.acquire(t, self.config.dispatch_per_block).end;
-            let comp = self.media.write(submit, chunk.ppa(sector), payload)?;
-            ack = ack.max(comp.done);
-        }
+            ack = t;
+            let mut failed = None;
+            for b in 0..blocks {
+                let (chunk, sector) = ext.block_location(&self.geo, b);
+                let off = b as usize * unit;
+                let payload: &[u8] = if off + unit <= data.len() {
+                    &data[off..off + unit]
+                } else {
+                    padded.fill(0);
+                    padded[..data.len() - off].copy_from_slice(&data[off..]);
+                    &padded
+                };
+                let submit = self.dispatch.acquire(t, self.config.dispatch_per_block).end;
+                match self.media.write(submit, chunk.ppa(sector), payload) {
+                    Ok(comp) => ack = ack.max(comp.done),
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => {
+                        failed = Some(chunk);
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let Some(bad) = failed else {
+                break ext;
+            };
+            self.stats.flush_failovers += 1;
+            self.obs.metrics.record("lightlsm.flush_failover", 0);
+            self.abandon_extent(ack, &ext.chunks, bad)?;
+        };
 
         self.stats.flush_ack_nanos += ack.saturating_since(t).as_nanos();
         // Durability barrier before the directory commit: atomic flush.
@@ -538,9 +602,21 @@ impl LightLsm {
             .dispatch
             .acquire(now, self.config.dispatch_per_block)
             .end;
-        let comp = self
-            .media
-            .read(submit, chunk.ppa(sector), self.geo.ws_min, out)?;
+        // Bounded read-retry: uncorrectable reads are often transient.
+        let mut attempts = 0u32;
+        let comp = loop {
+            match self
+                .media
+                .read(submit, chunk.ppa(sector), self.geo.ws_min, out)
+            {
+                Ok(comp) => break comp,
+                Err(DeviceError::UncorrectableRead(_)) if attempts < 3 => {
+                    attempts += 1;
+                    self.stats.read_retries += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.stats.blocks_read += 1;
         self.obs.metrics.record("lightlsm.read", out.len() as u64);
         self.obs
@@ -576,10 +652,24 @@ impl LightLsm {
         for &c in &ext.chunks {
             // Chunks are Open or Closed (the stripe may not have filled the
             // tail row); both reset fine. Never-written chunks are just
-            // released.
+            // released. A failed erase retires the chunk — its data is
+            // already deleted, so nothing is lost.
             if self.media.chunk_info(c).state != ChunkState::Free {
-                done = done.max(self.media.reset(commit_done, c)?.done);
-                self.stats.chunks_erased += 1;
+                match self.media.reset(commit_done, c) {
+                    Ok(comp) => {
+                        done = done.max(comp.done);
+                        self.stats.chunks_erased += 1;
+                    }
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => {
+                        self.prov.mark_offline(c);
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             self.prov.release_chunk(c);
         }
@@ -587,6 +677,19 @@ impl LightLsm {
         self.obs.metrics.record("lightlsm.delete", 0);
         self.obs.tracer.span(now, done, "lightlsm", "delete", 0);
         Ok(done)
+    }
+
+    /// Drains grown-bad-block events from the device and routes future
+    /// extent allocations around the retired chunks. Live tables touching a
+    /// frozen chunk remain readable (a program-failure freeze keeps the
+    /// written prefix); the directory is untouched.
+    pub fn ingest_media_events(&mut self) -> usize {
+        let events = self.media.drain_events();
+        for ev in &events {
+            self.prov.mark_offline(ev.chunk);
+            self.stats.media_events += 1;
+        }
+        events.len()
     }
 }
 

@@ -1,0 +1,149 @@
+//! Differential test: the LSM key-value store over a fault-injected device
+//! must return byte-identical results to the same workload over a clean
+//! device. Injected transient read faults are absorbed by the FTL's bounded
+//! read-retry; the number of retries the FTL performed must reconcile
+//! exactly with the injector's ledger.
+
+use lightlsm::{LightLsm, LightLsmConfig};
+use lsmkv::{Db, DbConfig, LightLsmStore, PutOutcome};
+use ocssd::{DeviceConfig, FaultPlan, Geometry, OcssdDevice, ReadFault, SharedDevice};
+use ox_core::{Media, OcssdMedia};
+use ox_sim::{Prng, SimTime};
+use std::sync::Arc;
+
+const KEYS: u32 = 1500;
+const VALUE_BYTES: usize = 512;
+
+fn device() -> SharedDevice {
+    SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
+        Geometry::paper_tlc_scaled(22, 8),
+    )))
+}
+
+fn db_over(dev: &SharedDevice) -> (Db, Arc<LightLsmStore>) {
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    let (ftl, _) = LightLsm::format(media, LightLsmConfig::default(), SimTime::ZERO).unwrap();
+    let store = Arc::new(LightLsmStore::new(ftl));
+    let cfg = DbConfig {
+        memtable_bytes: 64 * 1024,
+        level_base_blocks: 16,
+        level_multiplier: 4,
+        ..DbConfig::default()
+    };
+    (Db::new(store.clone(), cfg), store)
+}
+
+fn key(i: u32) -> Vec<u8> {
+    format!("user{i:06}").into_bytes()
+}
+
+fn value(i: u32, seed: u64) -> Vec<u8> {
+    let mut rng = Prng::seed_from_u64(seed ^ u64::from(i));
+    (0..VALUE_BYTES).map(|_| rng.gen_range(256) as u8).collect()
+}
+
+/// Runs the fixed workload: seeded puts (forcing flushes and compactions
+/// through the tiny memtable), then a full read-back sweep. Returns every
+/// get result in key order.
+fn run_workload(db: &mut Db, seed: u64) -> Vec<Option<Vec<u8>>> {
+    let mut t = SimTime::ZERO;
+    let mut order: Vec<u32> = (0..KEYS).collect();
+    let mut rng = Prng::seed_from_u64(seed);
+    // Seeded shuffle so SSTables overlap and compaction has real work.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(i as u64 + 1) as usize);
+    }
+    for &i in &order {
+        let (k, v) = (key(i), value(i, seed));
+        loop {
+            match db.put(t, &k, &v).unwrap() {
+                PutOutcome::Done(done) => {
+                    t = done;
+                    break;
+                }
+                PutOutcome::Stalled(retry) => t = drain(db, retry),
+            }
+        }
+    }
+    t = drain(db, t);
+    (0..KEYS)
+        .map(|i| {
+            let (v, done) = db.get(t, &key(i)).unwrap();
+            t = done;
+            v
+        })
+        .collect()
+}
+
+fn drain(db: &mut Db, mut t: SimTime) -> SimTime {
+    loop {
+        if let Some(done) = db.flush_once(t).unwrap() {
+            t = done;
+            continue;
+        }
+        if let Some(done) = db.compact_once(t).unwrap() {
+            t = done;
+            continue;
+        }
+        break;
+    }
+    t
+}
+
+#[test]
+fn faulty_device_serves_byte_identical_reads() {
+    let seed = 7u64;
+
+    // Clean reference run; remember where the workload put data.
+    let clean_dev = device();
+    let (mut clean_db, _clean_store) = db_over(&clean_dev);
+    let clean_results = run_workload(&mut clean_db, seed);
+    assert_eq!(clean_dev.fault_ledger().total(), 0, "clean device is clean");
+    let written: Vec<_> = clean_dev
+        .with(|d| d.report_all_chunks())
+        .into_iter()
+        .filter(|(_, info)| info.write_ptr > 0)
+        .collect();
+    assert!(!written.is_empty());
+
+    // Faulty run: transient uncorrectable reads armed on sectors the clean
+    // run actually wrote. Placement is deterministic in the op order, so the
+    // faulty run lands data on the same sectors and the read sweep (plus
+    // compaction re-reads) walks straight into them.
+    let mut plan = FaultPlan::default();
+    let mut rng = Prng::seed_from_u64(seed ^ 0xD1FF);
+    // One fault per chunk, at most 2 failed attempts: a single block read
+    // hits at most one faulted sector, well inside the FTL's retry budget.
+    for (chunk, info) in &written {
+        plan.read_fails.push(ReadFault {
+            ppa: chunk.ppa(rng.gen_range(u64::from(info.write_ptr)) as u32),
+            attempts: 1 + rng.gen_range(2) as u32,
+        });
+    }
+    let faulty_dev = device();
+    faulty_dev.set_fault_plan(plan);
+    let (mut faulty_db, faulty_store) = db_over(&faulty_dev);
+    let faulty_results = run_workload(&mut faulty_db, seed);
+
+    // Every successful read returns byte-identical data.
+    assert_eq!(clean_results.len(), faulty_results.len());
+    for (i, (c, f)) in clean_results.iter().zip(&faulty_results).enumerate() {
+        assert_eq!(c, f, "key {i}: faulty-device read diverged");
+        assert_eq!(c.as_deref(), Some(&value(i as u32, seed)[..]));
+    }
+
+    // The injector's ledger reconciles with what the FTL absorbed: every
+    // fired transient read fault cost exactly one bounded retry.
+    let ledger = faulty_dev.fault_ledger();
+    assert!(ledger.read_fails > 0, "armed read faults must fire");
+    let retries = faulty_store.with_ftl(|ftl| ftl.stats().read_retries);
+    assert_eq!(
+        retries, ledger.read_fails,
+        "FTL retries reconcile with the injector ledger"
+    );
+    assert_eq!(
+        faulty_dev.stats().injected_read_fails,
+        ledger.read_fails,
+        "DeviceStats reconcile with the injector ledger"
+    );
+}

@@ -92,6 +92,18 @@ impl Chunk {
         self.pending.clear();
     }
 
+    /// Retires the chunk for writing after a failed program: a chunk holding
+    /// data closes early (the failed unit never landed, the written prefix
+    /// stays readable until the host migrates it), an empty chunk goes
+    /// offline. Pending drains of earlier, acknowledged writes proceed.
+    pub(crate) fn freeze(&mut self) {
+        if self.write_ptr == 0 {
+            self.set_offline();
+        } else if self.state != ChunkState::Offline {
+            self.state = ChunkState::Closed;
+        }
+    }
+
     /// Whether a write of `sectors` starting at `start` is legal, and if so
     /// records it (acknowledged now, durable at `durable_at`).
     ///
@@ -299,6 +311,19 @@ mod tests {
         assert_eq!(c.state(), ChunkState::Offline);
         c.crash(t(0));
         assert_eq!(c.state(), ChunkState::Offline);
+    }
+
+    #[test]
+    fn freeze_closes_written_chunk_and_offlines_empty_one() {
+        let mut c = Chunk::new();
+        c.accept_write(0, 24, CHUNK_SECTORS, t(100));
+        c.freeze();
+        assert_eq!(c.state(), ChunkState::Closed);
+        assert_eq!(c.write_ptr(), 24, "failed program must not advance wp");
+        assert_eq!(c.drain_deadline(), Some(t(100)), "earlier writes drain");
+        let mut empty = Chunk::new();
+        empty.freeze();
+        assert_eq!(empty.state(), ChunkState::Offline);
     }
 
     #[test]

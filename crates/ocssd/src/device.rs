@@ -25,6 +25,7 @@ use crate::cache::{CacheConfig, WriteCache};
 use crate::cell::NandProfile;
 use crate::chunk::{Chunk, ChunkInfo, ChunkState};
 use crate::error::{DeviceError, Result};
+use crate::fault::{FaultInjector, FaultLedger, FaultPlan};
 use crate::geometry::Geometry;
 use crate::media::MediaStore;
 use crate::stats::DeviceStats;
@@ -74,7 +75,7 @@ pub struct MediaEvent {
 }
 
 /// Full device configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DeviceConfig {
     /// Physical layout.
     pub geometry: Geometry,
@@ -93,6 +94,9 @@ pub struct DeviceConfig {
     pub program_fail_prob: f64,
     /// Base probability that an erase fails; grows with wear.
     pub erase_fail_prob: f64,
+    /// Deterministic fault schedule (empty by default: no injected faults,
+    /// byte-identical behaviour to a plan-less device). See [`crate::fault`].
+    pub fault: FaultPlan,
 }
 
 impl DeviceConfig {
@@ -108,6 +112,7 @@ impl DeviceConfig {
             factory_bad_fraction: 0.0,
             program_fail_prob: 0.0,
             erase_fail_prob: 0.0,
+            fault: FaultPlan::default(),
         }
     }
 
@@ -134,6 +139,7 @@ pub struct OcssdDevice {
     channels: Vec<Timeline>,
     host_link: Timeline,
     rng: Prng,
+    fault: FaultInjector,
     stats: DeviceStats,
     events: Vec<MediaEvent>,
     obs: Obs,
@@ -163,17 +169,20 @@ impl OcssdDevice {
                 }
             }
         }
+        let fault = FaultInjector::new(config.fault.clone(), geo.total_pus());
+        let cache = WriteCache::new(config.cache);
         Ok(OcssdDevice {
             geo,
             profile: config.profile,
             config,
             chunks,
             media: MediaStore::new(),
-            cache: WriteCache::new(config.cache),
+            cache,
             pus: vec![Timeline::new(); geo.total_pus() as usize],
             channels: vec![Timeline::new(); geo.num_groups as usize],
             host_link: Timeline::new(),
             rng,
+            fault,
             stats: DeviceStats::default(),
             events: Vec::new(),
             obs: Obs::new(4096),
@@ -221,6 +230,31 @@ impl OcssdDevice {
     /// Drains asynchronous media events accumulated since the last call.
     pub fn drain_events(&mut self) -> Vec<MediaEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Replaces the fault schedule (e.g. to arm faults mid-experiment).
+    /// Per-PU op counts and the ledger restart with the new plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = FaultInjector::new(plan, self.geo.total_pus());
+    }
+
+    /// Injected faults that have actually fired so far.
+    pub fn fault_ledger(&self) -> &FaultLedger {
+        self.fault.ledger()
+    }
+
+    /// Consumes one scheduled power-loss cut point that is due at `now`
+    /// (virtual time reached, or the device has completed the scheduled
+    /// number of commands). Returns whether a cut fired; the caller owns the
+    /// actual [`OcssdDevice::crash`] call, mirroring an external power rail.
+    pub fn take_power_cut(&mut self, now: SimTime) -> bool {
+        let Some(_cut) = self.fault.take_power_cut(now) else {
+            return false;
+        };
+        self.stats.injected_power_cuts += 1;
+        self.obs.metrics.record("device.fault.power_cut", 0);
+        self.obs.tracer.instant(now, "device", "fault.power_cut", 0);
+        true
     }
 
     /// Enables or disables I/O tracing.
@@ -332,6 +366,12 @@ impl OcssdDevice {
         let addr = ppa.chunk_addr();
         let bytes = data.len() as u64;
 
+        // Injected program failure: fails synchronously, before the write is
+        // accepted — the write pointer never advances past a failed program.
+        if self.fault.take_program_fail(addr, ppa.sector) {
+            return Err(self.injected_program_fail(now, addr));
+        }
+
         // Admission control: wait for cache room, then host-link transfer.
         let admitted = self.cache.admit(now, bytes);
         let ack = self
@@ -343,14 +383,19 @@ impl OcssdDevice {
         let chan = &mut self.channels[addr.group as usize];
         let chan_done = chan.acquire(ack, self.profile.transfer_time(sectors)).end;
         let units = sectors / self.geo.ws_min;
-        let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
-        let grant = pu.acquire(chan_done, self.profile.program_time(units));
+        let pu_idx = addr.pu_linear(&self.geo);
+        let spike = self.fault.pu_op_extra(pu_idx);
+        let pu = &mut self.pus[pu_idx as usize];
+        let grant = pu.acquire(chan_done, self.profile.program_time(units) + spike);
         let durable_at = grant.end;
         self.obs.metrics.observe(
             "device.pu.queue_delay_ns",
             grant.start.saturating_since(chan_done).as_nanos(),
         );
         self.cache.commit(bytes, durable_at);
+        if spike > SimDuration::ZERO {
+            self.note_latency_spike(durable_at);
+        }
 
         // Error model: a failed program retires the chunk *after* the ack —
         // reported through the asynchronous event log.
@@ -391,10 +436,45 @@ impl OcssdDevice {
             ack.saturating_since(now).as_nanos(),
         );
         self.obs.tracer.span(now, ack, "device", "write", bytes);
+        self.fault.note_cmd();
         Ok(Completion {
             submitted: now,
             done: ack,
         })
+    }
+
+    /// Applies an injected program failure on `addr`: the chunk is retired
+    /// for writes (a written chunk closes early and its data stays readable;
+    /// an empty chunk goes offline and its media is dropped), and the
+    /// failure is reported both synchronously and as a `MediaEvent`.
+    fn injected_program_fail(&mut self, now: SimTime, addr: ChunkAddr) -> DeviceError {
+        let idx = self.chunk_index(addr);
+        self.chunks[idx].freeze();
+        if self.chunks[idx].state() == ChunkState::Offline {
+            let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
+            self.media
+                .discard_range(base, base + self.geo.sectors_per_chunk as u64);
+        }
+        self.stats.media_failures += 1;
+        self.stats.injected_program_fails += 1;
+        self.obs.metrics.record("device.fault.program_fail", 0);
+        self.obs
+            .tracer
+            .instant(now, "device", "fault.program_fail", 0);
+        self.events.push(MediaEvent {
+            at: now,
+            chunk: addr,
+            kind: MediaEventKind::ProgramFail,
+        });
+        DeviceError::MediaFailure(addr)
+    }
+
+    fn note_latency_spike(&mut self, at: SimTime) {
+        self.stats.injected_latency_spikes += 1;
+        self.obs.metrics.record("device.fault.latency_spike", 0);
+        self.obs
+            .tracer
+            .instant(at, "device", "fault.latency_spike", 0);
     }
 
     fn host_link_time(&self, sectors: u32) -> SimDuration {
@@ -441,6 +521,15 @@ impl OcssdDevice {
         let addr = ppa.chunk_addr();
         let idx = self.chunk_index(addr);
 
+        // Injected ECC exhaustion: the command fails without touching the
+        // timelines (the error returns at submission; retries re-arbitrate).
+        if let Some(bad) = self.fault.take_read_fail(addr, ppa.sector, sectors) {
+            self.stats.injected_read_fails += 1;
+            self.obs.metrics.record("device.fault.read_fail", 0);
+            self.obs.tracer.instant(now, "device", "fault.read_fail", 0);
+            return Err(DeviceError::UncorrectableRead(bad));
+        }
+
         // Cache-resident iff the whole range is beyond the durable pointer.
         let all_cached = {
             let chunk = &mut self.chunks[idx];
@@ -459,11 +548,17 @@ impl OcssdDevice {
                 .span(now, done, "device", "read.cache", bytes);
             done
         } else {
-            let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
+            let pu_idx = addr.pu_linear(&self.geo);
+            let spike = self.fault.pu_op_extra(pu_idx);
+            if spike > SimDuration::ZERO {
+                self.note_latency_spike(now);
+            }
+            let pu = &mut self.pus[pu_idx as usize];
             let grant = pu.acquire(
                 now,
                 self.profile
-                    .read_media_time(sectors, self.geo.sectors_per_page),
+                    .read_media_time(sectors, self.geo.sectors_per_page)
+                    + spike,
             );
             self.obs.metrics.observe(
                 "device.pu.queue_delay_ns",
@@ -498,6 +593,7 @@ impl OcssdDevice {
             "device.read_latency_ns",
             done.saturating_since(now).as_nanos(),
         );
+        self.fault.note_cmd();
         Ok(Completion {
             submitted: now,
             done,
@@ -552,9 +648,15 @@ impl OcssdDevice {
         let start = self.chunks[idx]
             .drain_deadline()
             .map_or(now, |d| d.max(now));
-        let pu = &mut self.pus[addr.pu_linear(&self.geo) as usize];
-        let done = pu.acquire(start, self.profile.erase_chunk).end;
+        let pu_idx = addr.pu_linear(&self.geo);
+        let spike = self.fault.pu_op_extra(pu_idx);
+        if spike > SimDuration::ZERO {
+            self.note_latency_spike(start);
+        }
+        let pu = &mut self.pus[pu_idx as usize];
+        let done = pu.acquire(start, self.profile.erase_chunk + spike).end;
 
+        let pre_wear = self.chunks[idx].info().wear;
         let wear = self.chunks[idx].reset();
         let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
         self.media
@@ -566,6 +668,23 @@ impl OcssdDevice {
         self.obs
             .tracer
             .span(now, done, "device", "reset", self.geo.chunk_bytes());
+
+        // Injected erase failure: the chunk becomes a grown bad block.
+        if self.fault.take_erase_fail(addr, pre_wear) {
+            self.chunks[idx].set_offline();
+            self.stats.media_failures += 1;
+            self.stats.injected_erase_fails += 1;
+            self.obs.metrics.record("device.fault.erase_fail", 0);
+            self.obs
+                .tracer
+                .instant(done, "device", "fault.erase_fail", 0);
+            self.events.push(MediaEvent {
+                at: done,
+                chunk: addr,
+                kind: MediaEventKind::EraseFail,
+            });
+            return Err(DeviceError::MediaFailure(addr));
+        }
 
         // Wear-out / erase-failure model.
         if wear >= self.geo.endurance {
@@ -595,6 +714,7 @@ impl OcssdDevice {
                 return Err(DeviceError::MediaFailure(addr));
             }
         }
+        self.fault.note_cmd();
         Ok(Completion {
             submitted: now,
             done,
@@ -617,6 +737,11 @@ impl OcssdDevice {
         for &src in srcs {
             self.validate_read(src, 1)?;
         }
+        // Injected program failure on the destination: same contract as a
+        // failed host write — the destination write pointer does not move.
+        if self.fault.take_program_fail(dst, dst_wp) {
+            return Err(self.injected_program_fail(now, dst));
+        }
 
         // Reads proceed in parallel across source PUs; the program on the
         // destination PU starts once the last source page arrives.
@@ -627,8 +752,15 @@ impl OcssdDevice {
             last_read = last_read.max(pu.acquire(now, t).end);
         }
         let units = sectors / self.geo.ws_min;
-        let pu = &mut self.pus[dst.pu_linear(&self.geo) as usize];
-        let done = pu.acquire(last_read, self.profile.program_time(units)).end;
+        let pu_idx = dst.pu_linear(&self.geo);
+        let spike = self.fault.pu_op_extra(pu_idx);
+        if spike > SimDuration::ZERO {
+            self.note_latency_spike(last_read);
+        }
+        let pu = &mut self.pus[pu_idx as usize];
+        let done = pu
+            .acquire(last_read, self.profile.program_time(units) + spike)
+            .end;
 
         let idx = self.chunk_index(dst);
         self.chunks[idx].accept_write(dst_wp, sectors, self.geo.sectors_per_chunk, done);
@@ -644,6 +776,7 @@ impl OcssdDevice {
         self.stats.copies.record(bytes);
         self.obs.metrics.record("device.copy", bytes);
         self.obs.tracer.span(now, done, "device", "copy", bytes);
+        self.fault.note_cmd();
         Ok(Completion {
             submitted: now,
             done,
@@ -758,6 +891,26 @@ impl SharedDevice {
     /// See [`OcssdDevice::set_obs`].
     pub fn set_obs(&self, obs: Obs) {
         self.0.lock().set_obs(obs)
+    }
+
+    /// See [`OcssdDevice::set_fault_plan`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.0.lock().set_fault_plan(plan)
+    }
+
+    /// Copy of the injected-fault ledger ([`OcssdDevice::fault_ledger`]).
+    pub fn fault_ledger(&self) -> FaultLedger {
+        *self.0.lock().fault_ledger()
+    }
+
+    /// See [`OcssdDevice::take_power_cut`].
+    pub fn take_power_cut(&self, now: SimTime) -> bool {
+        self.0.lock().take_power_cut(now)
+    }
+
+    /// Copy of the cumulative device statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.0.lock().stats().clone()
     }
 
     /// Clone of the device's observability sinks.
@@ -1180,6 +1333,168 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, MediaEventKind::ProgramFail);
         assert!(dev.drain_events().is_empty());
+    }
+
+    #[test]
+    fn injected_program_fail_freezes_write_pointer() {
+        use crate::fault::{FaultPlan, ProgramFault};
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        let addr = ChunkAddr::new(0, 0, 0);
+        let geo = cfg.geometry;
+        cfg.fault.program_fails.push(ProgramFault {
+            chunk: addr,
+            wp: geo.ws_min,
+        });
+        let mut dev = OcssdDevice::new(cfg);
+        // First unit succeeds; the second hits the scheduled fault.
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        let err = dev
+            .write(w.done, addr.ppa(geo.ws_min), &unit_data(&geo, 2))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::MediaFailure(a) if a == addr));
+        let info = dev.chunk_info(addr);
+        assert_eq!(info.write_ptr, geo.ws_min, "wp must not pass the failure");
+        assert_eq!(info.state, ChunkState::Closed, "written chunk closes early");
+        // The surviving prefix stays readable after the drain.
+        let mut out = vec![0u8; SECTOR_BYTES];
+        dev.read(t(10_000_000), addr.ppa(0), 1, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+        // Further writes are rejected; the event queue reports the failure.
+        let err = dev
+            .write(t(10_000_000), addr.ppa(geo.ws_min), &unit_data(&geo, 3))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidChunkState { .. }));
+        let events = dev.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, MediaEventKind::ProgramFail);
+        assert_eq!(dev.fault_ledger().program_fails, 1);
+        assert_eq!(dev.stats().injected_program_fails, 1);
+        let _ = FaultPlan::default();
+    }
+
+    #[test]
+    fn injected_program_fail_on_empty_chunk_goes_offline() {
+        use crate::fault::ProgramFault;
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        let addr = ChunkAddr::new(1, 0, 0);
+        cfg.fault
+            .program_fails
+            .push(ProgramFault { chunk: addr, wp: 0 });
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        let err = dev
+            .write(t(0), addr.ppa(0), &unit_data(&geo, 1))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::MediaFailure(_)));
+        assert_eq!(dev.chunk_info(addr).state, ChunkState::Offline);
+        let err = dev
+            .write(t(1), addr.ppa(0), &unit_data(&geo, 1))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::ChunkOffline(_)));
+    }
+
+    #[test]
+    fn injected_read_fail_is_transient_then_recovers() {
+        use crate::fault::ReadFault;
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        let addr = ChunkAddr::new(0, 0, 0);
+        cfg.fault.read_fails.push(ReadFault {
+            ppa: addr.ppa(1),
+            attempts: 2,
+        });
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 9)).unwrap();
+        let settle = t(10_000_000);
+        let mut out = vec![0u8; geo.ws_min_bytes()];
+        // Two covering reads fail with the sector named, the third succeeds.
+        for _ in 0..2 {
+            let err = dev
+                .read(settle, addr.ppa(0), geo.ws_min, &mut out)
+                .unwrap_err();
+            assert!(
+                matches!(err, DeviceError::UncorrectableRead(p) if p == addr.ppa(1)),
+                "got {err}"
+            );
+        }
+        dev.read(settle, addr.ppa(0), geo.ws_min, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 9));
+        // A read that does not cover the sector never failed.
+        assert_eq!(dev.fault_ledger().read_fails, 2);
+        assert_eq!(dev.stats().injected_read_fails, 2);
+    }
+
+    #[test]
+    fn injected_erase_fail_grows_bad_block() {
+        use crate::fault::EraseFault;
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        let addr = ChunkAddr::new(2, 1, 3);
+        cfg.fault.erase_fails.push(EraseFault {
+            chunk: addr,
+            at_wear: 0,
+        });
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        let err = dev.reset_chunk(w.done, addr).unwrap_err();
+        assert!(matches!(err, DeviceError::MediaFailure(a) if a == addr));
+        assert_eq!(dev.chunk_info(addr).state, ChunkState::Offline);
+        // Retired chunk rejects I/O with ChunkOffline.
+        let mut out = vec![0u8; SECTOR_BYTES];
+        let err = dev.read(t(1), addr.ppa(0), 1, &mut out).unwrap_err();
+        assert!(matches!(err, DeviceError::ChunkOffline(_)));
+        let err = dev.reset_chunk(t(1), addr).unwrap_err();
+        assert!(matches!(err, DeviceError::ChunkOffline(_)));
+        let events = dev.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, MediaEventKind::EraseFail);
+        assert_eq!(dev.fault_ledger().erase_fails, 1);
+    }
+
+    #[test]
+    fn injected_latency_spike_slows_selected_pu() {
+        use crate::fault::LatencySpike;
+        let extra = SimDuration::from_micros(300);
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        cfg.fault.latency_spikes.push(LatencySpike {
+            pu: 0,
+            start_op: 1,
+            ops: 1,
+            extra,
+        });
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        let settle = t(10_000_000);
+        let mut out = vec![0u8; SECTOR_BYTES];
+        // PU op 1 is the first media read: spiked. A later read is clean.
+        let slow = dev.read(settle, addr.ppa(0), 1, &mut out).unwrap();
+        let fast = dev
+            .read(settle + SimDuration::from_secs(1), addr.ppa(0), 1, &mut out)
+            .unwrap();
+        assert_eq!(slow.latency(), fast.latency() + extra);
+        assert_eq!(dev.fault_ledger().latency_spikes, 1);
+        assert_eq!(dev.stats().injected_latency_spikes, 1);
+    }
+
+    #[test]
+    fn power_cut_fires_by_op_count_and_is_consumed() {
+        use crate::fault::PowerCut;
+        let mut cfg = DeviceConfig::paper_tlc_scaled(22, 8);
+        cfg.fault.power_cuts.push(PowerCut::AfterOps(2));
+        let mut dev = OcssdDevice::new(cfg);
+        let geo = *dev.geometry();
+        let addr = ChunkAddr::new(0, 0, 0);
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        assert!(!dev.take_power_cut(w.done), "one op: not yet due");
+        let w2 = dev
+            .write(w.done, addr.ppa(geo.ws_min), &unit_data(&geo, 2))
+            .unwrap();
+        assert!(dev.take_power_cut(w2.done), "two ops: cut fires");
+        assert!(!dev.take_power_cut(w2.done), "consumed");
+        assert_eq!(dev.stats().injected_power_cuts, 1);
+        dev.crash(w2.done);
     }
 
     #[test]

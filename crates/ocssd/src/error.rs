@@ -46,6 +46,10 @@ pub enum DeviceError {
     /// A program or erase failed; the chunk is now offline and the host must
     /// re-place its data elsewhere.
     MediaFailure(ChunkAddr),
+    /// A read exhausted ECC correction on this sector. The command may be
+    /// retried (read-retry voltages can recover transient exhaustion); data
+    /// that stays unreadable must come from higher-level redundancy.
+    UncorrectableRead(Ppa),
     /// Buffer length does not match the sector count of the command.
     BufferSizeMismatch {
         /// Bytes expected.
@@ -77,6 +81,9 @@ impl fmt::Display for DeviceError {
             DeviceError::ReadUnwritten(p) => write!(f, "read of unwritten block {p}"),
             DeviceError::ChunkOffline(c) => write!(f, "chunk {c} is offline"),
             DeviceError::MediaFailure(c) => write!(f, "media failure on {c}"),
+            DeviceError::UncorrectableRead(p) => {
+                write!(f, "uncorrectable read (ECC exhausted) at {p}")
+            }
             DeviceError::BufferSizeMismatch { expected, got } => {
                 write!(
                     f,

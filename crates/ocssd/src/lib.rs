@@ -36,6 +36,7 @@ mod cell;
 mod chunk;
 mod device;
 mod error;
+pub mod fault;
 mod geometry;
 mod media;
 mod stats;
@@ -46,6 +47,10 @@ pub use cell::{CellType, NandProfile};
 pub use chunk::{ChunkInfo, ChunkState};
 pub use device::{Completion, DeviceConfig, MediaEvent, MediaEventKind, OcssdDevice, SharedDevice};
 pub use error::{DeviceError, Result};
+pub use fault::{
+    matrix_geometry, matrix_seeds, EraseFault, FaultInjector, FaultLedger, FaultMix, FaultPlan,
+    LatencySpike, PowerCut, ProgramFault, ReadFault,
+};
 pub use geometry::Geometry;
 pub use ox_sim::trace::{Obs, TraceEvent, TracePhase};
 pub use stats::DeviceStats;

@@ -23,6 +23,16 @@ pub struct DeviceStats {
     pub cache_stalls: u64,
     /// Program/erase failures injected by the media error model.
     pub media_failures: u64,
+    /// Program failures fired by the deterministic fault plan.
+    pub injected_program_fails: u64,
+    /// Uncorrectable reads fired by the fault plan.
+    pub injected_read_fails: u64,
+    /// Erase failures fired by the fault plan.
+    pub injected_erase_fails: u64,
+    /// Media ops delayed by an injected latency spike.
+    pub injected_latency_spikes: u64,
+    /// Power-loss cut points consumed from the fault plan.
+    pub injected_power_cuts: u64,
 }
 
 impl DeviceStats {

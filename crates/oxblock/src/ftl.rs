@@ -9,7 +9,10 @@ use ox_core::provision::Provisioner;
 use ox_core::recovery::{self, RecoveryOutcome};
 use ox_core::stats::FtlStats;
 use ox_core::wal::{Wal, WalError, WalRecord};
-use ox_core::{badblock::BadBlockTable, Media};
+use ox_core::{
+    badblock::{BadBlockTable, Orphan},
+    Media,
+};
 use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -328,14 +331,30 @@ impl BlockFtl {
                 .copy_from_slice(&data[byte_off..byte_off + in_unit * SECTOR_BYTES]);
             unit_buf[in_unit * SECTOR_BYTES..].fill(0);
 
-            let slot = match self.prov.allocate_horizontal() {
-                Some(s) => s,
-                None => return Err(BlockFtlError::OutOfSpace),
+            // A program failure freezes the destination chunk (its earlier
+            // pages stay readable); retire it from provisioning and retry
+            // on a fresh chunk. Each retry consumes a chunk, so the loop is
+            // bounded by the healthy-chunk supply.
+            let (slot, comp) = loop {
+                let slot = match self.prov.allocate_horizontal() {
+                    Some(s) => s,
+                    None => return Err(BlockFtlError::OutOfSpace),
+                };
+                match self.media.write(t, slot.chunk.ppa(slot.sector), &unit_buf) {
+                    Ok(c) => break (slot, c),
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => {
+                        self.prov.mark_offline(slot.chunk);
+                        self.stats.write_failovers += 1;
+                        self.obs.metrics.record("oxblock.write_failover", 0);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             };
             self.note_user_io(t, slot.chunk.group);
-            let comp = self
-                .media
-                .write(t, slot.chunk.ppa(slot.sector), &unit_buf)?;
             last_ack = last_ack.max(comp.done);
             if !written_chunks.contains(&slot.chunk) {
                 written_chunks.push(slot.chunk);
@@ -384,7 +403,20 @@ impl BlockFtl {
         let comp = match self.map.lookup(lpn) {
             Some(ppa) => {
                 self.note_user_io(now, ppa.group);
-                self.media.read(now, ppa, 1, out)?
+                // Transient ECC exhaustion recovers under read-retry; a
+                // page that stays unreadable surfaces the typed error.
+                let mut attempts = 0u32;
+                loop {
+                    match self.media.read(now, ppa, 1, out) {
+                        Ok(c) => break c,
+                        Err(DeviceError::UncorrectableRead(_)) if attempts < 3 => {
+                            attempts += 1;
+                            self.stats.read_retries += 1;
+                            self.obs.metrics.record("oxblock.read_retry", 0);
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
             }
             None => {
                 out.fill(0);
@@ -508,14 +540,59 @@ impl BlockFtl {
     }
 
     /// Ingests the device's asynchronous media events into the bad-block
-    /// table. Returns orphaned logical pages the caller should re-write.
-    pub fn poll_media_events(&mut self) -> Vec<u64> {
+    /// table. Returns the orphaned pages the caller should re-place (see
+    /// [`BlockFtl::repair_media_events`] for the full salvage loop).
+    pub fn poll_media_events(&mut self) -> Vec<Orphan> {
         let events = self.media.drain_events();
         if events.is_empty() {
             return Vec::new();
         }
         self.bbt
             .ingest(&self.geo, &events, &mut self.prov, &mut self.map)
+    }
+
+    /// Drains media events and re-places every orphaned page that is still
+    /// readable on its retired chunk (a program failure freezes the chunk
+    /// with its written prefix intact). Pages whose media is gone (wear-out
+    /// took the whole chunk offline) cannot be salvaged by a single-copy
+    /// FTL and stay in the orphan set; their reads return zeros, like
+    /// trimmed pages. Returns `(done, salvaged, lost)`.
+    pub fn repair_media_events(
+        &mut self,
+        now: SimTime,
+    ) -> Result<(SimTime, usize, usize), BlockFtlError> {
+        let events = self.media.drain_events();
+        if events.is_empty() {
+            return Ok((now, 0, 0));
+        }
+        let orphans = self
+            .bbt
+            .ingest(&self.geo, &events, &mut self.prov, &mut self.map);
+        let mut t = now;
+        let mut salvaged = 0usize;
+        let mut lost = 0usize;
+        let mut buf = vec![0u8; SECTOR_BYTES];
+        for o in orphans {
+            match ox_core::media::read_with_retry(self.media.as_ref(), t, o.ppa, 1, &mut buf, 3) {
+                Ok(c) => {
+                    t = c.done;
+                    let w = self.write(t, o.lpn, &buf)?;
+                    t = w.done;
+                    self.bbt.mark_replaced(o.lpn);
+                    self.stats.orphans_salvaged += 1;
+                    salvaged += 1;
+                }
+                Err(_) => {
+                    self.stats.orphans_lost += 1;
+                    lost += 1;
+                }
+            }
+        }
+        self.obs.metrics.add("oxblock.repair", salvaged as u64, 0);
+        self.obs
+            .tracer
+            .span(now, t, "oxblock", "repair", lost as u64);
+        Ok((t, salvaged, lost))
     }
 
     /// FTL statistics.

@@ -1,5 +1,6 @@
-//! Property test: OX-Block never loses a committed transaction and never
-//! exposes a torn one, for arbitrary workloads and crash points.
+//! Property tests: OX-Block never loses a committed transaction and never
+//! exposes a torn one, for arbitrary workloads, crash points — and, since
+//! the fault-injection work, arbitrary seeded [`FaultPlan`]s.
 //!
 //! Crashes are injected at the simulation frontier (right after a chosen
 //! transaction completes, optionally with one more transaction issued whose
@@ -10,107 +11,180 @@
 //! harness crashes at the frontier too, so this matches how the system is
 //! exercised.
 //!
-//! Workloads and crash points come from the in-repo seeded [`Prng`]; every
-//! seed is an independent case, so a failure names the seed to replay.
+//! Workloads, crash points and fault plans come from the in-repo seeded
+//! [`ox_sim::Prng`] via the shared [`ox_core::faultharness`]; every seed is
+//! an independent case, so a failure names the seed to replay.
 
-use ocssd::{DeviceConfig, OcssdDevice, SharedDevice, SECTOR_BYTES};
+use ocssd::{
+    matrix_geometry, matrix_seeds, ChunkAddr, DeviceConfig, FaultMix, FaultPlan, Geometry,
+    OcssdDevice, ProgramFault, ReadFault, SharedDevice, SECTOR_BYTES,
+};
 use ox_block::{BlockFtl, BlockFtlConfig};
+use ox_core::faultharness::{fingerprint, parse_fingerprint, run_case, FaultCase, FaultHost};
 use ox_core::{Media, OcssdMedia};
 use ox_sim::{Prng, SimTime};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 const CAPACITY: u64 = 32 * 1024 * 1024;
-const PAGES: u64 = CAPACITY / SECTOR_BYTES as u64;
+const SLOTS: u64 = 64;
 
-fn fingerprint_page(lpn: u64, version: u32) -> Vec<u8> {
-    // Distinctive 16-byte header, zero tail (cheap to store in the sim).
-    let mut page = vec![0u8; SECTOR_BYTES];
-    page[..8].copy_from_slice(&lpn.to_le_bytes());
-    page[8..12].copy_from_slice(&version.to_le_bytes());
-    page[12..16].copy_from_slice(&0xDEADBEEFu32.to_le_bytes());
-    page
+/// OX-Block under the shared harness: one slot is one logical page.
+struct OxBlockHost {
+    dev: SharedDevice,
+    ftl: BlockFtl,
+    config: BlockFtlConfig,
+    checkpoint_every: Option<usize>,
+    writes: usize,
+}
+
+impl OxBlockHost {
+    fn format(dev: SharedDevice, checkpoint_every: Option<usize>) -> (Self, SimTime) {
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+        let config = BlockFtlConfig::with_capacity(CAPACITY);
+        let (ftl, t) = BlockFtl::format(media, config, SimTime::ZERO).unwrap();
+        (
+            OxBlockHost {
+                dev,
+                ftl,
+                config,
+                checkpoint_every,
+                writes: 0,
+            },
+            t,
+        )
+    }
+}
+
+impl FaultHost for OxBlockHost {
+    fn write(&mut self, now: SimTime, slot: u64, version: u32) -> Result<SimTime, String> {
+        let page = fingerprint(slot, version, SECTOR_BYTES);
+        let out = self
+            .ftl
+            .write(now, slot, &page)
+            .map_err(|e| e.to_string())?;
+        self.writes += 1;
+        let mut t = out.done;
+        // Never checkpoint the torn-tail write: it runs at the crash
+        // instant, and a checkpoint's chunk resets are issued immediately —
+        // they cannot be rolled back like cached writes (see module doc).
+        if version != ox_core::faultharness::TORN_VERSION {
+            if let Some(k) = self.checkpoint_every {
+                if self.writes.is_multiple_of(k) {
+                    t = self.ftl.checkpoint(t).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn read(&mut self, now: SimTime, slot: u64) -> Result<Option<u32>, String> {
+        let mut out = vec![0u8; SECTOR_BYTES];
+        self.ftl
+            .read(now, slot, &mut out)
+            .map_err(|e| e.to_string())?;
+        if out.iter().all(|&b| b == 0) {
+            return Ok(None); // never written (or trimmed): zeros by contract
+        }
+        match parse_fingerprint(&out) {
+            Some((s, v)) if s == slot => Ok(Some(v)),
+            Some((s, v)) => Err(format!("slot {slot} returned slot {s} v{v} content")),
+            None => Err(format!("slot {slot} returned torn bytes")),
+        }
+    }
+
+    fn maintain(&mut self, now: SimTime) -> Result<SimTime, String> {
+        let (t, _salvaged, _lost) = self
+            .ftl
+            .repair_media_events(now)
+            .map_err(|e| e.to_string())?;
+        Ok(t)
+    }
+
+    fn crash_and_recover(&mut self, now: SimTime) -> Result<SimTime, String> {
+        self.dev.crash(now);
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(self.dev.clone()));
+        let (ftl, outcome) =
+            BlockFtl::recover(media, self.config, now).map_err(|e| e.to_string())?;
+        self.ftl = ftl;
+        Ok(outcome.done)
+    }
 }
 
 #[test]
 fn committed_writes_survive_crash_at_any_txn_boundary() {
     for seed in 0..24u64 {
+        let geo = Geometry::paper_tlc_scaled(22, 8);
+        let mut case = FaultCase::from_seed(seed, &geo, &FaultMix::default(), SLOTS, 30);
+        case.plan = FaultPlan::default(); // pure crash coverage, no faults
         let mut rng = Prng::seed_from_u64(seed);
-        let ops: Vec<(u64, u32)> = (0..rng.gen_range_in(5, 30))
-            .map(|_| (rng.gen_range(64), rng.gen_range_in(1, 6) as u32))
-            .collect();
-        let crash_idx_frac = rng.gen_f64();
-        let issue_torn_tail = rng.gen_bool(0.5);
         let checkpoint_every = if rng.gen_bool(0.5) {
             Some(rng.gen_range_in(2, 10) as usize)
         } else {
             None
         };
-
         let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
-        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-        let (mut ftl, mut t) = BlockFtl::format(
-            media,
-            BlockFtlConfig::with_capacity(CAPACITY),
-            SimTime::ZERO,
-        )
-        .unwrap();
-
-        let crash_idx = ((ops.len() - 1) as f64 * crash_idx_frac) as usize;
-
-        // Expected state: newest version per page among ops 0..=crash_idx.
-        let mut version: HashMap<u64, u32> = HashMap::new();
-        for (i, &(base, pages)) in ops.iter().enumerate().take(crash_idx + 1) {
-            let lpn = base % (PAGES - pages as u64);
-            let v = i as u32 + 1;
-            let mut buf = Vec::with_capacity(pages as usize * SECTOR_BYTES);
-            for p in 0..pages as u64 {
-                buf.extend_from_slice(&fingerprint_page(lpn + p, v));
-                version.insert(lpn + p, v);
-            }
-            let out = ftl.write(t, lpn, &buf).unwrap();
-            t = out.done;
-            if let Some(k) = checkpoint_every {
-                if (i + 1) % k == 0 {
-                    t = ftl.checkpoint(t).unwrap();
-                }
-            }
-        }
-        let crash_at = t;
-
-        // Optionally issue one more transaction and crash at its submission
-        // instant: its data writes are acknowledged after crash_at, so the
-        // device rolls them back — the torn-tail case. (Only safe when it
-        // cannot trigger an internal checkpoint, whose resets would be
-        // issued past the crash point; the small op count guarantees that.)
-        if issue_torn_tail {
-            let (base, pages) = ops[(crash_idx + 1) % ops.len()];
-            let lpn = base % (PAGES - pages as u64);
-            let mut buf = Vec::with_capacity(pages as usize * SECTOR_BYTES);
-            for p in 0..pages as u64 {
-                buf.extend_from_slice(&fingerprint_page(lpn + p, 0xFFFF));
-            }
-            let _ = ftl.write(crash_at, lpn, &buf);
-        }
-        dev.crash(crash_at);
-
-        let media2: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-        let (mut ftl2, outcome) =
-            BlockFtl::recover(media2, BlockFtlConfig::with_capacity(CAPACITY), crash_at).unwrap();
-
-        let mut out = vec![0u8; SECTOR_BYTES];
-        for (&lpn, &v) in &version {
-            ftl2.read(outcome.done, lpn, &mut out).unwrap();
-            let got_lpn = u64::from_le_bytes(out[..8].try_into().unwrap());
-            let got_v = u32::from_le_bytes(out[8..12].try_into().unwrap());
-            assert_eq!(
-                got_lpn, lpn,
-                "seed {seed}: page content belongs to the page"
-            );
-            assert_eq!(
-                got_v, v,
-                "seed {seed}: lpn {lpn}: recovered v{got_v} != committed v{v}"
-            );
-        }
+        let (mut host, t) = OxBlockHost::format(dev.clone(), checkpoint_every);
+        let report = run_case(&case, &dev, &mut host, t).unwrap();
+        assert_eq!(
+            report.failed_writes, 0,
+            "seed {seed}: no faults, no failed writes"
+        );
+        assert_eq!(report.ledger.total(), 0, "seed {seed}: empty plan is inert");
     }
+}
+
+#[test]
+fn committed_writes_survive_crash_under_seeded_fault_plans() {
+    let geo = matrix_geometry();
+    let mix = FaultMix {
+        program_fails: 4,
+        transient_read_fails: 4,
+        permanent_read_fails: 0,
+        erase_fails: 2,
+        latency_spikes: 1,
+        power_cuts: 1,
+    };
+    let mut fired = 0u64;
+    for seed in matrix_seeds(16) {
+        let mut case = FaultCase::from_seed(seed, &geo, &mix, SLOTS, 30);
+        // The seeded sites are uniform over the geometry; aim a few extra
+        // program and read faults at the low chunks (metadata + first data
+        // allocations) so plans reliably intersect the workload.
+        let mut rng = Prng::seed_from_u64(seed ^ 0xA13);
+        for pu in 0..4u32 {
+            let chunk = ChunkAddr::new(pu % geo.num_groups, pu / geo.num_groups, {
+                rng.gen_range(4) as u32
+            });
+            let wp = rng.gen_range(8) as u32 * geo.ws_min;
+            case.plan.program_fails.push(ProgramFault { chunk, wp });
+            case.plan.read_fails.push(ReadFault {
+                ppa: chunk.ppa(rng.gen_range(16) as u32),
+                attempts: 1 + rng.gen_range(2) as u32,
+            });
+        }
+
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geo)));
+        let (mut host, t) = OxBlockHost::format(dev.clone(), Some(4));
+        // Arm after format so setup itself is fault-free; the workload and
+        // everything it triggers (WAL, GC, checkpoints, repair) runs under
+        // the plan.
+        dev.set_fault_plan(case.plan.clone());
+        let report = run_case(&case, &dev, &mut host, t)
+            .unwrap_or_else(|e| panic!("fault case failed: {e}"));
+        fired += report.ledger.total();
+        let stats = dev.stats();
+        assert_eq!(
+            stats.injected_program_fails
+                + stats.injected_read_fails
+                + stats.injected_erase_fails
+                + stats.injected_latency_spikes
+                + stats.injected_power_cuts,
+            report.ledger.total(),
+            "seed {seed}: DeviceStats reconcile with the injector ledger"
+        );
+    }
+    assert!(
+        fired > 0,
+        "across all seeds at least some injected faults must fire"
+    );
 }

@@ -362,13 +362,35 @@ impl EleosFtl {
 
         let unit_bytes = self.geo.ws_min_bytes();
         let mut ack = t;
+        let mut written_chunks: Vec<ChunkAddr> = Vec::new();
         for (u, unit) in data.chunks(unit_bytes).enumerate() {
-            let slot = self
-                .prov
-                .allocate_horizontal()
-                .ok_or(EleosError::OutOfSpace)?;
-            let comp = self.media.write(t, slot.chunk.ppa(slot.sector), unit)?;
+            // Program failures retire the slot's chunk and re-place the unit
+            // on a fresh one. Bounded: every retry permanently consumes a
+            // chunk from provisioning, so the loop ends in success or
+            // `OutOfSpace`. Already-mapped pages on a frozen chunk stay
+            // readable (the written prefix survives the freeze).
+            let (slot, comp) = loop {
+                let slot = self
+                    .prov
+                    .allocate_horizontal()
+                    .ok_or(EleosError::OutOfSpace)?;
+                match self.media.write(t, slot.chunk.ppa(slot.sector), unit) {
+                    Ok(comp) => break (slot, comp),
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => {
+                        self.prov.mark_offline(slot.chunk);
+                        self.stats.write_failovers += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
             ack = ack.max(comp.done);
+            if !written_chunks.contains(&slot.chunk) {
+                written_chunks.push(slot.chunk);
+            }
             for k in 0..self.geo.ws_min as u64 {
                 let lpn = first_lpn + u as u64 * self.geo.ws_min as u64 + k;
                 let ppa = slot.chunk.ppa(slot.sector + k as u32);
@@ -387,8 +409,16 @@ impl EleosFtl {
         self.stats.user_writes.record(data.len() as u64);
 
         let done = if self.config.journal {
+            // Force-at-commit: the buffer's data must be durable before the
+            // commit record, or a crash could replay a mapping whose sectors
+            // the write cache rolled back. (The journal-less data path keeps
+            // cache-acknowledge semantics for pure-throughput experiments.)
+            let mut durable = ack;
+            for c in &written_chunks {
+                durable = durable.max(self.media.flush_chunk(ack, *c).done);
+            }
             self.wal.append(WalRecord::TxCommit { txid });
-            self.wal.commit(ack)?
+            self.wal.commit(durable)?
         } else {
             ack
         };
@@ -423,7 +453,20 @@ impl EleosFtl {
                 .map
                 .lookup(self.slot_of(lpn))
                 .ok_or(EleosError::OutOfLog(addr))?;
-            let comp = self.media.read(now, ppa, 1, &mut sector)?;
+            // Uncorrectable reads are often transient (ECC retry succeeds on
+            // a later attempt); retry a bounded number of times before
+            // surfacing the error.
+            let mut attempts = 0u32;
+            let comp = loop {
+                match self.media.read(now, ppa, 1, &mut sector) {
+                    Ok(comp) => break comp,
+                    Err(DeviceError::UncorrectableRead(_)) if attempts < 3 => {
+                        attempts += 1;
+                        self.stats.read_retries += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
             t = t.max(comp.done);
             self.bytes_read_media += SECTOR_BYTES as u64;
             // Copy the overlapping byte range.
@@ -482,11 +525,39 @@ impl EleosFtl {
             if self.map.valid_count(lin) == 0
                 && self.media.chunk_info(chunk).state == ChunkState::Closed
             {
-                t = t.max(self.media.reset(now, chunk)?.done);
-                self.prov.release_chunk(chunk);
+                // A failed erase retires the chunk instead of recycling it:
+                // its data is already dead, so nothing is lost — the chunk
+                // just leaves circulation.
+                match self.media.reset(now, chunk) {
+                    Ok(comp) => {
+                        t = t.max(comp.done);
+                        self.prov.release_chunk(chunk);
+                    }
+                    Err(
+                        DeviceError::MediaFailure(_)
+                        | DeviceError::ChunkOffline(_)
+                        | DeviceError::InvalidChunkState { .. },
+                    ) => {
+                        self.prov.mark_offline(chunk);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
         Ok(t)
+    }
+
+    /// Drains grown-bad-block events from the device and routes future
+    /// allocations around the retired chunks. Pages of the live window that
+    /// sit on a frozen chunk remain readable (the written prefix survives a
+    /// program-failure freeze); the log-structured window reclaims the space
+    /// naturally as the head advances. Returns the number of events ingested.
+    pub fn ingest_media_events(&mut self) -> usize {
+        let events = self.media.drain_events();
+        for ev in &events {
+            self.prov.mark_offline(ev.chunk);
+        }
+        events.len()
     }
 
     /// Bytes currently live in the window.
