@@ -69,6 +69,7 @@ fn main() {
             let c = dev.read(settle, chunk.ppa(sector), 1, &mut buf).unwrap();
             sum_us += c.latency().as_nanos() as f64 / 1000.0;
         }
+        dev.publish_pu_metrics(settle);
         rows.push(Row {
             name: "raw open-channel",
             write_secs: write_done.as_secs_f64(),
@@ -106,6 +107,7 @@ fn main() {
             let done = ftl.read(settle, z, s, 1, &mut buf).unwrap();
             sum_us += done.saturating_since(settle).as_nanos() as f64 / 1000.0;
         }
+        dev.publish_pu_metrics(settle);
         rows.push(Row {
             name: "OX-ZNS",
             write_secs: write_done.saturating_since(t0).as_secs_f64(),
@@ -143,6 +145,7 @@ fn main() {
             let c = ftl.read(settle, lpn, &mut buf).unwrap();
             sum_us += c.latency().as_nanos() as f64 / 1000.0;
         }
+        dev.publish_pu_metrics(settle);
         rows.push(Row {
             name: "OX-Block",
             write_secs: write_done.saturating_since(t0).as_secs_f64(),

@@ -73,6 +73,7 @@ fn main() {
             sum_us += done.saturating_since(tg).as_nanos() as f64 / 1000.0;
             tg = done;
         }
+        dev.publish_pu_metrics(tg);
         let stats = dev.with(|d| d.stats().clone());
         rows.push(Row {
             name: "KV-SSD (hash + value log)",
@@ -145,6 +146,7 @@ fn main() {
             sum_us += done.saturating_since(tg).as_nanos() as f64 / 1000.0;
             tg = done;
         }
+        dev.publish_pu_metrics(tg);
         let stats = dev.with(|d| d.stats().clone());
         rows.push(Row {
             name: "LightLSM + LSM (flush/probe)",

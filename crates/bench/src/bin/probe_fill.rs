@@ -77,5 +77,6 @@ fn main() {
         let total: u64 = delays.iter().map(|d| d.as_millis()).sum();
         println!("total PU queueing delay: {total} ms across {} PUs", delays.len());
     });
+    dev.publish_pu_metrics(t_end);
     export_obs("probe_fill", &obs);
 }

@@ -135,6 +135,7 @@ fn one_run(
     // kill -9 at the failure point (the frontier; see DESIGN.md on crash
     // granularity).
     dev.crash(t);
+    dev.publish_pu_metrics(t);
     let media2: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
     let mut ftl_cfg2 = BlockFtlConfig::with_capacity(cfg.logical_bytes);
     ftl_cfg2.checkpoint_interval = interval;

@@ -164,7 +164,7 @@ pub fn run_cell_with_obs(
     clients: usize,
     obs: &Obs,
 ) -> Fig5Cell {
-    let (db, _dev, _store) = make_db_with_store_obs(placement, obs);
+    let (db, dev, _store) = make_db_with_store_obs(placement, obs);
     let ops_per_client = cfg.fill_bytes_per_client / 1024; // 1 KB values
     let mut fill_cfg = BenchConfig::paper(Workload::FillSequential, clients, ops_per_client);
     fill_cfg.window = cfg.window;
@@ -179,7 +179,8 @@ pub fn run_cell_with_obs(
     let mut rr_cfg = BenchConfig::paper(Workload::ReadRandom, clients, cfg.read_random_ops);
     rr_cfg.key_space = key_space;
     rr_cfg.window = cfg.window;
-    let (read_random, _) = run_workload(&db, rr_cfg, t2);
+    let (read_random, t3) = run_workload(&db, rr_cfg, t2);
+    dev.publish_pu_metrics(t3);
 
     Fig5Cell {
         placement,

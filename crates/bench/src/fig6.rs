@@ -51,12 +51,13 @@ pub fn run_with_obs(cfg: &Fig5Config, obs: &Obs) -> Fig6Result {
     let mut lines = Vec::new();
     for placement in [Placement::Horizontal, Placement::Vertical] {
         for &clients in &cfg.client_counts {
-            let (db, _dev, _store) = make_db_with_store_obs(placement, obs);
+            let (db, dev, _store) = make_db_with_store_obs(placement, obs);
             let ops_per_client = cfg.fill_bytes_per_client / 1024;
             let mut fill_cfg =
                 BenchConfig::paper(Workload::FillSequential, clients, ops_per_client);
             fill_cfg.window = cfg.window;
-            let (report, _) = run_workload(&db, fill_cfg, SimTime::ZERO);
+            let (report, t_end) = run_workload(&db, fill_cfg, SimTime::ZERO);
+            dev.publish_pu_metrics(t_end);
             lines.push(Fig6Line {
                 placement,
                 clients,

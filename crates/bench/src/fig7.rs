@@ -128,7 +128,7 @@ fn run_point(cfg: &Fig7Config, threads: usize, copies: u32, obs: &Obs) -> Fig7Po
     };
     let dev = SharedDevice::new(OcssdDevice::new(dev_cfg));
     dev.set_obs(obs.clone());
-    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
     let eleos_cfg = EleosConfig {
         cpu: CpuModel {
             copies_per_write: copies,
@@ -163,6 +163,7 @@ fn run_point(cfg: &Fig7Config, threads: usize, copies: u32, obs: &Obs) -> Fig7Po
     }
     ex.run();
 
+    dev.publish_pu_metrics(deadline);
     let ftl = ftl.lock();
     let horizon = deadline;
     let util = ftl.cpu().utilization(horizon) * 100.0;

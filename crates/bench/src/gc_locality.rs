@@ -88,7 +88,7 @@ fn run_point(
 ) -> Result<GcLocalityPoint, BlockFtlError> {
     let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geometry)));
     dev.set_obs(obs.clone());
-    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
     let logical_bytes: u64 = 192 * 1024 * 1024;
     let (mut ftl, mut t) = BlockFtl::format(
         media,
@@ -133,6 +133,7 @@ fn run_point(
     );
     ex.run();
 
+    dev.publish_pu_metrics(deadline);
     let ftl = ftl.lock();
     let stats = ftl.stats();
     let classified = stats.ios_gc_clean + stats.ios_gc_interfered;

@@ -10,6 +10,7 @@
 //! | [`fig6`] | Figure 6 — fill-sequential throughput over time |
 //! | [`fig7`] | Figure 7 — controller CPU vs. host write threads |
 //! | [`gc_locality`] | §4.3 — GC interference locality (93.75 % / 87.5 %) |
+//! | [`qos_tail`] | §4.3 — isolation as per-tenant read-latency percentiles |
 //!
 //! Scale note: the simulated drive uses the paper geometry with chunk count
 //! and chunk size divided down (ratios preserved), and workload volumes are
@@ -25,6 +26,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod gc_locality;
+pub mod qos_tail;
 
 use ox_sim::trace::Obs;
 

@@ -81,6 +81,11 @@ pub struct GarbageCollector {
     next_txid: u64,
     stats: GcStats,
     obs: Obs,
+    /// Optional relocation-I/O override: when set, copies and resets issue
+    /// through this media (an `iosched` GC-class tenant) instead of the
+    /// FTL's direct media, so background relocation is arbitrated against —
+    /// and yields to — user traffic.
+    io_media: Option<Arc<dyn Media>>,
 }
 
 impl GarbageCollector {
@@ -93,7 +98,15 @@ impl GarbageCollector {
             next_txid: 1 << 48, // disjoint from user transaction ids
             stats: GcStats::default(),
             obs: Obs::default(),
+            io_media: None,
         }
+    }
+
+    /// Routes the collector's relocation I/O (copy + reset) through `media`
+    /// — typically an [`crate::Media`] adapter bound to a scheduler's
+    /// GC-class tenant. Victim selection and WAL traffic are unaffected.
+    pub fn set_io_media(&mut self, media: Arc<dyn Media>) {
+        self.io_media = Some(media);
     }
 
     /// Points the collector's observability at shared sinks. Each pass is a
@@ -171,6 +184,8 @@ impl GarbageCollector {
         wal: &mut Wal,
     ) -> Result<GcPass, WalError> {
         let geo = media.geometry();
+        let io = self.io_media.clone();
+        let io: &Arc<dyn Media> = io.as_ref().unwrap_or(media);
         let mut pass = GcPass {
             done: now,
             ..Default::default()
@@ -225,7 +240,7 @@ impl GarbageCollector {
                                 break slot;
                             }
                         };
-                        match media.copy(t, &batch, slot.chunk) {
+                        match io.copy(t, &batch, slot.chunk) {
                             Ok(comp) => break (slot, comp),
                             Err(
                                 ocssd::DeviceError::MediaFailure(_)
@@ -262,7 +277,7 @@ impl GarbageCollector {
             // queued the media event). Its live data is relocated and
             // journaled, so the pass just forfeits the chunk rather than
             // failing the collection.
-            match media.reset(t, victim) {
+            match io.reset(t, victim) {
                 Ok(comp) => {
                     t = comp.done;
                     prov.release_chunk(victim);

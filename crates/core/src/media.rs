@@ -41,6 +41,13 @@ pub trait Media: Send + Sync {
 
     /// Drains asynchronous media events (program/erase failures, wear-out).
     fn drain_events(&self) -> Vec<ocssd::MediaEvent>;
+
+    /// When parallel unit `pu` (device-linear index) finishes its queued
+    /// work. Schedulers steer low-priority relocation at idle PUs with this;
+    /// media without queue visibility report always-idle.
+    fn pu_busy_until(&self, _pu: u32) -> SimTime {
+        SimTime::ZERO
+    }
 }
 
 /// Reads with bounded retry on transient uncorrectable-read errors.
@@ -127,6 +134,10 @@ impl Media for OcssdMedia {
 
     fn drain_events(&self) -> Vec<ocssd::MediaEvent> {
         self.device.with(|d| d.drain_events())
+    }
+
+    fn pu_busy_until(&self, pu: u32) -> SimTime {
+        self.device.pu_busy_until(pu)
     }
 }
 

@@ -1,0 +1,140 @@
+//! Token-bucket rate limiting in virtual time.
+//!
+//! The bucket is a pure function of the submission history: `earliest`
+//! computes, in integer nanosecond arithmetic, the first virtual instant at
+//! which a command of a given cost may dispatch, and `consume_at` debits the
+//! bucket at that instant. No background refill task exists — refill is
+//! computed lazily from the elapsed virtual time, which keeps the scheduler
+//! deterministic and free of timer actors.
+
+use crate::config::RateLimit;
+use ox_sim::SimTime;
+
+const NANOS_PER_SEC: u128 = 1_000_000_000;
+
+/// A deterministic virtual-time token bucket (tokens are bytes).
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    /// Tokens available at `last`.
+    tokens: u64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(limit: RateLimit) -> Self {
+        TokenBucket {
+            limit,
+            tokens: limit.burst_bytes,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Caps a cost at the burst size so an oversized command is admitted at
+    /// line rate instead of waiting forever.
+    fn capped(&self, cost: u64) -> u64 {
+        cost.min(self.limit.burst_bytes)
+    }
+
+    fn tokens_at(&self, now: SimTime) -> u64 {
+        let elapsed = now.saturating_since(self.last).as_nanos() as u128;
+        let refill = elapsed * self.limit.bytes_per_sec as u128 / NANOS_PER_SEC;
+        let total = self.tokens as u128 + refill;
+        total.min(self.limit.burst_bytes as u128) as u64
+    }
+
+    /// Earliest virtual instant at or after `now` when `cost` bytes of
+    /// tokens are available. With a zero rate the bucket never refills;
+    /// callers treat the returned `SimTime::MAX` as "never".
+    pub fn earliest(&self, now: SimTime, cost: u64) -> SimTime {
+        let cost = self.capped(cost);
+        let have = self.tokens_at(now);
+        if have >= cost {
+            return now;
+        }
+        if self.limit.bytes_per_sec == 0 {
+            return SimTime::MAX;
+        }
+        let deficit = (cost - have) as u128;
+        let wait_ns = deficit
+            .saturating_mul(NANOS_PER_SEC)
+            .div_ceil(self.limit.bytes_per_sec as u128);
+        let wait_ns = wait_ns.min(u64::MAX as u128) as u64;
+        SimTime::from_nanos(now.as_nanos().saturating_add(wait_ns))
+    }
+
+    /// Debits `cost` bytes at virtual instant `at` (callers pass an instant
+    /// at or after `earliest`).
+    pub fn consume_at(&mut self, at: SimTime, cost: u64) {
+        let cost = self.capped(cost);
+        self.tokens = self.tokens_at(at).saturating_sub(cost);
+        self.last = self.last.max(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(rate: u64, burst: u64) -> TokenBucket {
+        TokenBucket::new(RateLimit {
+            bytes_per_sec: rate,
+            burst_bytes: burst,
+        })
+    }
+
+    #[test]
+    fn full_bucket_admits_immediately() {
+        let b = bucket(1_000_000, 4096);
+        assert_eq!(
+            b.earliest(SimTime::from_micros(5), 4096),
+            SimTime::from_micros(5)
+        );
+    }
+
+    #[test]
+    fn drained_bucket_waits_for_refill() {
+        let mut b = bucket(1_000_000, 4096); // 1 MB/s: 4096 B = 4.096 ms
+        b.consume_at(SimTime::ZERO, 4096);
+        let t = b.earliest(SimTime::ZERO, 4096);
+        assert_eq!(t, SimTime::from_nanos(4_096_000));
+        // After the wait the tokens really are there.
+        assert_eq!(b.tokens_at(t), 4096);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = bucket(1_000_000, 4096);
+        b.consume_at(SimTime::ZERO, 4096);
+        assert_eq!(b.tokens_at(SimTime::from_secs(100)), 4096);
+    }
+
+    #[test]
+    fn oversized_cost_capped_at_burst() {
+        let b = bucket(1_000_000, 1024);
+        // A 1 MiB command is admitted once the full burst is available.
+        assert_eq!(b.earliest(SimTime::ZERO, 1 << 20), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_rate_never_refills() {
+        let mut b = bucket(0, 1024);
+        b.consume_at(SimTime::ZERO, 1024);
+        assert_eq!(b.earliest(SimTime::from_secs(10), 1), SimTime::MAX);
+    }
+
+    #[test]
+    fn deterministic_across_equivalent_histories() {
+        let mut a = bucket(2_000_000, 8192);
+        let mut b = bucket(2_000_000, 8192);
+        a.consume_at(SimTime::from_micros(10), 4096);
+        a.consume_at(SimTime::from_micros(20), 4096);
+        b.consume_at(SimTime::from_micros(10), 4096);
+        b.consume_at(SimTime::from_micros(20), 4096);
+        assert_eq!(
+            a.earliest(SimTime::from_micros(20), 4096),
+            b.earliest(SimTime::from_micros(20), 4096)
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Client-port integration tests: the OX-Block GC relocation path and the
+//! LightLSM/lsmkv read path actually issue through the scheduler when the
+//! hooks are wired, and carry the right scheduling class.
+
+use iosched::{ArbiterKind, IoScheduler, SchedConfig, SchedMedia, SharedScheduler, TenantConfig};
+use lightlsm::{LightLsm, LightLsmConfig, Placement};
+use lsmkv::{BlockStore, LightLsmStore, TableStore};
+use ocssd::{DeviceConfig, OcssdDevice, SharedDevice, SECTOR_BYTES};
+use ox_block::{BlockFtl, BlockFtlConfig};
+use ox_core::{Media, OcssdMedia};
+use ox_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn media() -> Arc<dyn Media> {
+    let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::paper_tlc_scaled(22, 8)));
+    Arc::new(OcssdMedia::new(dev))
+}
+
+fn scheduler(media: &Arc<dyn Media>, kind: ArbiterKind) -> SharedScheduler {
+    SharedScheduler::new(IoScheduler::new(
+        media.clone(),
+        SchedConfig::with_arbiter(kind),
+    ))
+}
+
+/// OX-Block GC relocation (chunk copies + the victim erase) issues through
+/// a GC-class scheduler tenant once `set_gc_io_media` is wired.
+#[test]
+fn block_ftl_gc_relocation_issues_through_scheduler() {
+    let media = media();
+    let (mut ftl, mut t) = BlockFtl::format(
+        media.clone(),
+        BlockFtlConfig::with_capacity(64 << 20),
+        SimTime::ZERO,
+    )
+    .expect("format");
+
+    let sched = scheduler(&media, ArbiterKind::Deadline);
+    let gc = sched.add_tenant(TenantConfig::new("gc").gc_class());
+    ftl.set_gc_io_media(Arc::new(SchedMedia::new(sched.clone(), gc)));
+
+    // Two full overwrite rounds leave every chunk half garbage.
+    let buf = vec![7u8; 96 * SECTOR_BYTES];
+    for _round in 0..2 {
+        let mut lpn = 0u64;
+        while lpn + 96 <= (64 << 20) / SECTOR_BYTES as u64 {
+            t = ftl.write(t, lpn, &buf).expect("write").done;
+            lpn += 96;
+        }
+    }
+    let pass = ftl.gc_once(t).expect("gc pass");
+    assert!(pass.victims > 0, "GC should have found a victim");
+
+    let stats = sched.stats();
+    assert!(
+        stats.gc_dispatched >= 1,
+        "relocation did not route through the scheduler: {stats:?}"
+    );
+    assert_eq!(
+        stats.dispatched, stats.gc_dispatched,
+        "every scheduled command should carry the GC class"
+    );
+
+    // The FTL still serves reads correctly after a scheduled GC pass.
+    let mut out = vec![0u8; SECTOR_BYTES];
+    ftl.read(pass.done + SimDuration::from_millis(1), 0, &mut out)
+        .expect("post-GC read");
+    assert_eq!(out[0], 7);
+}
+
+/// The lsmkv LightLSM backend routes table-block reads through a scheduler
+/// tenant once `set_read_media` is wired; flushes stay on the direct path.
+#[test]
+fn lightlsm_store_read_path_issues_through_scheduler() {
+    let media = media();
+    let (ftl, _) = LightLsm::format(
+        media.clone(),
+        LightLsmConfig {
+            placement: Placement::Horizontal,
+            ..LightLsmConfig::default()
+        },
+        SimTime::ZERO,
+    )
+    .expect("format");
+    let store = LightLsmStore::new(ftl);
+
+    let sched = scheduler(&media, ArbiterKind::RoundRobin);
+    let reader = sched.add_tenant(TenantConfig::new("reader"));
+    store.set_read_media(Arc::new(SchedMedia::new(sched.clone(), reader)));
+
+    let unit = store.block_bytes();
+    let data: Vec<u8> = (0..3 * unit).map(|i| (i / unit) as u8 + 1).collect();
+    let (id, t1) = store.flush_table(SimTime::ZERO, &data).expect("flush");
+    assert_eq!(
+        sched.stats().submitted,
+        0,
+        "flushing must not touch the read tenant"
+    );
+
+    let mut out = vec![0u8; unit];
+    for b in 0..3u32 {
+        store
+            .read_block(t1 + SimDuration::from_secs(1), id, b, &mut out)
+            .expect("read block");
+        assert_eq!(out[0], b as u8 + 1, "block {b}");
+    }
+    let stats = sched.stats();
+    assert_eq!(stats.submitted, 3, "one scheduled command per block read");
+    assert_eq!(stats.dispatched, 3);
+    assert_eq!(stats.gc_dispatched, 0);
+}
+
+/// The lsmkv OX-Block backend forwards the GC hook, so store-level cleanup
+/// relocates through the scheduler too.
+#[test]
+fn block_store_forwards_gc_hook_to_scheduler() {
+    let media = media();
+    let (ftl, _) = BlockFtl::format(
+        media.clone(),
+        BlockFtlConfig::with_capacity(64 << 20),
+        SimTime::ZERO,
+    )
+    .expect("format");
+    let unit = 24 * SECTOR_BYTES;
+    let store = BlockStore::new(ftl, unit, 96 << 20);
+
+    let sched = scheduler(&media, ArbiterKind::Deadline);
+    let gc = sched.add_tenant(TenantConfig::new("gc").gc_class());
+    store.set_gc_io_media(Arc::new(SchedMedia::new(sched.clone(), gc)));
+
+    // Churn multi-chunk tables: the FTL stripes each 8 MB flush across all
+    // 32 PUs, so it takes many rounds before 3 MB chunks close and trims
+    // leave closed chunks full of garbage for the pass to reclaim.
+    let data = vec![3u8; 8 << 20];
+    let mut t = SimTime::ZERO;
+    for _ in 0..14 {
+        let (id, t1) = store.flush_table(t, &data).expect("flush");
+        t = store.delete_table(t1, id).expect("delete");
+    }
+    let (_, t2) = store.flush_table(t, &data).expect("final flush");
+    let pass = store.with_ftl(|f| f.gc_once(t2)).expect("gc pass");
+    assert!(pass.victims > 0);
+    assert!(
+        sched.stats().gc_dispatched >= 1,
+        "store-level GC did not route through the scheduler"
+    );
+}

@@ -145,6 +145,13 @@ pub struct LightLsmStats {
 /// The LightLSM FTL.
 pub struct LightLsm {
     media: Arc<dyn Media>,
+    /// Optional scheduled path for block reads ([`set_read_media`]): when an
+    /// I/O scheduler fronts the device, reads issue through it so they are
+    /// arbitrated against other tenants; metadata and writes stay on the
+    /// direct path.
+    ///
+    /// [`set_read_media`]: LightLsm::set_read_media
+    read_media: Option<Arc<dyn Media>>,
     geo: Geometry,
     config: LightLsmConfig,
     layout: Layout,
@@ -196,6 +203,7 @@ impl LightLsm {
                 obs: Obs::default(),
                 layout,
                 media,
+                read_media: None,
                 config,
             },
             done,
@@ -209,6 +217,14 @@ impl LightLsm {
         self.wal.set_obs(obs.clone());
         self.ckpt.set_obs(obs.clone());
         self.obs = obs;
+    }
+
+    /// Routes block reads through `media` — typically an
+    /// `iosched::SchedMedia` wrapping the same device — so table reads are
+    /// arbitrated against competing tenants. Writes, WAL and checkpoint
+    /// traffic keep the direct path.
+    pub fn set_read_media(&mut self, media: Arc<dyn Media>) {
+        self.read_media = Some(media);
     }
 
     /// Reopens LightLSM after a crash: loads the directory checkpoint,
@@ -327,6 +343,7 @@ impl LightLsm {
                 obs: Obs::default(),
                 layout,
                 media,
+                read_media: None,
                 config,
             },
             t,
@@ -603,12 +620,10 @@ impl LightLsm {
             .acquire(now, self.config.dispatch_per_block)
             .end;
         // Bounded read-retry: uncorrectable reads are often transient.
+        let media = self.read_media.as_ref().unwrap_or(&self.media);
         let mut attempts = 0u32;
         let comp = loop {
-            match self
-                .media
-                .read(submit, chunk.ppa(sector), self.geo.ws_min, out)
-            {
+            match media.read(submit, chunk.ppa(sector), self.geo.ws_min, out) {
                 Ok(comp) => break comp,
                 Err(DeviceError::UncorrectableRead(_)) if attempts < 3 => {
                     attempts += 1;

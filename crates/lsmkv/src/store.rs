@@ -12,6 +12,7 @@
 use lightlsm::{LightLsm, LightLsmError};
 use ocssd::SECTOR_BYTES;
 use ox_block::{BlockFtl, BlockFtlError};
+use ox_core::Media;
 use ox_sim::sync::Mutex;
 use ox_sim::SimTime;
 use std::collections::HashMap;
@@ -98,6 +99,13 @@ impl LightLsmStore {
         f(&mut self.ftl.lock())
     }
 
+    /// Routes table-block reads through an I/O scheduler tenant (see
+    /// [`lightlsm::LightLsm::set_read_media`]); flushes and metadata keep
+    /// the direct path.
+    pub fn set_read_media(&self, media: Arc<dyn Media>) {
+        self.ftl.lock().set_read_media(media);
+    }
+
     /// Tables surviving in the FTL's directory (after
     /// [`lightlsm::LightLsm::open`]), with their block counts — the input
     /// to [`crate::Db::open_with_tables`].
@@ -180,6 +188,13 @@ impl BlockStore {
     /// Access the FTL (stats, experiment control).
     pub fn with_ftl<R>(&self, f: impl FnOnce(&mut BlockFtl) -> R) -> R {
         f(&mut self.inner.lock().ftl)
+    }
+
+    /// Routes GC relocation copies/erases through an I/O scheduler tenant
+    /// (see [`ox_block::BlockFtl::set_gc_io_media`]) so background cleaning
+    /// is subject to the scheduler's GC class.
+    pub fn set_gc_io_media(&self, media: Arc<dyn Media>) {
+        self.inner.lock().ftl.set_gc_io_media(media);
     }
 }
 

@@ -267,6 +267,24 @@ impl OcssdDevice {
         self.obs.tracer.snapshot()
     }
 
+    /// Moves the trace buffer out, truncating it — the tracing mirror of
+    /// [`OcssdDevice::drain_events`]. Long benchmark runs that keep tracing
+    /// on should drain periodically instead of snapshotting so the bounded
+    /// buffer is not permanently full and dropping history.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.obs.tracer.drain()
+    }
+
+    /// When parallel unit `pu` (device-linear index) finishes its currently
+    /// queued work. Schedulers use this to steer background relocation at
+    /// idle PUs. Out-of-range indices report [`SimTime::ZERO`] (always idle).
+    pub fn pu_busy_until(&self, pu: u32) -> SimTime {
+        self.pus
+            .get(pu as usize)
+            .map(|t| t.busy_until())
+            .unwrap_or(SimTime::ZERO)
+    }
+
     /// Replaces the device's observability sinks with shared ones so the
     /// device reports into the same [`Obs`] as the layers above it. The
     /// tracer's enabled state carries over from the handed-in pair.
@@ -917,6 +935,21 @@ impl SharedDevice {
     pub fn obs(&self) -> Obs {
         self.0.lock().obs().clone()
     }
+
+    /// See [`OcssdDevice::drain_trace`].
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.0.lock().drain_trace()
+    }
+
+    /// See [`OcssdDevice::pu_busy_until`].
+    pub fn pu_busy_until(&self, pu: u32) -> SimTime {
+        self.0.lock().pu_busy_until(pu)
+    }
+
+    /// See [`OcssdDevice::publish_pu_metrics`].
+    pub fn publish_pu_metrics(&self, horizon: SimTime) {
+        self.0.lock().publish_pu_metrics(horizon)
+    }
 }
 
 #[cfg(test)]
@@ -933,6 +966,22 @@ mod tests {
 
     fn t(us: u64) -> SimTime {
         SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn drain_trace_truncates_and_pu_busy_advances() {
+        let mut dev = small_device();
+        let geo = *dev.geometry();
+        dev.set_trace(true);
+        let addr = ChunkAddr::new(0, 0, 0);
+        let w = dev.write(t(0), addr.ppa(0), &unit_data(&geo, 1)).unwrap();
+        assert!(!dev.drain_trace().is_empty());
+        assert!(
+            dev.drain_trace().is_empty(),
+            "drain_trace must truncate the buffer"
+        );
+        assert!(dev.pu_busy_until(addr.pu_linear(&geo)) > w.submitted);
+        assert_eq!(dev.pu_busy_until(u32::MAX), SimTime::ZERO);
     }
 
     #[test]

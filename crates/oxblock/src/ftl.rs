@@ -518,6 +518,13 @@ impl BlockFtl {
         Ok(pass)
     }
 
+    /// Routes GC relocation I/O (copy + reset) through `media` — an
+    /// I/O-scheduler tenant in the GC class — so background copies are
+    /// arbitrated against user traffic instead of racing it to the device.
+    pub fn set_gc_io_media(&mut self, media: Arc<dyn Media>) {
+        self.gc.set_io_media(media);
+    }
+
     /// Runs one GC pass if the free-chunk watermark demands it.
     pub fn maybe_gc(&mut self, now: SimTime) -> Result<Option<GcPass>, BlockFtlError> {
         if !self.gc.needs_gc(&self.prov) {

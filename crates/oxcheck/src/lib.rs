@@ -137,6 +137,7 @@ impl Default for Config {
                 "crates/lightlsm/src/",
                 "crates/oxzns/src/",
                 "crates/kvssd/src/",
+                "crates/iosched/src/",
             ]),
             l3_exclude: s(&["crates/lsmkv/src/bench.rs"]),
             skip_dirs: s(&["target", ".git", ".github", ".claude", "results"]),

@@ -271,6 +271,18 @@ impl Tracer {
         self.inner.lock().events.iter().copied().collect()
     }
 
+    /// Moves the buffered events out, oldest first, truncating the buffer —
+    /// the tracing mirror of a device's `drain_events`. Long runs that keep
+    /// tracing enabled should drain periodically instead of snapshotting, so
+    /// the buffer never sits at capacity dropping the history between
+    /// inspections. Sequence numbers and the drop counter are preserved
+    /// across drains (a later event never reuses a drained event's `seq`).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut g = self.inner.lock();
+        let drained: Vec<TraceEvent> = g.events.drain(..).collect();
+        drained
+    }
+
     /// Number of buffered events.
     pub fn len(&self) -> usize {
         self.inner.lock().events.len()
@@ -585,6 +597,27 @@ mod tests {
         assert_eq!(tr.dropped(), 2);
         assert_eq!(evs[0].at, t(2));
         assert_eq!(evs[2].at, t(4));
+    }
+
+    #[test]
+    fn drain_truncates_but_preserves_seq_and_drops() {
+        let tr = Tracer::new(3);
+        tr.set_enabled(true);
+        for i in 0..5 {
+            tr.instant(t(i), "x", "tick", 0);
+        }
+        let first = tr.drain();
+        assert_eq!(first.len(), 3);
+        assert!(tr.is_empty(), "drain must truncate the buffer");
+        assert_eq!(tr.dropped(), 2, "drop accounting survives a drain");
+        tr.instant(t(9), "x", "tick", 0);
+        let second = tr.drain();
+        assert_eq!(second.len(), 1);
+        assert!(
+            second[0].seq > first[2].seq,
+            "seq keeps increasing across drains"
+        );
+        assert!(tr.drain().is_empty());
     }
 
     #[test]
