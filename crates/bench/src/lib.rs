@@ -11,6 +11,7 @@
 //! | [`fig7`] | Figure 7 — controller CPU vs. host write threads |
 //! | [`gc_locality`] | §4.3 — GC interference locality (93.75 % / 87.5 %) |
 //! | [`qos_tail`] | §4.3 — isolation as per-tenant read-latency percentiles |
+//! | [`shard_scale`] | ROADMAP — aggregate throughput, 1→32 sharded devices |
 //!
 //! Scale note: the simulated drive uses the paper geometry with chunk count
 //! and chunk size divided down (ratios preserved), and workload volumes are
@@ -27,6 +28,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod gc_locality;
 pub mod qos_tail;
+pub mod shard_scale;
 
 use ox_sim::trace::Obs;
 

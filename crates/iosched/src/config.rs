@@ -81,6 +81,12 @@ pub struct SchedConfig {
     pub dispatch_overhead: SimDuration,
     /// Per-class deadline targets (deadline arbiter + GC anti-starvation).
     pub targets: ClassTargets,
+    /// Optional attribution scope. When set, dispatch metrics are *also*
+    /// recorded under `iosched.<scope>.…`, so N schedulers sharing one
+    /// metrics registry (one per shard of a sharded serving layer) keep
+    /// per-shard queue-delay/latency distributions apart while the unscoped
+    /// `iosched.*` names still aggregate the whole fleet.
+    pub scope: Option<String>,
 }
 
 impl Default for SchedConfig {
@@ -89,6 +95,7 @@ impl Default for SchedConfig {
             arbiter: ArbiterKind::RoundRobin,
             dispatch_overhead: SimDuration::ZERO,
             targets: ClassTargets::default(),
+            scope: None,
         }
     }
 }
@@ -100,6 +107,12 @@ impl SchedConfig {
             arbiter,
             ..SchedConfig::default()
         }
+    }
+
+    /// Attaches an attribution scope (see [`SchedConfig::scope`]).
+    pub fn scoped(mut self, scope: &str) -> Self {
+        self.scope = Some(scope.to_string());
+        self
     }
 }
 

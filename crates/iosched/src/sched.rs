@@ -446,6 +446,21 @@ impl IoScheduler {
             "iosched.latency_ns",
             completed.saturating_since(entry.submitted).as_nanos(),
         );
+        if let Some(scope) = &self.cfg.scope {
+            // Per-shard attribution: the same samples again under the scoped
+            // names, so shards sharing one registry stay distinguishable.
+            self.obs
+                .metrics
+                .add(&format!("iosched.{scope}.dispatched"), 1, cost);
+            self.obs.metrics.observe(
+                &format!("iosched.{scope}.queue_delay_ns"),
+                qdelay.as_nanos(),
+            );
+            self.obs.metrics.observe(
+                &format!("iosched.{scope}.latency_ns"),
+                completed.saturating_since(entry.submitted).as_nanos(),
+            );
+        }
         self.obs
             .tracer
             .span(entry.submitted, t_d, "iosched", "queue", cost);

@@ -142,6 +142,7 @@ pub struct OcssdDevice {
     fault: FaultInjector,
     stats: DeviceStats,
     events: Vec<MediaEvent>,
+    grown_bad_blocks: u64,
     obs: Obs,
 }
 
@@ -185,6 +186,7 @@ impl OcssdDevice {
             fault,
             stats: DeviceStats::default(),
             events: Vec::new(),
+            grown_bad_blocks: 0,
             obs: Obs::new(4096),
         })
     }
@@ -230,6 +232,22 @@ impl OcssdDevice {
     /// Drains asynchronous media events accumulated since the last call.
     pub fn drain_events(&mut self) -> Vec<MediaEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Monotone count of chunks retired by media failures since format: the
+    /// bad-block growth notification hook. Unlike [`OcssdDevice::drain_events`]
+    /// this is not consumed by reading it, so a serving layer above the FTL
+    /// can watch growth (e.g. to trigger cross-shard rebalancing) without
+    /// stealing the FTL's event stream.
+    pub fn grown_bad_blocks(&self) -> u64 {
+        self.grown_bad_blocks
+    }
+
+    /// Records an asynchronous media event and bumps the grown-bad-block
+    /// counter (every event kind names a chunk retired from service).
+    fn note_media_event(&mut self, ev: MediaEvent) {
+        self.grown_bad_blocks += 1;
+        self.events.push(ev);
     }
 
     /// Replaces the fault schedule (e.g. to arm faults mid-experiment).
@@ -302,19 +320,34 @@ impl OcssdDevice {
     /// and `device.pu.<i>.busy_ppm` (utilization over `[0, horizon]`, in
     /// parts per million). Called by exporters before snapshotting.
     pub fn publish_pu_metrics(&self, horizon: SimTime) {
+        self.publish_pu_metrics_as("", horizon)
+    }
+
+    /// [`OcssdDevice::publish_pu_metrics`] with a device scope label: gauges
+    /// are published as `device.<scope>.pu.<i>.…`. N devices sharing one
+    /// metrics registry (a sharded serving layer) would otherwise clobber
+    /// each other's per-PU gauges, since `gauge_set` overwrites by name. An
+    /// empty scope reproduces the unscoped single-device names.
+    pub fn publish_pu_metrics_as(&self, scope: &str, horizon: SimTime) {
+        let prefix = if scope.is_empty() {
+            "device".to_string()
+        } else {
+            format!("device.{scope}")
+        };
         for (i, pu) in self.pus.iter().enumerate() {
             let delay = pu.total_queue_delay().as_nanos();
             let busy = (pu.utilization(horizon) * 1e6) as i64;
             self.obs
                 .metrics
-                .gauge_set(&format!("device.pu.{i}.queue_delay_ns"), delay as i64);
+                .gauge_set(&format!("{prefix}.pu.{i}.queue_delay_ns"), delay as i64);
             self.obs
                 .metrics
-                .gauge_set(&format!("device.pu.{i}.busy_ppm"), busy);
+                .gauge_set(&format!("{prefix}.pu.{i}.busy_ppm"), busy);
         }
-        self.obs
-            .metrics
-            .gauge_set("device.cache.stalls", self.cache.stalls() as i64);
+        self.obs.metrics.gauge_set(
+            &format!("{prefix}.cache.stalls"),
+            self.cache.stalls() as i64,
+        );
     }
 
     /// Utilization of each parallel unit over `[0, horizon]`.
@@ -436,7 +469,7 @@ impl OcssdDevice {
             self.obs
                 .tracer
                 .instant(durable_at, "device", "program_fail", 0);
-            self.events.push(MediaEvent {
+            self.note_media_event(MediaEvent {
                 at: durable_at,
                 chunk: addr,
                 kind: MediaEventKind::ProgramFail,
@@ -479,7 +512,7 @@ impl OcssdDevice {
         self.obs
             .tracer
             .instant(now, "device", "fault.program_fail", 0);
-        self.events.push(MediaEvent {
+        self.note_media_event(MediaEvent {
             at: now,
             chunk: addr,
             kind: MediaEventKind::ProgramFail,
@@ -696,7 +729,7 @@ impl OcssdDevice {
             self.obs
                 .tracer
                 .instant(done, "device", "fault.erase_fail", 0);
-            self.events.push(MediaEvent {
+            self.note_media_event(MediaEvent {
                 at: done,
                 chunk: addr,
                 kind: MediaEventKind::EraseFail,
@@ -710,7 +743,7 @@ impl OcssdDevice {
             self.stats.media_failures += 1;
             self.obs.metrics.record("device.media_failure", 0);
             self.obs.tracer.instant(done, "device", "wear_out", 0);
-            self.events.push(MediaEvent {
+            self.note_media_event(MediaEvent {
                 at: done,
                 chunk: addr,
                 kind: MediaEventKind::WearOut,
@@ -724,7 +757,7 @@ impl OcssdDevice {
                 self.stats.media_failures += 1;
                 self.obs.metrics.record("device.media_failure", 0);
                 self.obs.tracer.instant(done, "device", "erase_fail", 0);
-                self.events.push(MediaEvent {
+                self.note_media_event(MediaEvent {
                     at: done,
                     chunk: addr,
                     kind: MediaEventKind::EraseFail,
@@ -949,6 +982,16 @@ impl SharedDevice {
     /// See [`OcssdDevice::publish_pu_metrics`].
     pub fn publish_pu_metrics(&self, horizon: SimTime) {
         self.0.lock().publish_pu_metrics(horizon)
+    }
+
+    /// See [`OcssdDevice::publish_pu_metrics_as`].
+    pub fn publish_pu_metrics_as(&self, scope: &str, horizon: SimTime) {
+        self.0.lock().publish_pu_metrics_as(scope, horizon)
+    }
+
+    /// See [`OcssdDevice::grown_bad_blocks`].
+    pub fn grown_bad_blocks(&self) -> u64 {
+        self.0.lock().grown_bad_blocks()
     }
 }
 

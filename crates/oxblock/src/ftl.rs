@@ -632,6 +632,15 @@ impl BlockFtl {
         &self.layout
     }
 
+    /// Logical pages currently mapped, ascending. A serving layer that
+    /// stores self-identifying records uses this after recovery to rebuild
+    /// its in-memory directory by reading only the pages that exist.
+    pub fn mapped_lpns(&self) -> Vec<u64> {
+        (0..self.logical_pages())
+            .filter(|&l| self.map.lookup(l).is_some())
+            .collect()
+    }
+
     /// Number of mapped logical pages.
     pub fn mapped_pages(&self) -> u64 {
         self.map.mapped_count()

@@ -138,6 +138,7 @@ impl Default for Config {
                 "crates/oxzns/src/",
                 "crates/kvssd/src/",
                 "crates/iosched/src/",
+                "crates/oxshard/src/",
             ]),
             l3_exclude: s(&["crates/lsmkv/src/bench.rs"]),
             skip_dirs: s(&["target", ".git", ".github", ".claude", "results"]),

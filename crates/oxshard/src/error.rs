@@ -1,0 +1,67 @@
+//! Typed failure modes of the sharded serving layer.
+
+use ox_block::BlockFtlError;
+
+/// Everything that can go wrong in the serving layer. The crate is inside
+/// the oxcheck L3 scope, so every failure surfaces as a typed error — the
+/// cluster never panics on device faults, corrupt records or bad routing
+/// input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardError {
+    /// A router cannot be built over zero shards.
+    NoShards,
+    /// The shard id is not live in the router.
+    UnknownShard(u32),
+    /// Removing the last live shard would strand the keyspace.
+    LastShard,
+    /// Key longer than [`crate::store::MAX_KEY_BYTES`].
+    KeyTooLarge(usize),
+    /// Key + value do not fit one self-identifying record page.
+    ValueTooLarge(usize),
+    /// Empty keys are not routable.
+    EmptyKey,
+    /// A mapped page failed to decode as a record during recovery.
+    CorruptRecord {
+        /// Shard that served the page.
+        shard: u32,
+        /// Logical page that failed to decode.
+        lpn: u64,
+    },
+    /// The per-shard store is out of logical space.
+    OutOfSpace {
+        /// Shard that ran out.
+        shard: u32,
+    },
+    /// An FTL/device failure on one shard, with attribution.
+    Ftl {
+        /// Shard whose FTL failed.
+        shard: u32,
+        /// The underlying failure.
+        error: BlockFtlError,
+    },
+    /// A serialized router image failed validation.
+    BadRouterImage(&'static str),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "router needs at least one shard"),
+            ShardError::UnknownShard(id) => write!(f, "shard {id} is not live"),
+            ShardError::LastShard => write!(f, "cannot remove the last live shard"),
+            ShardError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds the record format"),
+            ShardError::ValueTooLarge(n) => {
+                write!(f, "key+value of {n} bytes exceed one record page")
+            }
+            ShardError::EmptyKey => write!(f, "empty keys are not routable"),
+            ShardError::CorruptRecord { shard, lpn } => {
+                write!(f, "shard {shard} lpn {lpn}: mapped page is not a record")
+            }
+            ShardError::OutOfSpace { shard } => write!(f, "shard {shard} is out of logical space"),
+            ShardError::Ftl { shard, error } => write!(f, "shard {shard}: {error}"),
+            ShardError::BadRouterImage(why) => write!(f, "bad router image: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}

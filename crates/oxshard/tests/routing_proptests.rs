@@ -1,0 +1,205 @@
+//! Seeded property tests for shard routing (ISSUE 6 satellite 1).
+//!
+//! Swept by the `shard-matrix` CI job across `OX_SHARD_COUNT` ×
+//! `OX_FAULT_SEED_BASE`. Every assertion names the seed it would take to
+//! replay a failure.
+//!
+//! The movement bound is *exact*, not probabilistic: the router uses a
+//! 2520-slot table (2520 = lcm(1..=10)), and these tests build keyspaces
+//! with the same number of keys in every slot, so "rebalancing moves
+//! ≤ ceil(K/N) keys" is checked as a hard inequality on every seed.
+
+use ocssd::matrix_seeds;
+use ox_sim::Prng;
+use oxshard::{matrix_shards, Router, Sharding, SLOTS};
+
+const MODES: [Sharding; 2] = [Sharding::Hash, Sharding::Range];
+
+fn mode_name(mode: Sharding) -> &'static str {
+    match mode {
+        Sharding::Hash => "hash",
+        Sharding::Range => "range",
+    }
+}
+
+/// A random non-empty key, up to 24 bytes.
+fn random_key(rng: &mut Prng) -> Vec<u8> {
+    let len = rng.gen_range_in(1, 25) as usize;
+    let mut key = vec![0u8; len];
+    rng.fill_bytes(&mut key);
+    key
+}
+
+/// Exactly `per_slot` keys in every routing slot. Hash mode finds them by
+/// seeded rejection sampling; range mode constructs big-endian prefixes
+/// landing mid-slot.
+fn keys_per_slot(router: &Router, per_slot: usize, rng: &mut Prng) -> Vec<Vec<u8>> {
+    let mut keys = Vec::with_capacity(SLOTS * per_slot);
+    match router.mode() {
+        Sharding::Hash => {
+            let mut fill = vec![0usize; SLOTS];
+            let mut missing = SLOTS * per_slot;
+            while missing > 0 {
+                let key = random_key(rng);
+                let slot = router.slot_of(&key);
+                if fill[slot] < per_slot {
+                    fill[slot] += 1;
+                    missing -= 1;
+                    keys.push(key);
+                }
+            }
+        }
+        Sharding::Range => {
+            for slot in 0..SLOTS as u128 {
+                // Smallest prefix in the slot, then successors — the slot
+                // spans ~2^64/2520 prefixes, so they stay inside it.
+                let base = (slot << 64).div_ceil(SLOTS as u128);
+                for j in 0..per_slot as u128 {
+                    let key = ((base + j) as u64).to_be_bytes().to_vec();
+                    assert_eq!(router.slot_of(&key), slot as usize, "prefix math");
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    keys
+}
+
+#[test]
+fn every_key_routes_to_exactly_one_live_shard() {
+    let shards = matrix_shards();
+    for seed in matrix_seeds(8) {
+        for mode in MODES {
+            let router = Router::new(mode, shards).unwrap();
+            let mut rng = Prng::seed_from_u64(seed ^ 0x0517_A5D1);
+            for _ in 0..512 {
+                let key = random_key(&mut rng);
+                let owner = router
+                    .route(&key)
+                    .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", mode_name(mode)));
+                assert!(
+                    router.live().contains(&owner),
+                    "seed {seed} {}: routed to dead shard {owner}",
+                    mode_name(mode)
+                );
+                // Total and deterministic: same key, same answer, including
+                // through a clone.
+                assert_eq!(router.route(&key), Ok(owner), "seed {seed}");
+                assert_eq!(router.clone().route(&key), Ok(owner), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn routing_is_stable_under_serialization_round_trip() {
+    let shards = matrix_shards();
+    for seed in matrix_seeds(8) {
+        for mode in MODES {
+            let mut router = Router::new(mode, shards).unwrap();
+            // Exercise a non-trivial table: one add, one remove, one donation.
+            let (new_id, _) = router.add_shard();
+            router.remove_shard(1).unwrap();
+            router.donate_slots(0, new_id, 37).unwrap();
+
+            let image = router.encode();
+            let decoded = Router::decode(&image)
+                .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", mode_name(mode)));
+            assert_eq!(decoded, router, "seed {seed}: structural round-trip");
+
+            let mut rng = Prng::seed_from_u64(seed ^ 0x5E1A_112E);
+            for _ in 0..512 {
+                let key = random_key(&mut rng);
+                assert_eq!(
+                    decoded.route(&key),
+                    router.route(&key),
+                    "seed {seed} {}: decode changed routing",
+                    mode_name(mode)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn add_shard_moves_at_most_ceil_k_over_n_keys() {
+    let shards = matrix_shards();
+    let per_slot = 2usize;
+    for seed in matrix_seeds(4) {
+        for mode in MODES {
+            let mut rng = Prng::seed_from_u64(seed ^ 0xADD5_4A2D);
+            let router = Router::new(mode, shards).unwrap();
+            let keys = keys_per_slot(&router, per_slot, &mut rng);
+            let k = keys.len();
+            let before: Vec<u32> = keys.iter().map(|key| router.route(key).unwrap()).collect();
+
+            let mut grown = router.clone();
+            let (new_id, _) = grown.add_shard();
+            let mut moved = 0usize;
+            for (key, &owner_before) in keys.iter().zip(&before) {
+                let owner_after = grown.route(key).unwrap();
+                if owner_after != owner_before {
+                    moved += 1;
+                    assert_eq!(
+                        owner_after,
+                        new_id,
+                        "seed {seed} {}: add must only move keys onto the new shard",
+                        mode_name(mode)
+                    );
+                }
+            }
+            let bound = k.div_ceil(shards as usize);
+            assert!(
+                moved <= bound,
+                "seed {seed} {}: add moved {moved} of {k} keys, bound ceil(K/N) = {bound}",
+                mode_name(mode)
+            );
+            assert!(moved > 0, "seed {seed}: add must move some keys");
+        }
+    }
+}
+
+#[test]
+fn remove_shard_moves_at_most_ceil_k_over_n_keys() {
+    let shards = matrix_shards();
+    let per_slot = 2usize;
+    for seed in matrix_seeds(4) {
+        for mode in MODES {
+            let mut rng = Prng::seed_from_u64(seed ^ 0x4E40_7ED5);
+            let router = Router::new(mode, shards).unwrap();
+            let keys = keys_per_slot(&router, per_slot, &mut rng);
+            let k = keys.len();
+            let before: Vec<u32> = keys.iter().map(|key| router.route(key).unwrap()).collect();
+
+            let victim = (seed % shards as u64) as u32;
+            let mut shrunk = router.clone();
+            shrunk.remove_shard(victim).unwrap();
+            let mut moved = 0usize;
+            for (key, &owner_before) in keys.iter().zip(&before) {
+                let owner_after = shrunk.route(key).unwrap();
+                assert_ne!(
+                    owner_after,
+                    victim,
+                    "seed {seed} {}: key still routed to removed shard",
+                    mode_name(mode)
+                );
+                if owner_after != owner_before {
+                    moved += 1;
+                    assert_eq!(
+                        owner_before,
+                        victim,
+                        "seed {seed} {}: remove must only move the victim's keys",
+                        mode_name(mode)
+                    );
+                }
+            }
+            let bound = k.div_ceil(shards as usize);
+            assert!(
+                moved <= bound,
+                "seed {seed} {}: remove moved {moved} of {k} keys, bound ceil(K/N) = {bound}",
+                mode_name(mode)
+            );
+            assert!(moved > 0, "seed {seed}: remove must move the victim's keys");
+        }
+    }
+}

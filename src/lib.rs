@@ -18,6 +18,10 @@
 //!   workload driver.
 //! * [`ox_zns`] — OX-ZNS, the Zoned Namespaces FTL the paper lists as "not
 //!   fully available" in Figure 1.
+//! * [`iosched`] — the multi-queue I/O scheduler with per-tenant QoS
+//!   (paper §4.3 isolation, made explicit).
+//! * [`oxshard`] — the sharded multi-device serving layer striping a
+//!   keyspace across N simulated devices (the ROADMAP's horizontal story).
 //! * [`ox_sim`] — the deterministic virtual-time simulation core underneath
 //!   everything.
 //!
@@ -26,6 +30,7 @@
 //! runnable entry points (start with `cargo run --release --example
 //! quickstart`).
 
+pub use iosched;
 pub use lightlsm;
 pub use lsmkv;
 pub use ocssd;
@@ -35,3 +40,4 @@ pub use ox_eleos;
 pub use ox_kvssd;
 pub use ox_sim;
 pub use ox_zns;
+pub use oxshard;
