@@ -16,7 +16,7 @@
 
 use ocssd::{FaultLedger, FaultMix, FaultPlan, Geometry, SharedDevice};
 use ox_sim::{Prng, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Version number the harness stamps on the optional torn-tail write. Must
 /// never surface from a read after recovery.
@@ -147,10 +147,10 @@ pub fn run_case<H: FaultHost>(
 ) -> Result<CaseReport, String> {
     let seed = case.seed;
     let crash_idx = ((case.ops.len() - 1) as f64 * case.crash_frac) as usize;
-    let mut committed: HashMap<u64, u32> = HashMap::new();
+    let mut committed: BTreeMap<u64, u32> = BTreeMap::new();
     // Versions whose write errored: the op may have partially applied, so a
     // later read may legally surface them.
-    let mut maybe: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut maybe: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
     let mut report = CaseReport::default();
     let mut t = start;
 

@@ -474,6 +474,13 @@ impl BlockFtl {
     pub fn checkpoint(&mut self, now: SimTime) -> Result<SimTime, BlockFtlError> {
         let covered = self.wal.durable_lsn();
         let snapshot = self.map.snapshot();
+        // RAII span: the fallible steps below may early-return, and a
+        // failed checkpoint attempt must still close its span (the guard's
+        // drop ends it at the open time) so span accounting stays balanced.
+        let span = self
+            .obs
+            .tracer
+            .guard(now, "oxblock", "checkpoint", snapshot.len() as u64);
         let (done, _seq) = self.ckpt.write(now, covered, &snapshot)?;
         let done = self.wal.truncate(done, covered)?;
         self.stats.checkpoints += 1;
@@ -482,9 +489,7 @@ impl BlockFtl {
         self.obs
             .metrics
             .record("oxblock.checkpoint", snapshot.len() as u64);
-        self.obs
-            .tracer
-            .span(now, done, "oxblock", "checkpoint", snapshot.len() as u64);
+        span.finish(done);
         Ok(done)
     }
 

@@ -1,0 +1,585 @@
+//! L5 `unordered_iter`: iteration over `std::collections::HashMap`/`HashSet`
+//! on storage paths.
+//!
+//! The workbench's differential guarantees (faulty-vs-clean byte-for-byte,
+//! empty-plan nanosecond identity, same-seed double-run obs diffs) all
+//! assume the simulation is an exact function of `(configuration, seed)`.
+//! Hash-map iteration order is seeded per process by `RandomState`, so the
+//! moment a hash iteration feeds a write order, a GC victim choice or a
+//! recovery scan, replay silently diverges. This pass flags every iteration
+//! over a hash-typed binding in scope — `iter`, `keys`, `values`, `drain`,
+//! `retain`, `into_iter` and `for` loops — outside test/macro code, unless:
+//!
+//! * the chain terminates in an order-free reduction (`sum`, `count`, `min`,
+//!   `max`, `all`, `any`, `product`, or a `collect` into another map/set),
+//! * the collected result is sorted in the same function
+//!   (`let mut v: Vec<_> = m.keys().collect(); v.sort_unstable();`), or
+//! * a `// oxcheck:allow(unordered_iter): <why>` pragma explains why order
+//!   cannot escape (handled by the shared pragma filter).
+//!
+//! Name resolution is symbol-aware but file-local: a binding is hash-typed
+//! if its declaration (struct field, `let`, or fn parameter) in the same
+//! file names `HashMap`/`HashSet` (directly, via `use std::collections::…`
+//! or via a rename), or if it is initialized from `HashMap::new()` /
+//! `with_capacity` / a `collect::<HashMap<…>>()` turbofish.
+
+use crate::lexer::TokenKind;
+use crate::parser::{ident_name, FileModel};
+use crate::{Finding, Lint};
+use std::collections::BTreeSet;
+
+/// Iterator-producing methods on maps/sets whose order is the hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Chain terminals whose result is independent of iteration order.
+const ORDER_FREE_TERMINALS: &[&str] = &["sum", "count", "min", "max", "all", "any", "product"];
+
+/// Adapters that neither fix nor destroy order — chain scanning looks
+/// through them for the terminal.
+const TRANSPARENT_ADAPTERS: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "copied",
+    "cloned",
+    "flatten",
+    "flat_map",
+    "chain",
+    "inspect",
+    "by_ref",
+];
+
+/// Whether a type token list names a std hash collection, given the file's
+/// `use` map (`HashMap`, renamed imports, and full paths all count).
+fn ty_is_hash(model: &FileModel, ty: &[String]) -> bool {
+    ty.iter().any(|t| is_hash_name(model, t))
+}
+
+fn is_hash_name(model: &FileModel, name: &str) -> bool {
+    let name = ident_name(name);
+    let full = model.resolve_use(name);
+    matches!(
+        full,
+        "std::collections::HashMap"
+            | "std::collections::HashSet"
+            | "collections::HashMap"
+            | "collections::HashSet"
+            | "HashMap"
+            | "HashSet"
+    ) && matches!(name_tail(full), "HashMap" | "HashSet")
+}
+
+fn name_tail(path: &str) -> &str {
+    path.rsplit("::").next().unwrap_or(path)
+}
+
+/// Runs L5 over one parsed file.
+pub fn lint_unordered_iter(model: &FileModel, out: &mut Vec<Finding>) {
+    // Hash-typed struct fields declared in this file.
+    let mut hash_fields: BTreeSet<&str> = BTreeSet::new();
+    for s in &model.structs {
+        for f in &s.fields {
+            if ty_is_hash(model, &f.ty) {
+                hash_fields.insert(f.name.as_str());
+            }
+        }
+    }
+    for f in &model.fns {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let mut locals: BTreeSet<String> = f
+            .params
+            .iter()
+            .filter(|(_, ty)| ty_is_hash(model, ty))
+            .map(|(n, _)| n.clone())
+            .collect();
+        scan_body(model, open, close, &hash_fields, &mut locals, out);
+    }
+}
+
+fn tok_is(model: &FileModel, i: usize, s: &str) -> bool {
+    model.tokens.get(i).is_some_and(|t| t.text == s)
+}
+
+fn tok_ident(model: &FileModel, i: usize) -> Option<&str> {
+    model
+        .tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| ident_name(&t.text))
+}
+
+fn scan_body(
+    model: &FileModel,
+    open: usize,
+    close: usize,
+    hash_fields: &BTreeSet<&str>,
+    locals: &mut BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = open + 1;
+    while i < close {
+        // `let [mut] name …` — track hash-typed bindings.
+        if tok_is(model, i, "let") {
+            if let Some((name, end)) = let_binding(model, i, close) {
+                if let_is_hash(model, i, end) {
+                    locals.insert(name);
+                }
+            }
+        }
+        // `for pat in [&[mut]] chain {` — direct iteration of a hash value.
+        if tok_is(model, i, "for") {
+            if let Some(j) = find_in_kw(model, i, close) {
+                let mut k = j + 1;
+                while tok_is(model, k, "&") || tok_is(model, k, "mut") {
+                    k += 1;
+                }
+                if let Some((resolved, after)) = resolve_hash_chain(model, k, hash_fields, locals) {
+                    // Only a *direct* `for x in map {` / `for x in &self.map {`
+                    // iterates hash order; a method chain after the name is
+                    // handled by the method scan below.
+                    if resolved && tok_is(model, after, "{") {
+                        report(model, k, "for-loop over", out);
+                    }
+                }
+            }
+        }
+        // `name.iter()` / `self.field.keys()` / … method iteration.
+        if let Some(m) = tok_ident(model, i) {
+            if ITER_METHODS.contains(&m)
+                && tok_is(model, i.wrapping_sub(1), ".")
+                && tok_is(model, i + 1, "(")
+            {
+                // Walk back over the receiver chain: `a . b . m` → [a, b].
+                if receiver_is_hash(model, i - 1, hash_fields, locals)
+                    && !chain_is_order_free(model, i, close)
+                {
+                    report(model, i, "iteration over", out);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `let [mut] name` at `i` (pointing at `let`): returns the binding name and
+/// the index of the statement-ending `;` (or `close`). Tuple/struct patterns
+/// return the last pattern ident, which is good enough for tracking.
+fn let_binding(model: &FileModel, i: usize, close: usize) -> Option<(String, usize)> {
+    let mut name = None;
+    let mut j = i + 1;
+    while j < close && !tok_is(model, j, "=") && !tok_is(model, j, ";") {
+        if tok_is(model, j, ":") && !tok_is(model, j + 1, ":") {
+            break;
+        }
+        if let Some(id) = tok_ident(model, j) {
+            if id != "mut" && id != "ref" {
+                name = Some(id.to_string());
+            }
+        }
+        j += 1;
+    }
+    let mut semi = j;
+    let mut depth = 0i64;
+    while semi < close {
+        let t = &model.tokens[semi];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        semi += 1;
+    }
+    name.map(|n| (n, semi))
+}
+
+/// Whether the `let` statement spanning `[i, end)` binds a hash collection:
+/// an explicit hash type annotation, a `HashMap::new()`-style constructor,
+/// or a `collect::<HashMap<…>>()` turbofish.
+fn let_is_hash(model: &FileModel, i: usize, end: usize) -> bool {
+    let mut j = i;
+    while j < end {
+        if let Some(id) = tok_ident(model, j) {
+            if is_hash_name(model, id) {
+                // Exclude `HashMap::len`-style statics on some *other*
+                // value; constructors and type positions both qualify.
+                return true;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Finds the `in` keyword of a `for` loop header starting at `i`.
+fn find_in_kw(model: &FileModel, i: usize, close: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    while j < close && j < i + 64 {
+        let t = &model.tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => return None,
+                _ => {}
+            }
+        } else if depth <= 0 && t.kind == TokenKind::Ident && t.text == "in" {
+            return Some(j);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Resolves a `name` / `x.name` / `self.name` chain starting at `k`.
+/// Returns `(is_hash, index_after_chain)`.
+fn resolve_hash_chain(
+    model: &FileModel,
+    k: usize,
+    hash_fields: &BTreeSet<&str>,
+    locals: &BTreeSet<String>,
+) -> Option<(bool, usize)> {
+    let first = tok_ident(model, k)?;
+    let mut last = first.to_string();
+    let mut j = k + 1;
+    while tok_is(model, j, ".") {
+        match model.tokens.get(j + 1) {
+            Some(t) if t.kind == TokenKind::Ident => {
+                last = ident_name(&t.text).to_string();
+                j += 2;
+            }
+            Some(t) if t.kind == TokenKind::Num => {
+                last = t.text.clone();
+                j += 2;
+            }
+            _ => break,
+        }
+    }
+    let is_hash = if j == k + 1 {
+        locals.contains(&last)
+    } else {
+        hash_fields.contains(last.as_str()) || locals.contains(&last)
+    };
+    Some((is_hash, j))
+}
+
+/// Whether the receiver chain ending at the `.` before an iter method (index
+/// `dot`) is hash-typed: `map.iter()`, `self.map.iter()`, `x.map.iter()`.
+fn receiver_is_hash(
+    model: &FileModel,
+    dot: usize,
+    hash_fields: &BTreeSet<&str>,
+    locals: &BTreeSet<String>,
+) -> bool {
+    // Token before the dot: the name being iterated.
+    let Some(prev) = dot.checked_sub(1) else {
+        return false;
+    };
+    let Some(name) = tok_ident(model, prev) else {
+        return false;
+    };
+    // `name` alone (local) or `… . name` (field).
+    if tok_is(model, prev.wrapping_sub(1), ".") {
+        hash_fields.contains(name) || locals.contains(name)
+    } else {
+        locals.contains(name)
+    }
+}
+
+/// Whether the method chain starting at the iter method `i` ends in an
+/// order-free terminal, collects into another map/set, or collects into a
+/// binding that is sorted later in the same function body.
+fn chain_is_order_free(model: &FileModel, i: usize, close: usize) -> bool {
+    let mut j = i;
+    let mut collected = false;
+    loop {
+        // `j` points at a method ident; its args open at j+1 (or after a
+        // `::<…>` turbofish).
+        let mut args = j + 1;
+        if tok_is(model, args, ":") && tok_is(model, args + 1, ":") && tok_is(model, args + 2, "<")
+        {
+            // Turbofish: the target type decides for `collect`.
+            let mut depth = 0i64;
+            let mut k = args + 2;
+            let mut target_ok = false;
+            while k < close {
+                if tok_is(model, k, "<") {
+                    depth += 1;
+                } else if tok_is(model, k, ">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(id) = tok_ident(model, k) {
+                    if matches!(
+                        name_tail(model.resolve_use(id)),
+                        "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet"
+                    ) {
+                        target_ok = true;
+                    }
+                }
+                k += 1;
+            }
+            if tok_ident(model, j) == Some("collect") && target_ok {
+                return true;
+            }
+            args = k + 1;
+        }
+        if !tok_is(model, args, "(") {
+            return false;
+        }
+        let close_paren = match_paren(model, args, close);
+        let name = tok_ident(model, j).unwrap_or("");
+        if ORDER_FREE_TERMINALS.contains(&name) {
+            return true;
+        }
+        if name == "collect" {
+            collected = true;
+        }
+        // Continue the chain?
+        if tok_is(model, close_paren + 1, ".") {
+            match model.tokens.get(close_paren + 2) {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    let next = ident_name(&t.text);
+                    if !TRANSPARENT_ADAPTERS.contains(&next)
+                        && next != "collect"
+                        && !ORDER_FREE_TERMINALS.contains(&next)
+                    {
+                        return false;
+                    }
+                    j = close_paren + 2;
+                    continue;
+                }
+                _ => return false,
+            }
+        }
+        // Chain ended. A plain `collect()` is exempt if (a) the binding has
+        // a map/set annotation, or (b) the binding is sorted later on.
+        if collected {
+            return collect_target_is_ordered(model, i, close_paren, close);
+        }
+        return false;
+    }
+}
+
+fn match_paren(model: &FileModel, open: usize, close: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < close {
+        if tok_is(model, i, "(") {
+            depth += 1;
+        } else if tok_is(model, i, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    close
+}
+
+/// For a chain ending in `.collect()` at `chain_end`: walk back to the
+/// enclosing `let` to find the binding name and annotation; exempt when the
+/// annotation is a map/set, or when `name.sort…` appears later in the body.
+fn collect_target_is_ordered(
+    model: &FileModel,
+    iter_at: usize,
+    chain_end: usize,
+    body_close: usize,
+) -> bool {
+    // Backward to statement start: the previous `;`, `{` or `}`.
+    let mut s = iter_at;
+    while s > 0 {
+        let t = &model.tokens[s - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        s -= 1;
+    }
+    if !tok_is(model, s, "let") {
+        return false;
+    }
+    let mut name: Option<String> = None;
+    let mut j = s + 1;
+    let mut annotated_ordered = false;
+    while j < iter_at && !tok_is(model, j, "=") {
+        if tok_is(model, j, ":") && !tok_is(model, j + 1, ":") {
+            // Type annotation: `BTreeMap`/set annotations are ordered or
+            // deduplicated sinks; `Vec` needs a later sort.
+            let mut k = j + 1;
+            while k < iter_at && !tok_is(model, k, "=") {
+                if let Some(id) = tok_ident(model, k) {
+                    if matches!(
+                        name_tail(model.resolve_use(id)),
+                        "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet"
+                    ) {
+                        annotated_ordered = true;
+                    }
+                }
+                k += 1;
+            }
+            break;
+        }
+        if let Some(id) = tok_ident(model, j) {
+            if id != "mut" && id != "ref" {
+                name = Some(id.to_string());
+            }
+        }
+        j += 1;
+    }
+    if annotated_ordered {
+        return true;
+    }
+    let Some(name) = name else {
+        return false;
+    };
+    // Forward: `name . sort…(` anywhere later in the body.
+    let mut k = chain_end;
+    while k + 2 < body_close {
+        if tok_ident(model, k) == Some(name.as_str())
+            && tok_is(model, k + 1, ".")
+            && tok_ident(model, k + 2).is_some_and(|m| m.starts_with("sort"))
+        {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+fn report(model: &FileModel, i: usize, what: &str, out: &mut Vec<Finding>) {
+    let line = model.tokens[i].line;
+    if model.in_test(line) || model.in_macro(line) {
+        return;
+    }
+    out.push(Finding::new(
+        &model.path,
+        line,
+        Lint::UnorderedIter,
+        format!(
+            "{what} a `HashMap`/`HashSet` has process-seeded order on a \
+             storage path; use `BTreeMap`/`BTreeSet`, sort the collected \
+             result, or justify with `// oxcheck:allow(unordered_iter): <why>`"
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let model = parse_source("crates/core/src/virt.rs", src);
+        let mut out = Vec::new();
+        lint_unordered_iter(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_local_and_field_iteration() {
+        let f = run("fn f() { let mut m = HashMap::new(); for (k, v) in &m { use_it(k, v); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = run("use std::collections::HashMap;\n\
+             struct S { m: HashMap<u64, u32> }\n\
+             impl S { fn g(&self) { for k in self.m.keys() { touch(k); } } }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn btree_and_vec_iteration_are_clean() {
+        assert!(run("fn f() { let m = BTreeMap::new(); for k in m.keys() {} }").is_empty());
+        assert!(run("fn f(v: Vec<u64>) { for x in &v {} v.iter().count(); }").is_empty());
+    }
+
+    #[test]
+    fn order_free_terminals_are_exempt() {
+        assert!(
+            run("fn f() { let m = HashMap::new(); let n: u64 = m.values().sum(); }").is_empty()
+        );
+        assert!(run("fn f() { let m = HashMap::new(); let n = m.keys().count(); }").is_empty());
+        assert!(
+            run("fn f() { let m = HashMap::new(); let ok = m.values().all(|v| *v > 0); }")
+                .is_empty()
+        );
+        assert!(
+            run("fn f() { let m = HashMap::new(); let n = m.values().map(|v| v + 1).max(); }")
+                .is_empty()
+        );
+        // min_by_key tie-breaks by iteration order: NOT exempt.
+        let f = run("fn f() { let m = HashMap::new(); let v = m.iter().min_by_key(|x| x.1); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn collect_into_set_or_sorted_vec_is_exempt() {
+        assert!(run(
+            "fn f() { let m = HashMap::new(); let s: BTreeSet<u64> = m.keys().copied().collect(); }"
+        )
+        .is_empty());
+        assert!(run(
+            "fn f() { let m = HashMap::new(); let s = m.keys().collect::<BTreeSet<_>>(); }"
+        )
+        .is_empty());
+        assert!(run(
+            "fn f() { let m = HashMap::new();\n  let mut v: Vec<u64> = m.keys().copied().collect();\n  v.sort_unstable(); }"
+        )
+        .is_empty());
+        // Collected but never sorted: flagged.
+        let f = run(
+            "fn f() { let m = HashMap::new(); let v: Vec<u64> = m.keys().copied().collect(); use_it(v); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn drain_and_retain_are_flagged() {
+        let f = run("fn f() { let mut m = HashMap::new(); m.retain(|_, v| *v > 0); }");
+        assert_eq!(f.len(), 1);
+        let f = run("fn f() { let mut m = HashSet::new(); for x in m.drain() { push(x); } }");
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn test_and_macro_scopes_are_exempt() {
+        assert!(run(
+            "#[cfg(test)]\nmod tests {\n  fn g() { let m = HashMap::new(); for k in m.keys() {} }\n}\n"
+        )
+        .is_empty());
+        assert!(
+            run("macro_rules! mk {\n  () => {\n    for k in map.keys() {}\n  };\n}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn renamed_import_is_still_hash() {
+        let f = run("use std::collections::HashMap as Fast;\n\
+             fn f() { let m: Fast<u64, u32> = Fast::new(); for k in m.keys() {} }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn lookup_only_maps_are_clean() {
+        assert!(run("struct S { m: HashMap<u64, u32> }\n\
+             impl S { fn g(&self) -> Option<u32> { self.m.get(&1).copied() } }\n",)
+        .is_empty());
+    }
+}

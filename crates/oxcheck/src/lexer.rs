@@ -17,7 +17,9 @@
 /// Token classes relevant to lint matching.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokenKind {
-    /// Identifier or keyword (raw identifiers are unescaped to their name).
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix
+    /// (`r#type` lexes as `Ident("r#type")`) so a parser can never mistake
+    /// `r#fn` for the `fn` keyword; strip the prefix when matching names.
     Ident,
     /// Lifetime such as `'a` (text excludes the tick).
     Lifetime,
@@ -218,10 +220,20 @@ impl Lexer {
                 self.raw_string_body(line, hashes);
             }
             Some(c) if hashes == 1 && is_ident_start(c) => {
-                // Raw identifier r#type: skip `r#`, lex the name.
+                // Raw identifier r#type: the `r#` prefix stays in the token
+                // text so keyword matching downstream cannot confuse `r#fn`
+                // with the `fn` keyword.
                 self.bump();
                 self.bump();
-                self.ident(line);
+                let mut text = String::from("r#");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.out.push(Token::new(TokenKind::Ident, text, line));
             }
             _ => {
                 // Just an `r` identifier followed by punctuation.
@@ -413,15 +425,31 @@ mod tests {
             ),
             // Byte strings and byte chars.
             (r#"b"bytes" b'q'"#, &[(Str, "bytes"), (Char, "q")]),
-            // Raw identifier is an ident, not a raw string.
+            // Raw identifier is an ident (prefix preserved), not a raw
+            // string — and `r#fn` must not lex as the `fn` keyword.
             (
                 "let r#type = 1;",
                 &[
                     (Ident, "let"),
-                    (Ident, "type"),
+                    (Ident, "r#type"),
                     (Punct, "="),
                     (Num, "1"),
                     (Punct, ";"),
+                ],
+            ),
+            (
+                "fn caller() { r#fn(); }",
+                &[
+                    (Ident, "fn"),
+                    (Ident, "caller"),
+                    (Punct, "("),
+                    (Punct, ")"),
+                    (Punct, "{"),
+                    (Ident, "r#fn"),
+                    (Punct, "("),
+                    (Punct, ")"),
+                    (Punct, ";"),
+                    (Punct, "}"),
                 ],
             ),
             // Method calls on numbers do not swallow the dot.

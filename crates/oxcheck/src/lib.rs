@@ -20,8 +20,13 @@
 //! See `docs/static-analysis.md` for the full catalog and pragma syntax.
 
 pub mod deps;
+pub mod det;
 pub mod lexer;
 pub mod lints;
+pub mod lockgraph;
+pub mod parser;
+pub mod report;
+pub mod spans;
 
 use std::fmt;
 use std::path::Path;
@@ -40,6 +45,14 @@ pub enum Lint {
     PanicPath,
     /// L4: dependencies that do not resolve in-repo.
     ExternalDep,
+    /// L5: iteration over `HashMap`/`HashSet` on storage paths.
+    UnorderedIter,
+    /// L6: lock acquisitions that form an ABBA cycle in the static lock
+    /// graph, or that the analyzer cannot resolve to a construction site.
+    LockOrder,
+    /// L7: trace spans opened without an RAII guard or a provable `end` on
+    /// every path.
+    SpanDiscipline,
 }
 
 impl Lint {
@@ -50,6 +63,9 @@ impl Lint {
             Lint::WallClock => "wall_clock",
             Lint::PanicPath => "panic_path",
             Lint::ExternalDep => "external_dep",
+            Lint::UnorderedIter => "unordered_iter",
+            Lint::LockOrder => "lock_order",
+            Lint::SpanDiscipline => "span_discipline",
         }
     }
 
@@ -60,6 +76,9 @@ impl Lint {
             Lint::WallClock => "L2",
             Lint::PanicPath => "L3",
             Lint::ExternalDep => "L4",
+            Lint::UnorderedIter => "L5",
+            Lint::LockOrder => "L6",
+            Lint::SpanDiscipline => "L7",
         }
     }
 }
@@ -117,6 +136,10 @@ pub struct Config {
     pub l3_scope: Vec<String>,
     /// Exceptions within the L3 scope (in-crate bench harnesses).
     pub l3_exclude: Vec<String>,
+    /// Path prefixes whose non-test code is held to L5/L7 (the storage
+    /// crates plus the simulation substrate, whose hash iteration would
+    /// leak into every consumer).
+    pub l5_scope: Vec<String>,
     /// Directory names skipped entirely during the walk.
     pub skip_dirs: Vec<String>,
 }
@@ -141,7 +164,22 @@ impl Default for Config {
                 "crates/oxshard/src/",
             ]),
             l3_exclude: s(&["crates/lsmkv/src/bench.rs"]),
-            skip_dirs: s(&["target", ".git", ".github", ".claude", "results"]),
+            l5_scope: s(&[
+                "crates/ocssd/src/",
+                "crates/core/src/",
+                "crates/lsmkv/src/",
+                "crates/oxblock/src/",
+                "crates/oxeleos/src/",
+                "crates/lightlsm/src/",
+                "crates/oxzns/src/",
+                "crates/kvssd/src/",
+                "crates/iosched/src/",
+                "crates/oxshard/src/",
+                "crates/sim/src/",
+            ]),
+            skip_dirs: s(&[
+                "target", ".git", ".github", ".claude", "results", "fixtures",
+            ]),
         }
     }
 }
@@ -160,6 +198,23 @@ impl Config {
                 .iter()
                 .any(|p| rel_path.starts_with(p.as_str()))
     }
+
+    pub(crate) fn l5_in_scope(&self, rel_path: &str) -> bool {
+        self.l5_scope
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+    }
+}
+
+/// Result of a full workspace analysis: the findings plus the static lock
+/// graph (exported so the CI gate can diff it against the runtime lockdep
+/// edge set).
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// All findings, sorted by path, line, lint.
+    pub findings: Vec<Finding>,
+    /// The L6 static lock-acquisition graph.
+    pub lock_graph: lockgraph::LockGraph,
 }
 
 /// Walks the workspace at `root` and runs every lint. Findings come back
@@ -170,20 +225,66 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
 
 /// [`analyze_workspace`] with an explicit scope configuration.
 pub fn analyze_workspace_with(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    analyze_workspace_full(root, cfg).map(|a| a.findings)
+}
+
+/// Full analysis: findings plus the static lock graph.
+pub fn analyze_workspace_full(root: &Path, cfg: &Config) -> std::io::Result<Analysis> {
     let mut files = Vec::new();
     collect_files(root, root, cfg, &mut files)?;
     files.sort();
+    let mut sources = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
+    }
+    Ok(analyze_sources(&sources, cfg))
+}
+
+/// Runs every lint over an in-memory set of `(relative path, source)`
+/// pairs. This is the whole pipeline — the golden-fixture tests feed it
+/// synthetic workspaces without touching the filesystem.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Analysis {
     let mut findings = Vec::new();
-    for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))?;
+    let mut models = Vec::new();
+    let mut allows = Vec::new();
+    for (rel, src) in sources {
         if rel.ends_with(".rs") {
-            findings.extend(check_rust_source(rel, &src, cfg));
+            findings.extend(check_rust_source(rel, src, cfg));
+            models.push(parser::parse_source(rel, src));
+            allows.push(lints::pragma_allows(&lexer::lex(src)));
         } else {
-            findings.extend(check_cargo_toml(rel, &src));
+            findings.extend(check_cargo_toml(rel, src));
         }
     }
+
+    // Symbol-aware passes: L5/L7 are per-file, L6 is workspace-wide.
+    let mut late = Vec::new();
+    for model in &models {
+        if cfg.l5_in_scope(&model.path) {
+            det::lint_unordered_iter(model, &mut late);
+        }
+        if cfg.l3_in_scope(&model.path) {
+            spans::lint_span_discipline(model, &mut late);
+        }
+    }
+    let model_refs: Vec<&parser::FileModel> = models.iter().collect();
+    let (lock_graph, l6) = lockgraph::build(&model_refs, cfg);
+    late.extend(l6);
+
+    // Pragmas suppress the symbol-aware passes too.
+    late.retain(|f| {
+        models
+            .iter()
+            .position(|m| m.path == f.path)
+            .is_none_or(|i| !lints::allowed_by_pragma(&allows[i], f))
+    });
+    findings.extend(late);
     findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
-    Ok(findings)
+    Analysis {
+        findings,
+        lock_graph,
+    }
 }
 
 fn collect_files(

@@ -38,7 +38,7 @@ pub fn check_rust_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding
 
 /// Lines (1-based) whose findings each pragma suppresses: its own line and
 /// the following one, so both trailing and preceding pragma styles work.
-fn pragma_allows(tokens: &[Token]) -> HashMap<u32, HashSet<String>> {
+pub(crate) fn pragma_allows(tokens: &[Token]) -> HashMap<u32, HashSet<String>> {
     let mut map: HashMap<u32, HashSet<String>> = HashMap::new();
     for t in tokens {
         if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
@@ -63,7 +63,7 @@ fn pragma_allows(tokens: &[Token]) -> HashMap<u32, HashSet<String>> {
     map
 }
 
-fn allowed_by_pragma(allows: &HashMap<u32, HashSet<String>>, f: &Finding) -> bool {
+pub(crate) fn allowed_by_pragma(allows: &HashMap<u32, HashSet<String>>, f: &Finding) -> bool {
     allows
         .get(&f.line)
         .is_some_and(|set| set.contains(f.lint.name()) || set.contains("all"))
@@ -71,13 +71,13 @@ fn allowed_by_pragma(allows: &HashMap<u32, HashSet<String>>, f: &Finding) -> boo
 
 /// Whether a path is test-only by construction (integration test trees and
 /// out-of-line `tests.rs` modules).
-fn whole_file_is_test(rel_path: &str) -> bool {
+pub(crate) fn whole_file_is_test(rel_path: &str) -> bool {
     rel_path.split('/').any(|seg| seg == "tests") || rel_path.ends_with("/tests.rs")
 }
 
 /// Returns the set of source lines that belong to test-scoped code:
 /// items annotated `#[cfg(test)]` and modules named `tests`.
-fn test_region_lines(code: &[&Token], whole_file: bool) -> HashSet<u32> {
+pub(crate) fn test_region_lines(code: &[&Token], whole_file: bool) -> HashSet<u32> {
     let mut lines = HashSet::new();
     if whole_file {
         // Cheap sentinel: line 0 marks "everything is test code".
@@ -131,7 +131,12 @@ fn in_test(test_lines: &HashSet<u32>, line: u32) -> bool {
 
 /// Index of the bracket matching `code[open]` (which must be `open_sym`),
 /// or the last token if unbalanced.
-fn match_bracket(code: &[&Token], open: usize, open_sym: &str, close_sym: &str) -> usize {
+pub(crate) fn match_bracket(
+    code: &[&Token],
+    open: usize,
+    open_sym: &str,
+    close_sym: &str,
+) -> usize {
     let mut depth = 0i64;
     for (j, t) in code.iter().enumerate().skip(open) {
         if t.kind == TokenKind::Punct {
@@ -149,12 +154,39 @@ fn match_bracket(code: &[&Token], open: usize, open_sym: &str, close_sym: &str) 
 }
 
 /// True for `cfg(test)` and `cfg(any(test, ...))`; false for `cfg(not(test))`
-/// and for unrelated attributes.
+/// and for unrelated attributes. Also true for `#[cfg_attr(pred, test)]`
+/// (the *applied* attribute — after the first top-level comma — is `test`),
+/// but not for `#[cfg_attr(test, other_attr)]`, where `test` is only the
+/// predicate and the item compiles unconditionally.
 fn attr_is_cfg_test(attr: &[&Token]) -> bool {
-    let mut has_cfg = false;
+    let is_cfg_attr = attr
+        .first()
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == "cfg_attr");
+    let scan_from = if is_cfg_attr {
+        // Skip past the predicate: find the first `,` at paren depth 1.
+        let mut depth = 0i64;
+        let mut at = attr.len();
+        for (i, t) in attr.iter().enumerate() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "," if depth == 1 => {
+                        at = i + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        at
+    } else {
+        0
+    };
+    let mut has_cfg = is_cfg_attr;
     let mut has_test = false;
     let mut has_not = false;
-    for t in attr {
+    for t in &attr[scan_from.min(attr.len())..] {
         if t.kind == TokenKind::Ident {
             match t.text.as_str() {
                 "cfg" => has_cfg = true,
@@ -400,6 +432,22 @@ mod tests {
 
         // cfg(not(test)) is NOT exempt.
         let src = "#[cfg(not(test))]\nmod imp {\n  fn g() { y.unwrap(); }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_attr_test_scoping() {
+        // `cfg_attr(pred, test)` applies `#[test]` conditionally: exempt.
+        let src = "#[cfg_attr(feature_x, test)]\nfn g() { x.unwrap(); }\n";
+        assert!(
+            run(src).is_empty(),
+            "cfg_attr(..., test) must scope as test"
+        );
+        // `cfg_attr(test, other)` compiles unconditionally: not exempt.
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn g() { x.unwrap(); }\n";
+        assert_eq!(run(src).len(), 1, "test-as-predicate is not test scope");
+        // Raw identifier `r#test` in an unrelated attribute is not `test`.
+        let src = "#[cfg(r#test)]\nfn g() { x.unwrap(); }\n";
         assert_eq!(run(src).len(), 1);
     }
 

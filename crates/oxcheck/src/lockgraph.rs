@@ -1,0 +1,1351 @@
+//! L6 `lock_order`: a workspace-wide static lock-acquisition graph.
+//!
+//! The runtime lockdep in `ox_sim::sync` catches lock-order inversions, but
+//! only on paths a test actually executes. This pass builds the same graph
+//! — nodes are lock *construction sites* (`Mutex::new` / `RwLock::new`
+//! call sites, exactly the class key runtime lockdep uses), edges mean
+//! "held A while blocking-acquiring B" — from the source alone, so ABBA
+//! cycles are caught at CI time on *all* paths. The CI gate additionally
+//! cross-validates the two: every edge the runtime observes must be present
+//! in the static graph (static ⊇ runtime), which keeps the resolver honest.
+//!
+//! Resolution strategy (intraprocedural chains plus a call-graph fixpoint):
+//!
+//! * **Classes** come from `Mutex::new(`/`RwLock::new(` token sites in
+//!   non-`l1_allow` files (those wrap `std::sync` and are the machinery
+//!   itself).
+//! * A construction site is associated with `(Type, field)` when it appears
+//!   in a struct-literal field or tuple-struct argument (directly, or via a
+//!   `let`-bound local, possibly `.clone()`d); field accesses later resolve
+//!   through that map, falling back to an inner-type-keyed map.
+//! * Receiver chains (`self.obs.tracer.span(..)`) are evaluated through
+//!   struct field types, `use`/alias expansion, guard deref
+//!   (`self.0.lock().write(..)` continues as a method on the inner type),
+//!   `Type::method` statics, and `dyn Trait` dispatch via the impl table.
+//! * `try_lock`/`try_read`/`try_write` count as *held* but never add edges
+//!   (the runtime records them the same way).
+//! * Per-function acquisition summaries propagate through the call graph to
+//!   a fixpoint; an edge is emitted from every held class to every class the
+//!   callee may blocking-acquire.
+//!
+//! A blocking `.lock()` whose receiver cannot be resolved to any class is
+//! itself a finding in non-test storage/sim code: an invisible lock is a
+//! hole in the deadlock story. `// oxcheck:allow(lock_order): <why>`
+//! suppresses it.
+
+use crate::lexer::TokenKind;
+use crate::parser::{ident_name, FileModel};
+use crate::{Config, Finding, Lint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A lock construction site: workspace-relative file and 1-based line —
+/// the same key the runtime lockdep's `#[track_caller]` capture produces
+/// (columns dropped on both sides).
+pub type Site = (String, u32);
+
+/// Which wrapper type the class constructs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// `ox_sim::sync::Mutex` (tracked by runtime lockdep).
+    Mutex,
+    /// `ox_sim::sync::RwLock` (static-only; the runtime does not track it).
+    RwLock,
+}
+
+/// One lock class.
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    /// Construction site.
+    pub site: Site,
+    /// Mutex or RwLock.
+    pub kind: LockKind,
+    /// Inner (guarded) type name, when the resolver could determine it.
+    pub inner: Option<String>,
+}
+
+/// The static acquisition graph.
+#[derive(Clone, Debug, Default)]
+pub struct LockGraph {
+    /// Classes, in construction-site order.
+    pub classes: Vec<LockClass>,
+    /// Directed edges (held → acquired) as indices into `classes`.
+    pub edges: BTreeSet<(usize, usize)>,
+}
+
+impl LockGraph {
+    /// Edges as `(site, site)` pairs, sorted — the shape
+    /// `ox_sim::observed_edges()` exports, for the superset diff.
+    pub fn edge_sites(&self) -> Vec<(Site, Site)> {
+        let mut out: Vec<(Site, Site)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| (self.classes[a].site.clone(), self.classes[b].site.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// JSON export (stable ordering) for the CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"site\": \"{}:{}\", \"kind\": \"{}\", \"inner\": {}}}{}\n",
+                crate::report::esc(&c.site.0),
+                c.site.1,
+                match c.kind {
+                    LockKind::Mutex => "mutex",
+                    LockKind::RwLock => "rwlock",
+                },
+                match &c.inner {
+                    Some(t) => format!("\"{}\"", crate::report::esc(t)),
+                    None => "null".to_string(),
+                },
+                if i + 1 < self.classes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"edges\": [\n");
+        for (i, (a, b)) in self.edges.iter().enumerate() {
+            s.push_str(&format!(
+                "    [{}, {}]{}\n",
+                a,
+                b,
+                if i + 1 < self.edges.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// What a name or chain position evaluates to.
+#[derive(Clone, Debug)]
+enum Val {
+    Unknown,
+    /// A value of a named struct/enum type.
+    Ty(String),
+    /// A trait object / `impl Trait` value.
+    Obj(String),
+    /// A lock wrapper.
+    Lock {
+        kind: LockKind,
+        classes: BTreeSet<usize>,
+        inner: Option<String>,
+    },
+}
+
+/// One acquisition or call event, with the classes held at that point.
+#[derive(Clone, Debug)]
+enum Ev {
+    Acq {
+        classes: BTreeSet<usize>,
+        blocking: bool,
+        held: BTreeSet<usize>,
+    },
+    Call {
+        cands: Vec<usize>,
+        held: BTreeSet<usize>,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum GuardScope {
+    /// Statement temporary: dies at the next `;` at its depth.
+    Temp,
+    /// `let`-bound guard: dies at `drop(name)` or scope end.
+    Named(String),
+}
+
+#[derive(Clone, Debug)]
+struct Guard {
+    classes: BTreeSet<usize>,
+    scope: GuardScope,
+    depth: u32,
+}
+
+/// Type-name wrappers looked *through* when finding a type's principal name.
+const WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "Vec", "VecDeque", "Result", "RefCell", "Cell",
+];
+
+/// Builds the graph and the L6 findings from all parsed files.
+pub fn build(models: &[&FileModel], cfg: &Config) -> (LockGraph, Vec<Finding>) {
+    let mut b = Builder::new(models, cfg);
+    b.collect_tables();
+    b.collect_classes();
+    // Two passes: the first populates association tables (which classes
+    // land in which struct fields / inner types) from constructor bodies
+    // that may appear *after* their acquisition sites in scan order; the
+    // second records events with those tables complete.
+    b.scan_all_fns();
+    for e in &mut b.events {
+        e.clear();
+    }
+    b.unresolved.clear();
+    b.scan_all_fns();
+    b.finish()
+}
+
+struct Builder<'a> {
+    models: &'a [&'a FileModel],
+    cfg: &'a Config,
+    /// Per-model flag: `l1_allow` files (the sync wrapper itself) are not
+    /// scanned — their `Mutex::new` is `std::sync`.
+    skip: Vec<bool>,
+    classes: Vec<LockClass>,
+    /// (model index, token index) → class id.
+    site_at: BTreeMap<(usize, usize), usize>,
+    /// Struct name → (model idx, struct idx) definitions (unioned).
+    structs: BTreeMap<String, Vec<(usize, usize)>>,
+    /// (owner-or-empty, fn name) → flat fn ids.
+    fn_table: BTreeMap<(String, String), Vec<usize>>,
+    /// Flat fn id → (model idx, fn idx).
+    fn_list: Vec<(usize, usize)>,
+    /// Trait name → implementing type names.
+    trait_impls: BTreeMap<String, BTreeSet<String>>,
+    /// Alias name → type token list (unioned across files).
+    aliases: BTreeMap<String, Vec<String>>,
+    /// (Type, field) → classes constructed into that field.
+    field_classes: BTreeMap<(String, String), BTreeSet<usize>>,
+    /// Inner type name → classes guarding a value of that type (fallback).
+    inner_classes: BTreeMap<String, BTreeSet<usize>>,
+    /// Events per flat fn id.
+    events: Vec<Vec<Ev>>,
+    /// Unresolved blocking `.lock()` sites: (model idx, line).
+    unresolved: Vec<(usize, u32)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(models: &'a [&'a FileModel], cfg: &'a Config) -> Builder<'a> {
+        let skip = models
+            .iter()
+            .map(|m| cfg.allowed(&cfg.l1_allow, &m.path))
+            .collect();
+        Builder {
+            models,
+            cfg,
+            skip,
+            classes: Vec::new(),
+            site_at: BTreeMap::new(),
+            structs: BTreeMap::new(),
+            fn_table: BTreeMap::new(),
+            fn_list: Vec::new(),
+            trait_impls: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+            field_classes: BTreeMap::new(),
+            inner_classes: BTreeMap::new(),
+            events: Vec::new(),
+            unresolved: Vec::new(),
+        }
+    }
+
+    fn collect_tables(&mut self) {
+        for (mi, m) in self.models.iter().enumerate() {
+            for (si, s) in m.structs.iter().enumerate() {
+                self.structs
+                    .entry(s.name.clone())
+                    .or_default()
+                    .push((mi, si));
+            }
+            for a in &m.aliases {
+                self.aliases.insert(a.name.clone(), a.ty.clone());
+            }
+            for (fi, f) in m.fns.iter().enumerate() {
+                let id = self.fn_list.len();
+                self.fn_list.push((mi, fi));
+                self.events.push(Vec::new());
+                let owner = f.owner.clone().unwrap_or_default();
+                self.fn_table
+                    .entry((owner, f.name.clone()))
+                    .or_default()
+                    .push(id);
+                if let (Some(tr), Some(ow)) = (&f.trait_name, &f.owner) {
+                    self.trait_impls
+                        .entry(tr.clone())
+                        .or_default()
+                        .insert(ow.clone());
+                }
+            }
+        }
+    }
+
+    /// Registers every `Mutex::new(` / `RwLock::new(` token site as a class
+    /// (one per file:line, matching the runtime's line-granular key).
+    fn collect_classes(&mut self) {
+        let mut by_site: BTreeMap<Site, usize> = BTreeMap::new();
+        for (mi, m) in self.models.iter().enumerate() {
+            if self.skip[mi] {
+                continue;
+            }
+            for i in 0..m.tokens.len() {
+                let t = &m.tokens[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let kind = match ident_name(&t.text) {
+                    "Mutex" => LockKind::Mutex,
+                    "RwLock" => LockKind::RwLock,
+                    _ => continue,
+                };
+                if !(tok_is(m, i + 1, ":")
+                    && tok_is(m, i + 2, ":")
+                    && m.tokens.get(i + 3).is_some_and(|t| t.text == "new")
+                    && tok_is(m, i + 4, "("))
+                {
+                    continue;
+                }
+                let site = (m.path.clone(), t.line);
+                let id = *by_site.entry(site.clone()).or_insert_with(|| {
+                    self.classes.push(LockClass {
+                        site,
+                        kind,
+                        inner: None,
+                    });
+                    self.classes.len() - 1
+                });
+                self.site_at.insert((mi, i), id);
+            }
+        }
+    }
+
+    fn finish(mut self) -> (LockGraph, Vec<Finding>) {
+        // Fixpoint: summary[f] = classes fn f may blocking-acquire,
+        // transitively through calls.
+        let mut summaries: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.fn_list.len()];
+        loop {
+            let mut changed = false;
+            for f in 0..self.fn_list.len() {
+                let mut s = summaries[f].clone();
+                for ev in &self.events[f] {
+                    match ev {
+                        Ev::Acq {
+                            classes, blocking, ..
+                        } if *blocking => s.extend(classes.iter().copied()),
+                        Ev::Call { cands, .. } => {
+                            for &c in cands {
+                                s.extend(summaries[c].iter().copied());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if s.len() != summaries[f].len() {
+                    summaries[f] = s;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Edge emission: held × (direct classes or callee summary).
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for f in 0..self.fn_list.len() {
+            for ev in &self.events[f] {
+                let (held, acquired): (&BTreeSet<usize>, BTreeSet<usize>) = match ev {
+                    Ev::Acq {
+                        classes,
+                        blocking: true,
+                        held,
+                        ..
+                    } => (held, classes.clone()),
+                    Ev::Call { cands, held } => {
+                        let mut s = BTreeSet::new();
+                        for &c in cands {
+                            s.extend(summaries[c].iter().copied());
+                        }
+                        (held, s)
+                    }
+                    _ => continue,
+                };
+                for &h in held {
+                    for &c in &acquired {
+                        if h != c {
+                            edges.insert((h, c));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut findings = Vec::new();
+
+        // Cycle detection over the class graph (self-edges already skipped,
+        // matching the runtime's reentrancy rule).
+        for scc in sccs(self.classes.len(), &edges) {
+            if scc.len() < 2 {
+                continue;
+            }
+            let sites: Vec<String> = scc
+                .iter()
+                .map(|&c| format!("{}:{}", self.classes[c].site.0, self.classes[c].site.1))
+                .collect();
+            let first = &self.classes[scc[0]];
+            findings.push(Finding::new(
+                &first.site.0,
+                first.site.1,
+                Lint::LockOrder,
+                format!(
+                    "lock classes {{{}}} form an acquisition-order cycle; some \
+                     interleaving deadlocks (runtime lockdep would panic on \
+                     the first inverted pair)",
+                    sites.join(", ")
+                ),
+            ));
+        }
+
+        // Unresolved blocking locks in non-test storage/sim code.
+        for (mi, line) in std::mem::take(&mut self.unresolved) {
+            let m = self.models[mi];
+            if m.in_test(line) || m.in_macro(line) || !self.cfg.l5_in_scope(&m.path) {
+                continue;
+            }
+            findings.push(Finding::new(
+                &m.path,
+                line,
+                Lint::LockOrder,
+                "blocking `.lock()` whose class the static analyzer cannot \
+                 resolve to a construction site; name the lock through a \
+                 typed binding/field, or justify with \
+                 `// oxcheck:allow(lock_order): <why>`"
+                    .to_string(),
+            ));
+        }
+
+        (
+            LockGraph {
+                classes: self.classes,
+                edges,
+            },
+            findings,
+        )
+    }
+}
+
+impl Builder<'_> {
+    /// A `Mutex::new(` / `RwLock::new(` site reached during a body scan:
+    /// types the current `let` binding (if any) as a lock local, and
+    /// records the guarded inner type.
+    fn associate_construction(
+        &mut self,
+        _f: usize,
+        mi: usize,
+        mutex_tok: usize,
+        close: usize,
+        st: &mut BodyScan,
+    ) {
+        let Some(&id) = self.site_at.get(&(mi, mutex_tok)) else {
+            return;
+        };
+        let m = self.models[mi];
+        let kind = self.classes[id].kind;
+        // Inner type: prefer the `let` annotation, fall back to the first
+        // argument (`Mutex::new(dev)` → type of `dev`;
+        // `Mutex::new(Inner { … })` → `Inner`).
+        let mut inner =
+            st.cur_let
+                .as_ref()
+                .and_then(|(_, ann)| match self.val_of_ty(mi, ann, None) {
+                    Val::Lock { inner, .. } => inner,
+                    _ => None,
+                });
+        if inner.is_none() {
+            if let Some(arg) = tok_ident(m, mutex_tok + 5) {
+                inner = match st.locals.get(arg) {
+                    Some(Val::Ty(t)) => Some(t.clone()),
+                    Some(_) => None,
+                    None if arg.chars().next().is_some_and(char::is_uppercase) => {
+                        Some(arg.to_string())
+                    }
+                    None => None,
+                };
+            }
+        }
+        if let Some(inner) = &inner {
+            self.classes[id].inner.get_or_insert_with(|| inner.clone());
+            self.inner_classes
+                .entry(inner.clone())
+                .or_default()
+                .insert(id);
+        }
+        if let Some((name, _)) = &st.cur_let {
+            let name = name.clone();
+            if !st.let_bound {
+                st.locals.insert(
+                    name,
+                    Val::Lock {
+                        kind,
+                        classes: [id].into_iter().collect(),
+                        inner,
+                    },
+                );
+                st.let_bound = true;
+            } else if let Some(Val::Lock { classes, .. }) = st.locals.get_mut(&name) {
+                // Second construction in the same statement (tuple `let`):
+                // the binding may guard either class.
+                classes.insert(id);
+            }
+        }
+        let _ = close;
+    }
+
+    /// `Type { field: expr, … }` / `Self { … }`: maps lock constructions
+    /// (direct, or via a classed local possibly `.clone()`d) to
+    /// `(Type, field)`.
+    fn struct_literal(&mut self, f: usize, mi: usize, i: usize, close: usize, st: &mut BodyScan) {
+        let m = self.models[mi];
+        let ty = match tok_ident(m, i) {
+            Some("Self") => match self.owner_of(f) {
+                Some(o) => o,
+                None => return,
+            },
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        let open = i + 1;
+        let body_close = match_brace(m, open, close);
+        let mut k = open + 1;
+        while k < body_close {
+            let is_field =
+                tok_ident(m, k).is_some() && tok_is(m, k + 1, ":") && !tok_is(m, k + 2, ":");
+            if !is_field {
+                k += 1;
+                continue;
+            }
+            let fname = tok_ident(m, k).unwrap().to_string();
+            // Field expr: tokens after `:` up to the next top-level `,`.
+            let start = k + 2;
+            let mut depth = 0i64;
+            let mut end = start;
+            while end < body_close {
+                let t = &m.tokens[end];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                end += 1;
+            }
+            self.associate_expr(mi, &ty, &fname, start, end, st);
+            k = end + 1;
+        }
+        if let Some((name, _)) = &st.cur_let {
+            if !st.let_bound {
+                st.locals.insert(name.clone(), Val::Ty(ty));
+                st.let_bound = true;
+            }
+        }
+    }
+
+    /// `Type(args)` / `Self(args)` tuple-struct construction: maps lock
+    /// constructions to `(Type, "0")`, `(Type, "1")`, …
+    fn tuple_construction(
+        &mut self,
+        f: usize,
+        mi: usize,
+        i: usize,
+        close_paren: usize,
+        st: &mut BodyScan,
+    ) {
+        let m = self.models[mi];
+        let ty = match tok_ident(m, i) {
+            Some("Self") => match self.owner_of(f) {
+                Some(o) => o,
+                None => return,
+            },
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        if !self.is_tuple_struct(&ty) {
+            return;
+        }
+        let mut idx = 0usize;
+        let mut start = i + 2;
+        let mut depth = 0i64;
+        let mut k = start;
+        while k <= close_paren {
+            let at_end = k == close_paren;
+            let t = &m.tokens[k];
+            if t.kind == TokenKind::Punct && !at_end {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if at_end || (t.text == "," && t.kind == TokenKind::Punct && depth <= 0) {
+                self.associate_expr(mi, &ty, &idx.to_string(), start, k, st);
+                idx += 1;
+                start = k + 1;
+            }
+            k += 1;
+        }
+        if let Some((name, _)) = &st.cur_let {
+            if !st.let_bound {
+                st.locals.insert(name.clone(), Val::Ty(ty));
+                st.let_bound = true;
+            }
+        }
+    }
+
+    /// Associates one field-expression token range with `(ty, field)`:
+    /// direct `Mutex::new` sites in the range, or a classed local
+    /// (`name` / `name.clone()`).
+    fn associate_expr(
+        &mut self,
+        mi: usize,
+        ty: &str,
+        field: &str,
+        start: usize,
+        end: usize,
+        st: &BodyScan,
+    ) {
+        let mut ids: BTreeSet<usize> = BTreeSet::new();
+        for k in start..end {
+            if let Some(&id) = self.site_at.get(&(mi, k)) {
+                ids.insert(id);
+            }
+        }
+        if ids.is_empty() {
+            if let Some(name) = tok_ident(self.models[mi], start) {
+                if let Some(Val::Lock { classes, .. }) = st.locals.get(name) {
+                    ids = classes.clone();
+                }
+            }
+        }
+        if ids.is_empty() {
+            return;
+        }
+        // The field's declared type names the guarded inner type.
+        if let Val::Lock {
+            inner: Some(inner), ..
+        } = self.field_val(&Val::Ty(ty.to_string()), field)
+        {
+            for &id in &ids {
+                self.classes[id].inner.get_or_insert_with(|| inner.clone());
+                self.inner_classes
+                    .entry(inner.clone())
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        self.field_classes
+            .entry((ty.to_string(), field.to_string()))
+            .or_default()
+            .extend(ids);
+    }
+}
+
+/// Token index of the binding `=` of a `let` starting at token `i`
+/// (angle-depth aware, so const-generic annotations don't confuse it).
+fn find_let_eq(m: &FileModel, i: usize, close: usize) -> Option<usize> {
+    let mut angle = 0i64;
+    let mut j = i + 1;
+    while j < close {
+        let t = &m.tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "=" if angle <= 0 => return Some(j),
+                ";" => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `let [mut] name [: Ty] = …` starting at the `let` token: binding name
+/// (last pattern ident) and annotation tokens.
+fn let_name(m: &FileModel, i: usize, close: usize) -> Option<(String, Vec<String>)> {
+    let mut name = None;
+    let mut j = i + 1;
+    while j < close && !tok_is(m, j, "=") && !tok_is(m, j, ";") {
+        if tok_is(m, j, ":") && !tok_is(m, j + 1, ":") {
+            // Annotation up to the `=`.
+            let mut ann = Vec::new();
+            let mut k = j + 1;
+            let mut angle = 0i64;
+            while k < close {
+                let t = &m.tokens[k];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "=" if angle <= 0 => break,
+                        ";" => break,
+                        _ => {}
+                    }
+                }
+                ann.push(t.text.clone());
+                k += 1;
+            }
+            return name.map(|n| (n, ann));
+        }
+        if let Some(id) = tok_ident(m, j) {
+            if id != "mut" && id != "ref" {
+                name = Some(id.to_string());
+            }
+        }
+        j += 1;
+    }
+    name.map(|n| (n, Vec::new()))
+}
+
+fn match_brace(m: &FileModel, open: usize, close: usize) -> usize {
+    match_pair(m, open, close, "{", "}")
+}
+
+fn match_paren(m: &FileModel, open: usize, close: usize) -> usize {
+    match_pair(m, open, close, "(", ")")
+}
+
+fn match_square(m: &FileModel, open: usize, close: usize) -> usize {
+    match_pair(m, open, close, "[", "]")
+}
+
+fn match_pair(m: &FileModel, open: usize, close: usize, a: &str, b: &str) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i <= close && i < m.tokens.len() {
+        let t = &m.tokens[i];
+        if t.kind == TokenKind::Punct {
+            if t.text == a {
+                depth += 1;
+            } else if t.text == b {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        i += 1;
+    }
+    close
+}
+
+/// Skips past a `<…>` group starting at `open` (pointing at `<`), returning
+/// the index after the matching `>`.
+fn skip_angles(m: &FileModel, open: usize, close: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i <= close && i < m.tokens.len() {
+        let t = &m.tokens[i];
+        if t.kind == TokenKind::Punct {
+            if t.text == "<" {
+                depth += 1;
+            } else if t.text == ">" {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    close
+}
+
+/// Keywords that can never start a receiver chain.
+const NON_CHAIN_KEYWORDS: &[&str] = &[
+    "let", "if", "else", "match", "for", "while", "loop", "return", "break", "continue", "in",
+    "as", "move", "ref", "mut", "pub", "fn", "struct", "enum", "impl", "use", "mod", "where",
+    "unsafe", "dyn", "await", "async", "const", "static", "type", "trait", "crate", "super",
+];
+
+/// Per-body scan state.
+struct BodyScan {
+    locals: BTreeMap<String, Val>,
+    held: Vec<Guard>,
+    /// (emit-at token index, call candidates) — calls fire once the scan
+    /// passes their argument list, so argument-evaluated acquisitions are
+    /// already in the held set (Rust evaluates receiver, then args, then
+    /// the call).
+    pending: Vec<(usize, Vec<usize>)>,
+    /// Active `let` binding (name, annotation tokens) for guard naming and
+    /// construction typing.
+    cur_let: Option<(String, Vec<String>)>,
+    /// Whether the active `let` has already been bound to a value. The
+    /// first binder in token order is the outermost expression
+    /// (`Arc::new(Mutex::new(Sink { … }))` binds at `Mutex`, not `Sink`;
+    /// `Sink { m: Mutex::new(x) }` binds at `Sink`) and must win.
+    let_bound: bool,
+    /// Token index of the active `let`'s `=`, so a chain evaluation knows
+    /// whether it *is* the bound expression (starts at `=` + 1) — only then
+    /// may its result type the binding (`let g = self.m.lock();` makes `g`
+    /// the guarded inner type so later `g.method()` calls dispatch).
+    let_eq: Option<usize>,
+    depth: u32,
+}
+
+impl BodyScan {
+    fn held_classes(&self) -> BTreeSet<usize> {
+        self.held
+            .iter()
+            .flat_map(|g| g.classes.iter().copied())
+            .collect()
+    }
+}
+
+impl Builder<'_> {
+    fn scan_all_fns(&mut self) {
+        for f in 0..self.fn_list.len() {
+            let (mi, fi) = self.fn_list[f];
+            if self.skip[mi] {
+                continue;
+            }
+            self.scan_fn(f, mi, fi);
+        }
+    }
+
+    fn scan_fn(&mut self, f: usize, mi: usize, fi: usize) {
+        let m = self.models[mi];
+        let fun = &m.fns[fi];
+        let Some((open, close)) = fun.body else {
+            return;
+        };
+        let mut st = BodyScan {
+            locals: BTreeMap::new(),
+            held: Vec::new(),
+            pending: Vec::new(),
+            cur_let: None,
+            let_bound: false,
+            let_eq: None,
+            depth: 0,
+        };
+        if let Some(owner) = &fun.owner {
+            if fun.has_self {
+                st.locals.insert("self".to_string(), Val::Ty(owner.clone()));
+            }
+        }
+        for (name, ty) in &fun.params {
+            let v = self.val_of_ty(mi, ty, None);
+            st.locals.insert(name.clone(), v);
+        }
+
+        let mut i = open;
+        while i <= close {
+            // Deferred call events fire once their argument list is passed.
+            while let Some(pos) = st.pending.iter().position(|(at, _)| *at <= i) {
+                let (_, cands) = st.pending.remove(pos);
+                let held = st.held_classes();
+                self.events[f].push(Ev::Call { cands, held });
+            }
+            let Some(t) = m.tokens.get(i) else { break };
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{") => st.depth += 1,
+                (TokenKind::Punct, "}") => {
+                    st.depth = st.depth.saturating_sub(1);
+                    st.held.retain(|g| g.depth <= st.depth);
+                }
+                (TokenKind::Punct, ";") => {
+                    let d = st.depth;
+                    st.held
+                        .retain(|g| !(matches!(g.scope, GuardScope::Temp) && g.depth >= d));
+                    st.cur_let = None;
+                    st.let_bound = false;
+                    st.let_eq = None;
+                }
+                (TokenKind::Ident, "let") => {
+                    st.cur_let = let_name(m, i, close);
+                    st.let_bound = false;
+                    st.let_eq = find_let_eq(m, i, close);
+                }
+                (TokenKind::Ident, _) => {
+                    // Mid-chain and path-interior idents are handled by the
+                    // chain evaluator when it starts at the chain head.
+                    let prev_dot = tok_is(m, i.wrapping_sub(1), ".");
+                    let prev_path =
+                        tok_is(m, i.wrapping_sub(1), ":") && tok_is(m, i.wrapping_sub(2), ":");
+                    let name = ident_name(&t.text);
+                    if !prev_dot && !prev_path && !NON_CHAIN_KEYWORDS.contains(&name) {
+                        self.eval_chain(f, mi, i, close, &mut st);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Evaluates one receiver chain starting at token `i` (side effects
+    /// only; the main loop still advances token-by-token so nested chains
+    /// in argument lists get their own evaluation).
+    fn eval_chain(&mut self, f: usize, mi: usize, i: usize, close: usize, st: &mut BodyScan) {
+        let m = self.models[mi];
+        let name = match tok_ident(m, i) {
+            Some(n) => n.to_string(),
+            None => return,
+        };
+
+        // `drop(g)` releases a named guard.
+        if name == "drop" && tok_is(m, i + 1, "(") {
+            if let Some(g) = tok_ident(m, i + 2) {
+                if tok_is(m, i + 3, ")") {
+                    let g = g.to_string();
+                    st.held
+                        .retain(|gd| !matches!(&gd.scope, GuardScope::Named(n) if *n == g));
+                    return;
+                }
+            }
+        }
+
+        let (mut cur, mut j);
+        if name == "self" && !tok_is(m, i + 1, ":") {
+            cur = st.locals.get("self").cloned().unwrap_or(Val::Unknown);
+            j = i + 1;
+        } else if tok_is(m, i + 1, ":") && tok_is(m, i + 2, ":") {
+            // Path: `A::B::method(..)` or a plain path expression.
+            let mut segs = vec![name.clone()];
+            let mut k = i + 1;
+            while tok_is(m, k, ":") && tok_is(m, k + 1, ":") {
+                match tok_ident(m, k + 2) {
+                    Some(s) => {
+                        segs.push(s.to_string());
+                        k += 3;
+                    }
+                    None => break,
+                }
+            }
+            if tok_is(m, k, "(") && segs.len() >= 2 {
+                let method = segs[segs.len() - 1].clone();
+                let mut ty = segs[segs.len() - 2].clone();
+                if ty == "Self" {
+                    if let Some(owner) = self.owner_of(f) {
+                        ty = owner;
+                    }
+                }
+                // `Mutex::new(..)` / `RwLock::new(..)` is a construction,
+                // not a call — handled by the let/field association below.
+                if (ty == "Mutex" || ty == "RwLock") && method == "new" {
+                    self.associate_construction(f, mi, i + (segs.len() - 2) * 3, close, st);
+                    return;
+                }
+                let close_paren = match_paren(m, k, close);
+                let cands = self.candidates(&ty, &method);
+                if !cands.is_empty() {
+                    st.pending.push((close_paren + 1, cands.clone()));
+                    cur = self.ret_val(&cands, &ty);
+                } else {
+                    cur = Val::Unknown;
+                }
+                j = close_paren + 1;
+            } else {
+                return; // enum variant path etc.
+            }
+        } else if let Some(v) = st.locals.get(&name) {
+            cur = v.clone();
+            j = i + 1;
+        } else if tok_is(m, i + 1, "(") {
+            let close_paren = match_paren(m, i + 1, close);
+            let cands = self.candidates("", &name);
+            if !cands.is_empty() {
+                st.pending.push((close_paren + 1, cands.clone()));
+                cur = self.ret_val(&cands, "");
+                j = close_paren + 1;
+            } else if self.is_tuple_struct(&name) || name == "Self" {
+                self.tuple_construction(f, mi, i, close_paren, st);
+                return;
+            } else {
+                return;
+            }
+        } else if tok_is(m, i + 1, "{") && (name == "Self" || self.structs.contains_key(&name)) {
+            self.struct_literal(f, mi, i, close, st);
+            return;
+        } else {
+            return;
+        }
+
+        // Spine walk: fields, tuple indices, method calls, indexing.
+        loop {
+            if tok_is(m, j, "[") {
+                j = match_square(m, j, close) + 1;
+                continue;
+            }
+            if tok_is(m, j, "?") {
+                j += 1;
+                continue;
+            }
+            if !tok_is(m, j, ".") {
+                break;
+            }
+            let Some(t) = m.tokens.get(j + 1) else { break };
+            match t.kind {
+                TokenKind::Num => {
+                    cur = self.field_val(&cur, &t.text);
+                    j += 2;
+                }
+                TokenKind::Ident => {
+                    let meth = ident_name(&t.text).to_string();
+                    // Turbofish between name and args.
+                    let mut args = j + 2;
+                    if tok_is(m, args, ":") && tok_is(m, args + 1, ":") && tok_is(m, args + 2, "<")
+                    {
+                        args = skip_angles(m, args + 2, close);
+                    }
+                    if tok_is(m, args, "(") {
+                        let close_paren = match_paren(m, args, close);
+                        cur = self.method_call(
+                            f,
+                            mi,
+                            &cur,
+                            &meth,
+                            m.tokens[j + 1].line,
+                            close_paren,
+                            close,
+                            st,
+                        );
+                        j = close_paren + 1;
+                    } else {
+                        cur = self.field_val(&cur, &meth);
+                        j += 2;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // This chain is the `let`'s bound expression: its result types the
+        // binding. (`let g = self.m.lock();` → `g` is the inner type, so
+        // later `g.method()` dispatches; `let d = Device::new(..)` → `d`
+        // is a `Device`.) Nested chains (arguments) start past `=` + 1 and
+        // never bind.
+        if st.let_eq == Some(i.wrapping_sub(1)) && !st.let_bound {
+            if let Some((name, _)) = &st.cur_let {
+                if !matches!(cur, Val::Unknown) {
+                    st.locals.insert(name.clone(), cur);
+                    st.let_bound = true;
+                }
+            }
+        }
+    }
+
+    fn owner_of(&self, f: usize) -> Option<String> {
+        let (mi, fi) = self.fn_list[f];
+        self.models[mi].fns[fi].owner.clone()
+    }
+
+    fn candidates(&self, owner: &str, name: &str) -> Vec<usize> {
+        self.fn_table
+            .get(&(owner.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn is_tuple_struct(&self, name: &str) -> bool {
+        self.structs.get(name).is_some_and(|defs| {
+            defs.iter().any(|&(mi, si)| {
+                self.models[mi].structs[si]
+                    .fields
+                    .first()
+                    .is_some_and(|fd| fd.name == "0")
+            })
+        })
+    }
+
+    /// Result type of a call: `-> Self`-style constructors give the owner
+    /// type; otherwise the declared return type's principal.
+    fn ret_val(&self, cands: &[usize], ty: &str) -> Val {
+        let Some(&c) = cands.first() else {
+            return Val::Unknown;
+        };
+        let (mi, fi) = self.fn_list[c];
+        let fun = &self.models[mi].fns[fi];
+        let owner = fun.owner.clone().unwrap_or_else(|| ty.to_string());
+        if fun.ret.iter().any(|t| t == "Self" || *t == owner) && !owner.is_empty() {
+            return Val::Ty(owner);
+        }
+        self.val_of_ty(mi, &fun.ret, None)
+    }
+
+    /// Evaluates a type token list to a [`Val`]. `field_ctx` is the
+    /// `(Type, field)` this type belongs to, for class-set lookup.
+    fn val_of_ty(&self, _mi: usize, ty: &[String], field_ctx: Option<(&str, &str)>) -> Val {
+        // Alias expansion (`SharedCluster` → `Arc<Mutex<ShardCluster>>`).
+        let mut toks: Vec<String> = ty.to_vec();
+        for _ in 0..3 {
+            let mut expanded = Vec::new();
+            let mut changed = false;
+            for t in &toks {
+                match self.aliases.get(t) {
+                    Some(rhs) if !rhs.contains(t) => {
+                        expanded.extend(rhs.iter().cloned());
+                        changed = true;
+                    }
+                    _ => expanded.push(t.clone()),
+                }
+            }
+            toks = expanded;
+            if !changed {
+                break;
+            }
+        }
+        let mut obj = false;
+        let mut k = 0usize;
+        while k < toks.len() {
+            let t = toks[k].as_str();
+            let t = ident_name(t);
+            if t == "dyn" || t == "impl" {
+                obj = true;
+                k += 1;
+                continue;
+            }
+            let is_ident = t
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_');
+            if !is_ident {
+                k += 1;
+                continue;
+            }
+            // Skip path prefixes: `ox_sim :: sync :: Mutex`.
+            if toks.get(k + 1).is_some_and(|s| s == ":")
+                && toks.get(k + 2).is_some_and(|s| s == ":")
+            {
+                k += 3;
+                continue;
+            }
+            if WRAPPERS.contains(&t) && toks.get(k + 1).is_some_and(|s| s == "<") {
+                k += 2;
+                continue;
+            }
+            let kind = match t {
+                "Mutex" => Some(LockKind::Mutex),
+                "RwLock" => Some(LockKind::RwLock),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let inner = match self.val_of_ty(_mi, &toks[(k + 2).min(toks.len())..], None) {
+                    Val::Ty(n) | Val::Obj(n) => Some(n),
+                    _ => None,
+                };
+                let mut classes = field_ctx
+                    .and_then(|(ty_name, field)| {
+                        self.field_classes
+                            .get(&(ty_name.to_string(), field.to_string()))
+                            .cloned()
+                    })
+                    .unwrap_or_default();
+                if classes.is_empty() {
+                    if let Some(inner) = &inner {
+                        if let Some(set) = self.inner_classes.get(inner) {
+                            classes = set.clone();
+                        }
+                    }
+                }
+                return Val::Lock {
+                    kind,
+                    classes,
+                    inner,
+                };
+            }
+            if t.chars().next().is_some_and(char::is_uppercase) {
+                return if obj {
+                    Val::Obj(t.to_string())
+                } else {
+                    Val::Ty(t.to_string())
+                };
+            }
+            // Lowercase idents are lifetimes/primitives/`mut` — skip.
+            k += 1;
+        }
+        Val::Unknown
+    }
+
+    /// Resolves `cur.fname` through the workspace struct table.
+    fn field_val(&self, cur: &Val, fname: &str) -> Val {
+        let Val::Ty(ty) = cur else {
+            return Val::Unknown;
+        };
+        let Some(defs) = self.structs.get(ty) else {
+            return Val::Unknown;
+        };
+        for &(mi, si) in defs {
+            let s = &self.models[mi].structs[si];
+            if let Some(fd) = s.fields.iter().find(|fd| fd.name == fname) {
+                return self.val_of_ty(mi, &fd.ty, Some((ty, fname)));
+            }
+        }
+        Val::Unknown
+    }
+
+    /// Handles `cur.meth(args)` — acquisitions, guard-deref, and dispatch.
+    #[allow(clippy::too_many_arguments)]
+    fn method_call(
+        &mut self,
+        f: usize,
+        mi: usize,
+        cur: &Val,
+        meth: &str,
+        line: u32,
+        close_paren: usize,
+        _close: usize,
+        st: &mut BodyScan,
+    ) -> Val {
+        let m = self.models[mi];
+        match cur {
+            Val::Lock {
+                kind,
+                classes,
+                inner,
+            } => {
+                let acq = match (kind, meth) {
+                    (LockKind::Mutex, "lock") => Some(true),
+                    (LockKind::Mutex, "try_lock") => Some(false),
+                    (LockKind::RwLock, "read" | "write") => Some(true),
+                    (LockKind::RwLock, "try_read" | "try_write") => Some(false),
+                    _ => None,
+                };
+                match acq {
+                    Some(blocking) => {
+                        if blocking && classes.is_empty() {
+                            self.unresolved.push((mi, line));
+                        }
+                        let held = st.held_classes();
+                        self.events[f].push(Ev::Acq {
+                            classes: classes.clone(),
+                            blocking,
+                            held,
+                        });
+                        // Guard scope: `let g = m.lock();` outlives the
+                        // statement; a mid-chain guard is a temporary.
+                        let chain_ends = !tok_is(m, close_paren + 1, ".")
+                            && !tok_is(m, close_paren + 1, "[")
+                            && !tok_is(m, close_paren + 1, "?");
+                        let scope = match (&st.cur_let, chain_ends) {
+                            (Some((name, _)), true) => GuardScope::Named(name.clone()),
+                            _ => GuardScope::Temp,
+                        };
+                        st.held.push(Guard {
+                            classes: classes.clone(),
+                            scope,
+                            depth: st.depth,
+                        });
+                        inner.clone().map(Val::Ty).unwrap_or(Val::Unknown)
+                    }
+                    None if meth == "get_mut" || meth == "into_inner" => {
+                        inner.clone().map(Val::Ty).unwrap_or(Val::Unknown)
+                    }
+                    None => Val::Unknown,
+                }
+            }
+            Val::Ty(ty) => {
+                let cands = self.candidates(ty, meth);
+                if !cands.is_empty() {
+                    st.pending.push((close_paren + 1, cands.clone()));
+                    return self.ret_val(&cands, ty);
+                }
+                if meth == "lock" || meth == "try_lock" {
+                    self.unresolved_acq(f, mi, meth, line, st);
+                }
+                Val::Unknown
+            }
+            Val::Obj(tr) => {
+                let mut cands = self.candidates(tr, meth);
+                if let Some(types) = self.trait_impls.get(tr) {
+                    for ty in types {
+                        cands.extend(self.candidates(ty, meth));
+                    }
+                }
+                if !cands.is_empty() {
+                    st.pending.push((close_paren + 1, cands));
+                }
+                Val::Unknown
+            }
+            Val::Unknown => {
+                if meth == "lock" || meth == "try_lock" {
+                    self.unresolved_acq(f, mi, meth, line, st);
+                }
+                Val::Unknown
+            }
+        }
+    }
+
+    fn unresolved_acq(&mut self, f: usize, mi: usize, meth: &str, line: u32, st: &mut BodyScan) {
+        let blocking = meth == "lock";
+        if blocking {
+            self.unresolved.push((mi, line));
+        }
+        let held = st.held_classes();
+        self.events[f].push(Ev::Acq {
+            classes: BTreeSet::new(),
+            blocking,
+            held,
+        });
+    }
+}
+
+fn tok_is(m: &FileModel, i: usize, s: &str) -> bool {
+    m.tokens.get(i).is_some_and(|t| t.text == s)
+}
+
+fn tok_ident(m: &FileModel, i: usize) -> Option<&str> {
+    m.tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| ident_name(&t.text))
+}
+
+/// Strongly connected components (iterative Tarjan), returned as sorted
+/// node lists.
+fn sccs(n: usize, edges: &BTreeSet<(usize, usize)>) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out = Vec::new();
+    // Explicit DFS stack: (node, child cursor).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *cursor < adj[v].len() {
+                let w = adj[v][*cursor];
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+                dfs.pop();
+                if let Some(&mut (p, _)) = dfs.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}

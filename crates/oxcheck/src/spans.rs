@@ -1,0 +1,295 @@
+//! L7 `span_discipline`: every trace span opened must be closed on all
+//! paths.
+//!
+//! `Tracer::begin` returns a `SpanId` that only `Tracer::end` (or span-id
+//! escape — returning it / passing it onward) balances. An early `?` or
+//! `return` between the two leaves a dangling `Begin` event, which skews
+//! span accounting in the observability JSON and makes latency figures
+//! silently wrong. The paired forms are safe by construction:
+//! `Tracer::span` (begin+end in one call) and `Tracer::guard` (RAII; the
+//! guard's `Drop` closes the span).
+//!
+//! For every `.begin(` call in non-test storage-crate code this pass
+//! requires one of:
+//!
+//! * the returned id is bound and `.end(… id …)` is reached with no `?` or
+//!   `return` between binding and close,
+//! * the id escapes the function (argument to another call, or returned),
+//! * `// oxcheck:allow(span_discipline): <why>` explains the exception.
+//!
+//! The remedy for flagged sites is `Tracer::guard`.
+
+use crate::lexer::TokenKind;
+use crate::parser::{ident_name, FileModel};
+use crate::{Finding, Lint};
+
+/// Runs L7 over one parsed file.
+pub fn lint_span_discipline(model: &FileModel, out: &mut Vec<Finding>) {
+    for f in &model.fns {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        scan_body(model, open, close, out);
+    }
+}
+
+fn tok_is(m: &FileModel, i: usize, s: &str) -> bool {
+    m.tokens.get(i).is_some_and(|t| t.text == s)
+}
+
+fn tok_ident(m: &FileModel, i: usize) -> Option<&str> {
+    m.tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| ident_name(&t.text))
+}
+
+fn scan_body(m: &FileModel, open: usize, close: usize, out: &mut Vec<Finding>) {
+    let mut i = open + 1;
+    while i < close {
+        let is_begin = tok_ident(m, i) == Some("begin")
+            && tok_is(m, i.wrapping_sub(1), ".")
+            && tok_is(m, i + 1, "(");
+        if !is_begin {
+            i += 1;
+            continue;
+        }
+        let line = m.tokens[i].line;
+        if m.in_test(line) || m.in_macro(line) {
+            i += 1;
+            continue;
+        }
+        check_begin(m, i, open, close, line, out);
+        i += 1;
+    }
+}
+
+fn check_begin(
+    m: &FileModel,
+    begin_at: usize,
+    body_open: usize,
+    body_close: usize,
+    line: u32,
+    out: &mut Vec<Finding>,
+) {
+    // Statement start: previous `;`, `{` or `}`.
+    let mut s = begin_at;
+    while s > body_open {
+        let t = &m.tokens[s - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        s -= 1;
+    }
+
+    // Binding name, if the statement is a `let`.
+    let mut name: Option<String> = None;
+    if tok_is(m, s, "let") {
+        let mut j = s + 1;
+        while j < begin_at && !tok_is(m, j, "=") {
+            if tok_is(m, j, ":") && !tok_is(m, j + 1, ":") {
+                break;
+            }
+            if let Some(id) = tok_ident(m, j) {
+                if id != "mut" && id != "ref" {
+                    name = Some(id.to_string());
+                }
+            }
+            j += 1;
+        }
+    }
+
+    let Some(name) = name else {
+        // Unbound: exempt when the begin call is itself an argument (the id
+        // escapes into the callee); flag a plainly discarded id.
+        let mut depth = 0i64;
+        for k in s..begin_at {
+            let t = &m.tokens[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    _ => {}
+                }
+            }
+        }
+        if depth <= 0 {
+            out.push(finding(
+                m,
+                line,
+                "`Tracer::begin` result discarded — the span can never be \
+                 closed",
+            ));
+        }
+        return;
+    };
+
+    // End of the binding statement.
+    let mut stmt_end = begin_at;
+    let mut depth = 0i64;
+    while stmt_end < body_close {
+        let t = &m.tokens[stmt_end];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        stmt_end += 1;
+    }
+
+    // First later use of the id: inside `.end(…)` closes it; any other use
+    // (call argument, return value) escapes it.
+    let mut k = stmt_end;
+    while k < body_close {
+        if tok_ident(m, k) == Some(name.as_str()) {
+            if let Some(end_tok) = enclosing_end_call(m, k, stmt_end) {
+                // Closed — but an early exit between open and close leaks.
+                for e in stmt_end..end_tok {
+                    let t = &m.tokens[e];
+                    let early = (t.kind == TokenKind::Punct && t.text == "?")
+                        || (t.kind == TokenKind::Ident && t.text == "return");
+                    if early {
+                        out.push(finding(
+                            m,
+                            line,
+                            "span closed by `.end(..)` but a `?`/`return` \
+                             between open and close can leak it; use \
+                             `Tracer::guard` (RAII) instead",
+                        ));
+                        return;
+                    }
+                }
+            }
+            // Escaped or properly closed.
+            return;
+        }
+        k += 1;
+    }
+    out.push(finding(
+        m,
+        line,
+        "span opened by `Tracer::begin` is never closed in this function \
+         and its id does not escape; use `Tracer::guard` or `.end(..)`",
+    ));
+}
+
+/// If token `at` sits inside the argument list of an `.end(` call that
+/// starts at or after `lo`, returns the index of the `end` ident.
+fn enclosing_end_call(m: &FileModel, at: usize, lo: usize) -> Option<usize> {
+    let mut k = lo;
+    while k < at {
+        if tok_ident(m, k) == Some("end")
+            && tok_is(m, k.wrapping_sub(1), ".")
+            && tok_is(m, k + 1, "(")
+        {
+            // Matching close paren.
+            let mut depth = 0i64;
+            let mut j = k + 1;
+            while j < m.tokens.len() {
+                let t = &m.tokens[j];
+                if t.kind == TokenKind::Punct {
+                    if t.text == "(" {
+                        depth += 1;
+                    } else if t.text == ")" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if (k + 1..j).contains(&at) {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+fn finding(m: &FileModel, line: u32, msg: &str) -> Finding {
+    Finding::new(
+        &m.path,
+        line,
+        Lint::SpanDiscipline,
+        format!("{msg}; or justify with `// oxcheck:allow(span_discipline): <why>`"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let model = parse_source("crates/core/src/virt.rs", src);
+        let mut out = Vec::new();
+        lint_span_discipline(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn balanced_begin_end_is_clean() {
+        assert!(run(
+            "fn f(t: &Tracer) {\n  let id = t.begin(at, \"gc\", \"move\", 0);\n  do_work();\n  t.end(done, id, \"gc\", \"move\", 0);\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn early_question_mark_between_open_and_close_is_flagged() {
+        let f = run(
+            "fn f(t: &Tracer) -> Result<(), E> {\n  let id = t.begin(at, \"gc\", \"move\", 0);\n  fallible()?;\n  t.end(done, id, \"gc\", \"move\", 0);\n  Ok(())\n}",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("guard"));
+    }
+
+    #[test]
+    fn never_ended_span_is_flagged() {
+        let f =
+            run("fn f(t: &Tracer) {\n  let id = t.begin(at, \"gc\", \"move\", 0);\n  work();\n}");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn discarded_begin_is_flagged_but_argument_escape_is_not() {
+        let f = run("fn f(t: &Tracer) { t.begin(at, \"gc\", \"m\", 0); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(run("fn f(t: &Tracer) { track(t.begin(at, \"gc\", \"m\", 0)); }").is_empty());
+    }
+
+    #[test]
+    fn escaping_id_is_exempt() {
+        // Returned id: the caller owns closing it.
+        assert!(run(
+            "fn f(t: &Tracer) -> SpanId {\n  let id = t.begin(at, \"gc\", \"m\", 0);\n  id\n}"
+        )
+        .is_empty());
+        // Passed onward.
+        assert!(run(
+            "fn f(t: &Tracer) {\n  let id = t.begin(at, \"gc\", \"m\", 0);\n  stash(id);\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn guard_raii_is_exempt() {
+        assert!(run(
+            "fn f(t: &Tracer) -> Result<(), E> {\n  let _g = t.guard(at, \"gc\", \"m\", 0);\n  fallible()?;\n  Ok(())\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run(
+            "#[cfg(test)]\nmod tests {\n  fn g(t: &Tracer) { t.begin(at, \"x\", \"y\", 0); }\n}"
+        )
+        .is_empty());
+    }
+}

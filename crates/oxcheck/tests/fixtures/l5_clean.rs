@@ -1,0 +1,59 @@
+//! L5 false-positive shapes that must stay clean.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Clean {
+    pub live: HashMap<u64, u32>,
+    pub seen: HashSet<u64>,
+    pub ordered: BTreeMap<u64, u32>,
+}
+
+impl Clean {
+    /// Commutative fold: order can't matter. CLEAN.
+    pub fn total(&self) -> u64 {
+        self.live.values().map(|&v| v as u64).sum()
+    }
+
+    /// Sorted immediately after collecting. CLEAN.
+    pub fn sorted_lpns(&self) -> Vec<u64> {
+        let mut lpns: Vec<u64> = self.live.keys().copied().collect();
+        lpns.sort_unstable();
+        lpns
+    }
+
+    /// Collected into an ordered container. CLEAN.
+    pub fn as_btree(&self) -> BTreeMap<u64, u32> {
+        self.live.iter().map(|(&k, &v)| (k, v)).collect::<BTreeMap<u64, u32>>()
+    }
+
+    /// BTreeMap iteration is deterministic. CLEAN.
+    pub fn walk(&self) -> Vec<u64> {
+        self.ordered.keys().copied().collect()
+    }
+
+    /// Lookup-only hash use. CLEAN.
+    pub fn contains(&self, lpn: u64) -> bool {
+        self.seen.contains(&lpn) && self.live.contains_key(&lpn)
+    }
+
+    /// Order-free predicates. CLEAN.
+    pub fn all_mapped(&self) -> bool {
+        self.live.values().all(|&v| v != 0) && self.seen.iter().any(|&l| l > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hash iteration in test code is exempt. CLEAN.
+    #[test]
+    fn order_does_not_matter_here() {
+        let c = Clean {
+            live: HashMap::new(),
+            seen: HashSet::new(),
+            ordered: BTreeMap::new(),
+        };
+        for (_k, _v) in c.live.iter() {}
+    }
+}

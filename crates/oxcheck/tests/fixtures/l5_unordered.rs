@@ -1,0 +1,29 @@
+//! L5 true positives: hash-ordered iteration on a storage path.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct MapCache {
+    pub live: HashMap<u64, u32>,
+    pub dirty: HashSet<u64>,
+}
+
+impl MapCache {
+    /// Iterating the map: order is process-seeded. FLAGGED.
+    pub fn flush_all(&self) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for (&lpn, &ppa) in self.live.iter() {
+            out.push((lpn, ppa));
+        }
+        out
+    }
+
+    /// `values()` feeding an order-sensitive terminal. FLAGGED.
+    pub fn first_ppa(&self) -> Option<u32> {
+        self.live.values().copied().next()
+    }
+
+    /// `drain` visits in hash order. FLAGGED.
+    pub fn evict(&mut self) -> Vec<u64> {
+        self.dirty.drain().collect()
+    }
+}

@@ -1,0 +1,38 @@
+//! L6 true positive: an ABBA acquisition-order cycle between two lock
+//! classes, built through struct fields so resolution goes via the
+//! construction-site tables.
+
+use crate::sync::Mutex;
+
+pub struct MapState(pub u64);
+pub struct GcState(pub u64);
+
+pub struct Ftl {
+    pub map: Mutex<MapState>,
+    pub gc: Mutex<GcState>,
+}
+
+impl Ftl {
+    pub fn new() -> Ftl {
+        Ftl {
+            map: Mutex::new(MapState(0)),
+            gc: Mutex::new(GcState(0)),
+        }
+    }
+
+    /// map → gc.
+    pub fn write(&self) {
+        let mut m = self.map.lock();
+        m.0 += 1;
+        let mut g = self.gc.lock();
+        g.0 += 1;
+    }
+
+    /// gc → map: closes the cycle. FLAGGED.
+    pub fn collect(&self) {
+        let mut g = self.gc.lock();
+        g.0 += 1;
+        let mut m = self.map.lock();
+        m.0 += 1;
+    }
+}

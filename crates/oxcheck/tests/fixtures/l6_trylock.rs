@@ -1,0 +1,38 @@
+//! L6 negative: the inverted second acquisition uses `try_lock`, which
+//! cannot block and therefore closes no deadlock cycle.
+
+use crate::sync::Mutex;
+
+pub struct MapState(pub u64);
+pub struct GcState(pub u64);
+
+pub struct Ftl {
+    pub map: Mutex<MapState>,
+    pub gc: Mutex<GcState>,
+}
+
+impl Ftl {
+    pub fn new() -> Ftl {
+        Ftl {
+            map: Mutex::new(MapState(0)),
+            gc: Mutex::new(GcState(0)),
+        }
+    }
+
+    /// map → gc (blocking): fine on its own.
+    pub fn write(&self) {
+        let mut m = self.map.lock();
+        m.0 += 1;
+        let mut g = self.gc.lock();
+        g.0 += 1;
+    }
+
+    /// gc → try(map): no edge, no cycle. CLEAN.
+    pub fn collect(&self) {
+        let mut g = self.gc.lock();
+        g.0 += 1;
+        if let Some(mut m) = self.map.try_lock() {
+            m.0 += 1;
+        }
+    }
+}

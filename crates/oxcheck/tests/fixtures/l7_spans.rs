@@ -1,0 +1,32 @@
+//! L7 shapes: leaked spans are flagged; RAII guards and escaping ids are
+//! clean.
+
+pub fn leaky_write(t: &Tracer, now: SimTime) -> Result<(), E> {
+    let id = t.begin(now, "device", "write", 4096);
+    fallible_media_op()?; // FLAGGED: `?` between begin and end leaks the span.
+    t.end(now, id, "device", "write", 4096);
+    Ok(())
+}
+
+pub fn never_closed(t: &Tracer, now: SimTime) {
+    let id = t.begin(now, "device", "erase", 0); // FLAGGED: never closed.
+    erase_all_chunks(now);
+}
+
+pub fn guarded_write(t: &Tracer, now: SimTime) -> Result<(), E> {
+    let span = t.guard(now, "device", "write", 4096); // CLEAN: RAII.
+    fallible_media_op()?;
+    span.finish(now);
+    Ok(())
+}
+
+pub fn handoff(t: &Tracer, now: SimTime) -> SpanId {
+    let id = t.begin(now, "device", "copy", 0);
+    id // CLEAN: the caller owns closing it.
+}
+
+pub fn balanced(t: &Tracer, now: SimTime) {
+    let id = t.begin(now, "device", "reset", 0);
+    infallible_op();
+    t.end(now, id, "device", "reset", 0); // CLEAN: no early exit between.
+}

@@ -1,0 +1,24 @@
+//! Macro bodies are exempt (they expand at use sites, often into test
+//! code), and `oxcheck:allow` pragmas suppress with a recorded reason.
+
+use std::collections::HashMap;
+
+macro_rules! dump_table {
+    ($map:expr) => {
+        // Hash iteration inside a macro body: EXEMPT.
+        for (k, v) in $map.iter() {
+            println!("{k}: {v}");
+        }
+    };
+}
+
+pub struct Registry {
+    pub entries: HashMap<String, u64>,
+}
+
+impl Registry {
+    pub fn debug_dump(&self) -> Vec<String> {
+        // oxcheck:allow(unordered_iter): debug output only, callers sort
+        self.entries.iter().map(|(k, v)| format!("{k}={v}")).collect()
+    }
+}

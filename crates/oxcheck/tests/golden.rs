@@ -1,0 +1,159 @@
+//! Golden-fixture suite for the symbol-aware lints (L5/L6/L7).
+//!
+//! Each fixture under `tests/fixtures/` is a self-contained source file of
+//! true-positive and false-positive shapes, annotated inline with
+//! `FLAGGED` / `CLEAN` / `EXEMPT` comments. The fixtures are fed to
+//! [`oxcheck::analyze_sources`] under synthetic storage-crate paths (so
+//! they land in the L5/L7 scope) — the `fixtures` directory itself is on
+//! the analyzer's skip list, so the workspace gate never sees them.
+
+use oxcheck::{analyze_sources, Analysis, Config};
+
+fn analyze(path: &str, src: &str) -> Analysis {
+    analyze_sources(&[(path.to_string(), src.to_string())], &Config::default())
+}
+
+fn lines_of(analysis: &Analysis, lint: &str) -> Vec<u32> {
+    analysis
+        .findings
+        .iter()
+        .filter(|f| f.lint.name() == lint)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn l5_true_positives_are_flagged() {
+    let a = analyze(
+        "crates/core/src/l5_unordered.rs",
+        include_str!("fixtures/l5_unordered.rs"),
+    );
+    let l5 = lines_of(&a, "unordered_iter");
+    assert_eq!(
+        l5.len(),
+        3,
+        "expected 3 unordered_iter findings: {:#?}",
+        a.findings
+    );
+    // The for-loop, the `.values()…next()` chain and the `.drain()`.
+    assert!(
+        a.findings.iter().all(|f| f.lint.name() == "unordered_iter"),
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
+fn l5_false_positive_shapes_stay_clean() {
+    let a = analyze(
+        "crates/core/src/l5_clean.rs",
+        include_str!("fixtures/l5_clean.rs"),
+    );
+    assert!(
+        a.findings.is_empty(),
+        "clean fixture produced findings: {:#?}",
+        a.findings
+    );
+}
+
+#[test]
+fn l6_abba_cycle_is_detected() {
+    let a = analyze(
+        "crates/core/src/l6_abba.rs",
+        include_str!("fixtures/l6_abba.rs"),
+    );
+    let l6: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.lint.name() == "lock_order")
+        .collect();
+    assert_eq!(
+        l6.len(),
+        1,
+        "expected exactly one cycle finding: {:#?}",
+        a.findings
+    );
+    assert!(
+        l6[0].message.contains("cycle"),
+        "not a cycle finding: {}",
+        l6[0].message
+    );
+    // Both classes resolved to their construction sites: the graph knows
+    // two classes and both directions of the conflict.
+    assert_eq!(a.lock_graph.classes.len(), 2);
+    assert_eq!(a.lock_graph.edges.len(), 2, "{:?}", a.lock_graph.edges);
+}
+
+#[test]
+fn l6_try_lock_creates_no_edge_and_no_cycle() {
+    let a = analyze(
+        "crates/core/src/l6_trylock.rs",
+        include_str!("fixtures/l6_trylock.rs"),
+    );
+    assert!(
+        a.findings.is_empty(),
+        "try_lock fixture produced findings: {:#?}",
+        a.findings
+    );
+    // Only the blocking direction (map → gc) exists in the graph.
+    assert_eq!(a.lock_graph.edges.len(), 1, "{:?}", a.lock_graph.edges);
+}
+
+#[test]
+fn l7_span_shapes() {
+    let a = analyze(
+        "crates/ocssd/src/l7_spans.rs",
+        include_str!("fixtures/l7_spans.rs"),
+    );
+    let l7 = lines_of(&a, "span_discipline");
+    // Exactly the leaky `?` site and the never-closed site; the guard, the
+    // escaping id and the balanced pair stay clean.
+    assert_eq!(l7.len(), 2, "{:#?}", a.findings);
+    let leak = a
+        .findings
+        .iter()
+        .find(|f| f.line == l7[0])
+        .expect("first finding");
+    assert!(leak.message.contains("guard"), "{}", leak.message);
+}
+
+#[test]
+fn macro_bodies_are_exempt_and_pragmas_suppress() {
+    let a = analyze(
+        "crates/core/src/macros_and_pragmas.rs",
+        include_str!("fixtures/macros_and_pragmas.rs"),
+    );
+    assert!(
+        a.findings.is_empty(),
+        "macro/pragma fixture produced findings: {:#?}",
+        a.findings
+    );
+}
+
+/// The same pragma fixture *without* its pragma line must be flagged —
+/// proving the suppression above is doing the work, not a lint gap.
+#[test]
+fn removing_the_pragma_reintroduces_the_finding() {
+    let src = include_str!("fixtures/macros_and_pragmas.rs")
+        .lines()
+        .filter(|l| !l.contains("oxcheck:allow"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let a = analyze("crates/core/src/macros_and_pragmas.rs", &src);
+    assert_eq!(lines_of(&a, "unordered_iter").len(), 1, "{:#?}", a.findings);
+}
+
+/// Fixtures placed outside the storage-path scope produce no L5/L7 noise:
+/// the lints are scoped on purpose.
+#[test]
+fn out_of_scope_paths_are_not_linted() {
+    let a = analyze(
+        "tools/scratch/l5_unordered.rs",
+        include_str!("fixtures/l5_unordered.rs"),
+    );
+    assert!(
+        lines_of(&a, "unordered_iter").is_empty(),
+        "{:#?}",
+        a.findings
+    );
+}

@@ -42,7 +42,11 @@ pub mod time;
 pub mod trace;
 
 pub use executor::{Actor, ActorId, Ctx, Executor, Step};
+#[cfg(debug_assertions)]
+pub use lockdep::{observed_edges, ObservedEdge};
 pub use resource::Timeline;
 pub use rng::Prng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{MetricsRegistry, MetricsSnapshot, Obs, SpanId, TraceEvent, TracePhase, Tracer};
+pub use trace::{
+    MetricsRegistry, MetricsSnapshot, Obs, SpanGuard, SpanId, TraceEvent, TracePhase, Tracer,
+};

@@ -195,6 +195,41 @@ pub(crate) fn acquire(
     HeldToken { class }
 }
 
+/// One observed acquisition-order edge: construction site of the lock that
+/// was held, then of the lock that was acquired while holding it. Sites are
+/// `(file, line)` pairs as reported by `Location::caller()` at the
+/// `Mutex::new` call — the same key the static analyzer in `oxcheck` uses,
+/// so the two graphs can be diffed directly (columns are dropped because the
+/// static side works at line granularity).
+pub type ObservedEdge = ((String, u32), (String, u32));
+
+/// Snapshot of the runtime acquisition-order graph accumulated so far in
+/// this process, sorted and deduplicated. Used by the tier-1 gate test to
+/// check that `oxcheck`'s *static* lock-order graph is a superset of what
+/// lockdep actually observed while the tests ran.
+pub fn observed_edges() -> Vec<ObservedEdge> {
+    let reg = registry();
+    let graph = reg.graph.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut edges: Vec<ObservedEdge> = reg.lock_classes(|c| {
+        graph
+            .edge_site
+            // oxcheck:allow(unordered_iter): collected, sorted and deduped just below
+            .keys()
+            .map(|&(a, b)| {
+                let sa = c.site(a);
+                let sb = c.site(b);
+                (
+                    (sa.file().to_string(), sa.line()),
+                    (sb.file().to_string(), sb.line()),
+                )
+            })
+            .collect()
+    });
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
 /// Builds the panic text: both lock classes with their construction sites,
 /// the acquisition being attempted, and where the conflicting order was
 /// established.

@@ -336,6 +336,72 @@ impl Default for Tracer {
     }
 }
 
+/// RAII span handle returned by [`Tracer::guard`]: the span closes when the
+/// guard drops, so every early return (`?`, `return`, panic unwind) still
+/// produces a matched `end` event. Call [`SpanGuard::finish`] on the success
+/// path to stamp the real completion time; a guard dropped without `finish`
+/// closes at its begin time (a zero-length span marking the bail-out point).
+///
+/// This is the remedy the `oxcheck` L7 `span_discipline` lint points at:
+/// manual `begin`/`end` pairs on storage paths with early returns leak open
+/// spans, a guard cannot.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: SpanId,
+    begin_at: SimTime,
+    subsystem: &'static str,
+    op: &'static str,
+    bytes: u64,
+    finished: bool,
+}
+
+impl Tracer {
+    /// Opens a span and returns an RAII guard that closes it on drop. See
+    /// [`SpanGuard`]. When the tracer is disabled the guard is inert.
+    pub fn guard(
+        &self,
+        at: SimTime,
+        subsystem: &'static str,
+        op: &'static str,
+        bytes: u64,
+    ) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            id: self.begin(at, subsystem, op, bytes),
+            begin_at: at,
+            subsystem,
+            op,
+            bytes,
+            finished: false,
+        }
+    }
+}
+
+impl SpanGuard {
+    /// The underlying span id ([`SpanId::NONE`] when the tracer is disabled).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Closes the span at `at` (the success-path completion time).
+    pub fn finish(mut self, at: SimTime) {
+        self.finished = true;
+        self.tracer
+            .end(at, self.id, self.subsystem, self.op, self.bytes);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.tracer
+                .end(self.begin_at, self.id, self.subsystem, self.op, self.bytes);
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
@@ -347,9 +413,15 @@ struct RegistryInner {
 ///
 /// Keys are dotted lower-case paths (`"device.write"`, `"wal.commit"`).
 /// Cloning shares the underlying maps; entries are created on first use.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MetricsRegistry {
     inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
 }
 
 /// Point-in-time copy of a [`MetricsRegistry`]'s contents.
@@ -364,9 +436,18 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsRegistry {
-    /// An empty registry.
+    /// An empty registry. All registries are constructed through this one
+    /// `Mutex::new` call so they share a single lockdep class whose site the
+    /// static lock-order analysis (`oxcheck` L6) can see; a derived `Default`
+    /// would hide the construction site inside `Mutex::default`.
     pub fn new() -> Self {
-        Self::default()
+        MetricsRegistry {
+            inner: Arc::new(Mutex::new(RegistryInner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            })),
+        }
     }
 
     /// Records one event moving `bytes` bytes on counter `name`.
@@ -671,6 +752,32 @@ mod tests {
             })
             .sum();
         assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn span_guard_closes_on_finish_and_on_drop() {
+        let tr = Tracer::new(16);
+        tr.set_enabled(true);
+        tr.guard(t(1), "wal", "recover", 0).finish(t(5));
+        {
+            let _g = tr.guard(t(7), "wal", "recover", 0);
+            // Dropped without finish: closes at the begin time.
+        }
+        let evs = tr.snapshot();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].span, evs[1].span);
+        assert_eq!((evs[1].phase, evs[1].at), (TracePhase::End, t(5)));
+        assert_eq!(evs[2].span, evs[3].span);
+        assert_eq!((evs[3].phase, evs[3].at), (TracePhase::End, t(7)));
+    }
+
+    #[test]
+    fn disabled_span_guard_is_inert() {
+        let tr = Tracer::new(16);
+        let g = tr.guard(t(1), "x", "y", 0);
+        assert_eq!(g.id(), SpanId::NONE);
+        drop(g);
+        assert!(tr.is_empty());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Double-run determinism: the same seeded workload must produce a
+//! byte-identical observability snapshot both times.
+//!
+//! The whole stack is virtual-time simulation with seeded PRNGs; the only
+//! way two same-seed runs can diverge is real nondeterminism leaking in —
+//! hash-ordered iteration on a storage path (exactly what the L5
+//! `unordered_iter` lint exists to catch), wall-clock reads, or address
+//! reuse. Comparing the full metrics + trace JSON catches divergence
+//! anywhere in the stack, not just in the figure's summary numbers.
+
+use ox_sim::SimDuration;
+
+#[test]
+fn gc_locality_same_seed_runs_are_byte_identical() {
+    let run = || {
+        let obs = ox_bench::figure_obs();
+        let result = ox_bench::gc_locality::run_with_obs(SimDuration::from_millis(20), &obs)
+            .expect("gc_locality workload");
+        let points: Vec<String> = result
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}:{:.6}:{:.6}:{}",
+                    p.groups, p.unaffected_pct, p.expected_pct, p.ios_classified
+                )
+            })
+            .collect();
+        (points, obs.to_json())
+    };
+
+    let (points_a, json_a) = run();
+    let (points_b, json_b) = run();
+
+    assert_eq!(
+        points_a, points_b,
+        "figure rows diverged between same-seed runs"
+    );
+    assert_eq!(
+        json_a,
+        json_b,
+        "observability JSON diverged between same-seed runs (lengths {} vs {})",
+        json_a.len(),
+        json_b.len()
+    );
+}
