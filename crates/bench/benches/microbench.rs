@@ -213,7 +213,7 @@ fn bench_lsm_components(h: &Harness) {
             let mut builder = BlockBuilder::new(96 * 1024);
             let mut i = 0u64;
             while builder.fits(&i.to_be_bytes(), Some(&value)) {
-                builder.add(&i.to_be_bytes(), Some(&value));
+                builder.add(&i.to_be_bytes(), i + 1, Some(&value));
                 i += 1;
             }
             black_box(builder.finish().len());
@@ -225,7 +225,7 @@ fn bench_lsm_components(h: &Harness) {
         let mut builder = BlockBuilder::new(96 * 1024);
         let mut i = 0u64;
         while builder.fits(&i.to_be_bytes(), Some(&value)) {
-            builder.add(&i.to_be_bytes(), Some(&value));
+            builder.add(&i.to_be_bytes(), i + 1, Some(&value));
             i += 1;
         }
         let data = builder.finish();

@@ -12,6 +12,7 @@
 //! | [`gc_locality`] | §4.3 — GC interference locality (93.75 % / 87.5 %) |
 //! | [`qos_tail`] | §4.3 — isolation as per-tenant read-latency percentiles |
 //! | [`shard_scale`] | ROADMAP — aggregate throughput, 1→32 sharded devices |
+//! | [`ycsb`] | ROADMAP — YCSB A–F over lsmkv and the oxshard layer |
 //!
 //! Scale note: the simulated drive uses the paper geometry with chunk count
 //! and chunk size divided down (ratios preserved), and workload volumes are
@@ -29,6 +30,7 @@ pub mod fig7;
 pub mod gc_locality;
 pub mod qos_tail;
 pub mod shard_scale;
+pub mod ycsb;
 
 use ox_sim::trace::Obs;
 

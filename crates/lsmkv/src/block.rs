@@ -1,10 +1,12 @@
 //! SSTable data-block format.
 //!
 //! A data block is one LightLSM block (= the device's 96 KB write unit).
-//! Entries are stored sorted, back to back:
+//! Entries are stored sorted by `(key asc, seq desc)`, back to back — a key
+//! may appear with several sequence numbers (versions), newest first:
 //!
 //! ```text
-//! entry := klen:u16 | vlen:u32 | key | value     (vlen = u32::MAX ⇒ tombstone)
+//! entry := klen:u16 | vlen:u32 | seq:u64 | key | value
+//!          (vlen = u32::MAX ⇒ tombstone)
 //! ```
 //!
 //! A `klen` of zero terminates the block (the tail is zero padding). Lookups
@@ -32,7 +34,7 @@ impl BlockBuilder {
     }
 
     fn entry_size(key: &[u8], value: Option<&[u8]>) -> usize {
-        6 + key.len() + value.map_or(0, <[u8]>::len)
+        14 + key.len() + value.map_or(0, <[u8]>::len)
     }
 
     /// Whether `key`/`value` fits in the remaining space.
@@ -40,11 +42,11 @@ impl BlockBuilder {
         self.buf.len() + Self::entry_size(key, value) <= self.capacity
     }
 
-    /// Appends an entry (`None` value = tombstone). Caller keeps keys
-    /// sorted and checks [`BlockBuilder::fits`] first.
+    /// Appends a version (`None` value = tombstone). Caller keeps entries in
+    /// `(key asc, seq desc)` order and checks [`BlockBuilder::fits`] first.
     ///
     /// Panics if the entry does not fit or the key is empty/oversized.
-    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+    pub fn add(&mut self, key: &[u8], seq: u64, value: Option<&[u8]>) {
         assert!(!key.is_empty() && key.len() <= u16::MAX as usize, "bad key");
         assert!(self.fits(key, value), "entry does not fit");
         self.buf
@@ -53,11 +55,13 @@ impl BlockBuilder {
             Some(v) => {
                 assert!((v.len() as u64) < TOMBSTONE as u64, "value too large");
                 self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(&seq.to_le_bytes());
                 self.buf.extend_from_slice(key);
                 self.buf.extend_from_slice(v);
             }
             None => {
                 self.buf.extend_from_slice(&TOMBSTONE.to_le_bytes());
+                self.buf.extend_from_slice(&seq.to_le_bytes());
                 self.buf.extend_from_slice(key);
             }
         }
@@ -86,7 +90,21 @@ impl BlockBuilder {
     }
 }
 
-/// Iterates a data block's entries in key order.
+/// Outcome of a snapshot-aware point lookup within one data block.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FindVisible<'a> {
+    /// Newest version with `seq <= snap`: its seq plus `Some(value)` for a
+    /// live entry, `None` for a point tombstone.
+    Found(u64, Option<&'a [u8]>),
+    /// The key has no visible version in this table's blocks from here on.
+    Absent,
+    /// Every version of the key in this block is newer than the snapshot and
+    /// the key runs to the end of the block — older versions may continue in
+    /// the next data block.
+    Continue,
+}
+
+/// Iterates a data block's entries in `(key asc, seq desc)` order.
 pub struct BlockIter<'a> {
     data: &'a [u8],
     pos: usize,
@@ -98,27 +116,48 @@ impl<'a> BlockIter<'a> {
         BlockIter { data, pos: 0 }
     }
 
-    /// Finds a key by scanning (blocks are small). Returns
+    /// Finds the newest version of `key` visible at `snap` by scanning
+    /// (blocks are small). Returns [`FindVisible::Continue`] when the key's
+    /// versions run past the end of this block without a visible one.
+    pub fn find_visible(data: &'a [u8], key: &[u8], snap: u64) -> FindVisible<'a> {
+        let mut saw_key_last = false;
+        for (k, seq, v) in BlockIter::new(data) {
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => {
+                    if seq <= snap {
+                        return FindVisible::Found(seq, v);
+                    }
+                    saw_key_last = true;
+                }
+                std::cmp::Ordering::Greater => return FindVisible::Absent,
+            }
+        }
+        if saw_key_last {
+            // The block ended while still inside this key's version run.
+            FindVisible::Continue
+        } else {
+            FindVisible::Absent
+        }
+    }
+
+    /// Finds the newest version of a key regardless of snapshot. Returns
     /// `Some(Some(value))` for a live entry, `Some(None)` for a tombstone,
     /// `None` if absent.
     pub fn find(data: &'a [u8], key: &[u8]) -> Option<Option<&'a [u8]>> {
-        for (k, v) in BlockIter::new(data) {
-            match k.cmp(key) {
-                std::cmp::Ordering::Less => continue,
-                std::cmp::Ordering::Equal => return Some(v),
-                std::cmp::Ordering::Greater => return None,
-            }
+        match Self::find_visible(data, key, u64::MAX) {
+            FindVisible::Found(_, v) => Some(v),
+            _ => None,
         }
-        None
     }
 }
 
 impl<'a> Iterator for BlockIter<'a> {
-    /// `(key, Some(value) | None-for-tombstone)`.
-    type Item = (&'a [u8], Option<&'a [u8]>);
+    /// `(key, seq, Some(value) | None-for-tombstone)`.
+    type Item = (&'a [u8], u64, Option<&'a [u8]>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.pos + 6 > self.data.len() {
+        if self.pos + 14 > self.data.len() {
             return None;
         }
         let klen = u16::from_le_bytes([self.data[self.pos], self.data[self.pos + 1]]) as usize;
@@ -131,7 +170,10 @@ impl<'a> Iterator for BlockIter<'a> {
             self.data[self.pos + 4],
             self.data[self.pos + 5],
         ]);
-        let mut p = self.pos + 6;
+        let mut seq_bytes = [0u8; 8];
+        seq_bytes.copy_from_slice(&self.data[self.pos + 6..self.pos + 14]);
+        let seq = u64::from_le_bytes(seq_bytes);
+        let mut p = self.pos + 14;
         if p + klen > self.data.len() {
             return None;
         }
@@ -149,7 +191,7 @@ impl<'a> Iterator for BlockIter<'a> {
             Some(v)
         };
         self.pos = p;
-        Some((key, value))
+        Some((key, seq, value))
     }
 }
 
@@ -160,9 +202,9 @@ mod tests {
     #[test]
     fn build_and_iterate() {
         let mut b = BlockBuilder::new(4096);
-        b.add(b"aaa", Some(b"1"));
-        b.add(b"bbb", None);
-        b.add(b"ccc", Some(b"3"));
+        b.add(b"aaa", 3, Some(b"1"));
+        b.add(b"bbb", 2, None);
+        b.add(b"ccc", 1, Some(b"3"));
         assert_eq!(b.entries(), 3);
         let data = b.finish();
         assert_eq!(data.len(), 4096);
@@ -170,9 +212,9 @@ mod tests {
         assert_eq!(
             items,
             vec![
-                (&b"aaa"[..], Some(&b"1"[..])),
-                (&b"bbb"[..], None),
-                (&b"ccc"[..], Some(&b"3"[..])),
+                (&b"aaa"[..], 3, Some(&b"1"[..])),
+                (&b"bbb"[..], 2, None),
+                (&b"ccc"[..], 1, Some(&b"3"[..])),
             ]
         );
     }
@@ -180,8 +222,8 @@ mod tests {
     #[test]
     fn find_hits_misses_and_tombstones() {
         let mut b = BlockBuilder::new(4096);
-        b.add(b"b", Some(b"vb"));
-        b.add(b"d", None);
+        b.add(b"b", 1, Some(b"vb"));
+        b.add(b"d", 2, None);
         let data = b.finish();
         assert_eq!(BlockIter::find(&data, b"b"), Some(Some(&b"vb"[..])));
         assert_eq!(BlockIter::find(&data, b"d"), Some(None));
@@ -191,27 +233,56 @@ mod tests {
     }
 
     #[test]
+    fn versions_resolve_by_snapshot() {
+        let mut b = BlockBuilder::new(4096);
+        b.add(b"k", 9, Some(b"v9"));
+        b.add(b"k", 5, None);
+        b.add(b"k", 2, Some(b"v2"));
+        b.add(b"z", 1, Some(b"vz"));
+        let data = b.finish();
+        assert_eq!(
+            BlockIter::find_visible(&data, b"k", u64::MAX),
+            FindVisible::Found(9, Some(&b"v9"[..]))
+        );
+        assert_eq!(
+            BlockIter::find_visible(&data, b"k", 7),
+            FindVisible::Found(5, None)
+        );
+        assert_eq!(
+            BlockIter::find_visible(&data, b"k", 3),
+            FindVisible::Found(2, Some(&b"v2"[..]))
+        );
+        // Snapshot predates every version and a later key exists: absent.
+        assert_eq!(BlockIter::find_visible(&data, b"k", 1), FindVisible::Absent);
+        // Key's versions run to the end of the block with none visible.
+        assert_eq!(
+            BlockIter::find_visible(&data, b"z", 0),
+            FindVisible::Continue
+        );
+    }
+
+    #[test]
     fn fits_respects_capacity() {
-        let mut b = BlockBuilder::new(64);
-        assert!(b.fits(b"key", Some(&[0u8; 40])));
-        b.add(b"key", Some(&[0u8; 40]));
+        let mut b = BlockBuilder::new(80);
+        assert!(b.fits(b"key", Some(&[0u8; 40]))); // 14 + 3 + 40 = 57
+        b.add(b"key", 1, Some(&[0u8; 40]));
         assert!(!b.fits(b"key2", Some(&[0u8; 40])));
-        assert!(b.fits(b"k", Some(&[0u8; 5])));
+        assert!(b.fits(b"k", Some(&[0u8; 5]))); // 20 ≤ 23 remaining
     }
 
     #[test]
     #[should_panic]
     fn overfull_add_panics() {
         let mut b = BlockBuilder::new(16);
-        b.add(b"key", Some(&[0u8; 40]));
+        b.add(b"key", 1, Some(&[0u8; 40]));
     }
 
     #[test]
     fn exactly_full_block_iterates_cleanly() {
-        // Entry size 6 + 2 + 8 = 16; capacity 32 holds exactly two.
-        let mut b = BlockBuilder::new(32);
-        b.add(b"k1", Some(&[7u8; 8]));
-        b.add(b"k2", Some(&[8u8; 8]));
+        // Entry size 14 + 2 + 8 = 24; capacity 48 holds exactly two.
+        let mut b = BlockBuilder::new(48);
+        b.add(b"k1", 1, Some(&[7u8; 8]));
+        b.add(b"k2", 2, Some(&[8u8; 8]));
         assert!(!b.fits(b"k3", Some(&[9u8; 8])));
         let data = b.finish();
         assert_eq!(BlockIter::new(&data).count(), 2);
@@ -223,14 +294,14 @@ mod tests {
         assert_eq!(BlockIter::new(&data).count(), 0);
         assert_eq!(BlockIter::find(&data, b"x"), None);
         // Truncated entry does not panic.
-        let mut bad = vec![0u8; 8];
+        let mut bad = vec![0u8; 16];
         bad[0] = 200; // klen larger than remaining bytes
         assert_eq!(BlockIter::new(&bad).count(), 0);
     }
 
     #[test]
     fn realistic_density_90_entries_per_96kb() {
-        // 16 B keys + 1 KB values in a 96 KB block ≈ 91 entries — the ratio
+        // 16 B keys + 1 KB values in a 96 KB block ≈ 93 entries — the ratio
         // behind the paper's read-seq vs read-random gap.
         let mut b = BlockBuilder::new(96 * 1024);
         let mut n = 0;
@@ -240,7 +311,7 @@ mod tests {
             if !b.fits(key.as_bytes(), Some(&value)) {
                 break;
             }
-            b.add(key.as_bytes(), Some(&value));
+            b.add(key.as_bytes(), n, Some(&value));
             n += 1;
         }
         assert!((88..=96).contains(&n), "{n} entries");

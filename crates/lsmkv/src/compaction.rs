@@ -2,8 +2,9 @@
 //!
 //! In LightLSM, "garbage collection is a side-effect of compaction" (§4.3):
 //! compaction reads input SSTables block by block (charging device time),
-//! merges them newest-wins, writes output tables, and deletes the inputs —
-//! which the FTL turns into chunk erases only.
+//! merges them in `(key asc, seq desc)` order, prunes versions no snapshot
+//! can see, writes output tables, and deletes the inputs — which the FTL
+//! turns into chunk erases only.
 
 use crate::block::BlockIter;
 use crate::sstable::TableHandle;
@@ -12,8 +13,8 @@ use ox_sim::SimTime;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// One decoded entry: key plus `Some(value)` or a tombstone.
-pub(crate) type Entry = (Vec<u8>, Option<Vec<u8>>);
+/// One decoded version: key, sequence number, `Some(value)` or a tombstone.
+pub(crate) type Entry = (Vec<u8>, u64, Option<Vec<u8>>);
 
 /// Cumulative compaction statistics.
 #[derive(Clone, Copy, Debug, Default)]
@@ -28,9 +29,11 @@ pub struct CompactionStats {
     pub blocks_written: u64,
     /// Entries surviving merges.
     pub entries_out: u64,
-    /// Tombstones dropped at the bottom level.
+    /// Point tombstones dropped at the bottom level.
     pub tombstones_dropped: u64,
-    /// Entries superseded by newer versions.
+    /// Range tombstones dropped at the bottom level.
+    pub range_tombstones_dropped: u64,
+    /// Versions pruned because no open snapshot could see them.
     pub entries_shadowed: u64,
     /// Total virtual nanoseconds spent in flushes.
     pub flush_nanos: u64,
@@ -45,7 +48,8 @@ pub struct CompactionStats {
 /// (the Figure 5/6 dynamics).
 const PREFETCH_DEPTH: usize = 4;
 
-/// A buffered, prefetching reader over one table's entries, in key order.
+/// A buffered, prefetching reader over one table's versions, in
+/// `(key asc, seq desc)` order.
 pub(crate) struct TableStream {
     pub(crate) handle: TableHandle,
     rank: usize,
@@ -59,7 +63,9 @@ pub(crate) struct TableStream {
 }
 
 impl TableStream {
-    /// `rank` breaks ties on equal keys: smaller rank = newer data wins.
+    /// `rank` breaks ties on identical `(key, seq)` pairs, which can only
+    /// arise when crash recovery resurrects both a compaction's inputs and
+    /// its committed outputs: smaller rank wins, the duplicate is dropped.
     pub(crate) fn new(handle: TableHandle, rank: usize, block_bytes: usize) -> Self {
         TableStream {
             handle,
@@ -92,7 +98,7 @@ impl TableStream {
         while self.inflight.len() < PREFETCH_DEPTH && self.next_block < self.handle.data_blocks {
             let done = store.read_block(t, self.handle.id, self.next_block, &mut self.scratch)?;
             let entries: VecDeque<Entry> = BlockIter::new(&self.scratch)
-                .map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec)))
+                .map(|(k, s, v)| (k.to_vec(), s, v.map(<[u8]>::to_vec)))
                 .collect();
             self.inflight.push_back((entries, done));
             self.next_block += 1;
@@ -121,12 +127,15 @@ impl TableStream {
         Ok(submitted)
     }
 
-    fn peek_key(&self) -> Option<&[u8]> {
-        self.buf.front().map(|(k, _)| k.as_slice())
+    fn peek(&self) -> Option<(&[u8], u64)> {
+        self.buf.front().map(|(k, s, _)| (k.as_slice(), *s))
     }
 }
 
-/// Merges several table streams newest-wins, charging block-read time.
+/// Merges several table streams into one `(key asc, seq desc)` sequence,
+/// charging block-read time. All versions are yielded — pruning is the
+/// caller's job — except exact `(key, seq)` duplicates across streams,
+/// which are collapsed to one.
 pub(crate) struct MergeIter {
     streams: Vec<TableStream>,
     store: Arc<dyn TableStore>,
@@ -146,53 +155,108 @@ impl MergeIter {
         self.blocks_read
     }
 
-    /// Next `(key, value)` in key order (`None` value = tombstone), with
-    /// shadowed duplicates dropped. Advances `t` for every block fetched.
-    /// `shadowed` counts superseded entries.
-    pub(crate) fn next(
-        &mut self,
-        t: &mut SimTime,
-        shadowed: &mut u64,
-    ) -> Result<Option<Entry>, StoreError> {
+    /// Next version in `(key asc, seq desc)` order. Advances `t` for every
+    /// block fetched.
+    pub(crate) fn next(&mut self, t: &mut SimTime) -> Result<Option<Entry>, StoreError> {
         // Ensure every stream is either buffered or exhausted.
         for s in &mut self.streams {
             self.blocks_read += s.refill(&self.store, t)?;
         }
-        // Smallest key; ties to the lowest rank.
-        let mut winner: Option<(usize, usize)> = None; // (stream idx, rank)
+        // Smallest key; ties to the highest seq, then the lowest rank.
+        let mut winner: Option<(usize, &[u8], u64, usize)> = None; // (idx, key, seq, rank)
         for (i, s) in self.streams.iter().enumerate() {
-            let Some(k) = s.peek_key() else { continue };
-            winner = match winner {
-                None => Some((i, s.rank)),
-                Some((wi, wr)) => match self.streams[wi].peek_key() {
-                    // A winner with an empty buffer is unreachable (it was
-                    // chosen via peek_key); treat it as superseded anyway.
-                    None => Some((i, s.rank)),
-                    Some(wk) => match k.cmp(wk) {
-                        std::cmp::Ordering::Less => Some((i, s.rank)),
-                        std::cmp::Ordering::Equal if s.rank < wr => Some((i, s.rank)),
-                        _ => Some((wi, wr)),
-                    },
+            let Some((k, seq)) = s.peek() else { continue };
+            let better = match winner {
+                None => true,
+                Some((_, wk, wseq, wrank)) => match k.cmp(wk) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => seq > wseq || (seq == wseq && s.rank < wrank),
                 },
             };
+            if better {
+                winner = Some((i, k, seq, s.rank));
+            }
         }
-        let Some((wi, _)) = winner else {
+        let Some((wi, ..)) = winner else {
             return Ok(None);
         };
-        let Some((key, value)) = self.streams[wi].buf.pop_front() else {
-            return Ok(None); // unreachable: the winner was chosen via peek_key
+        let Some((key, seq, value)) = self.streams[wi].buf.pop_front() else {
+            return Ok(None); // unreachable: the winner was chosen via peek
         };
-        // Drop the same key from every other stream (shadowed versions).
+        // Collapse the exact same (key, seq) from every other stream — only
+        // possible after a crash resurrected a compaction's inputs alongside
+        // its committed outputs.
         for (i, s) in self.streams.iter_mut().enumerate() {
             if i == wi {
                 continue;
             }
-            while s.peek_key() == Some(key.as_slice()) {
+            while s.peek() == Some((key.as_slice(), seq)) {
                 s.buf.pop_front();
-                *shadowed += 1;
             }
         }
-        Ok(Some((key, value)))
+        Ok(Some((key, seq, value)))
+    }
+}
+
+/// Outcome of pruning one key's version group against the open snapshots.
+pub(crate) struct PruneOutcome {
+    /// Indices (into the seq-desc group) of versions to keep, ascending.
+    pub keep: Vec<usize>,
+    /// Versions dropped because no snapshot boundary can see them (or a
+    /// range tombstone hides them at every boundary that could).
+    pub shadowed: u64,
+    /// Point tombstones dropped at the bottom level.
+    pub tombstones_dropped: u64,
+}
+
+/// Decides which versions of one key survive a compaction.
+///
+/// `versions` is the key's version group in seq-desc order (`true` =
+/// tombstone). `covering` holds the sequence numbers of input range
+/// tombstones covering the key. `boundaries` are the open snapshot sequence
+/// numbers plus `u64::MAX` (the "latest" reader), ascending. A version is
+/// kept iff some boundary `b` sees it — it is the newest version with
+/// `seq <= b` and no covering range tombstone `r` satisfies
+/// `seq < r <= b`. At the bottom level (`drop_tombstones`), trailing point
+/// tombstones with nothing older below them are dropped.
+pub(crate) fn prune_group(
+    versions: &[(u64, bool)],
+    covering: &[u64],
+    boundaries: &[u64],
+    drop_tombstones: bool,
+) -> PruneOutcome {
+    let mut needed = vec![false; versions.len()];
+    for &b in boundaries {
+        // First index with seq <= b (versions are seq-desc).
+        let i = versions.partition_point(|&(seq, _)| seq > b);
+        let Some(&(seq, _)) = versions.get(i) else {
+            continue;
+        };
+        let hidden = covering.iter().any(|&r| seq < r && r <= b);
+        if !hidden {
+            needed[i] = true;
+        }
+    }
+    let mut keep: Vec<usize> = (0..versions.len()).filter(|&i| needed[i]).collect();
+    let mut tombstones_dropped = 0;
+    if drop_tombstones {
+        // Nothing lives below the bottom level, so a trailing tombstone
+        // resolves to "absent" either way.
+        while let Some(&last) = keep.last() {
+            if versions[last].1 {
+                keep.pop();
+                tombstones_dropped += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    let shadowed = (versions.len() - keep.len()) as u64 - tombstones_dropped;
+    PruneOutcome {
+        keep,
+        shadowed,
+        tombstones_dropped,
     }
 }
 
@@ -206,4 +270,72 @@ pub(crate) struct CompactionJob {
     pub inputs: Vec<TableHandle>,
     /// Whether tombstones can be dropped (no deeper data).
     pub drop_tombstones: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: u64 = u64::MAX;
+
+    #[test]
+    fn latest_reader_keeps_newest_only() {
+        let versions = [(9, false), (5, false), (2, false)];
+        let out = prune_group(&versions, &[], &[MAX], false);
+        assert_eq!(out.keep, vec![0]);
+        assert_eq!(out.shadowed, 2);
+    }
+
+    #[test]
+    fn snapshots_pin_older_versions() {
+        let versions = [(9, false), (5, false), (2, false)];
+        let out = prune_group(&versions, &[], &[4, MAX], false);
+        assert_eq!(out.keep, vec![0, 2]);
+        assert_eq!(out.shadowed, 1);
+    }
+
+    #[test]
+    fn bottom_drops_trailing_tombstones() {
+        // tombstone over a live version: both visible to no snapshot but
+        // the latest; tombstone wins, then drops at the bottom.
+        let versions = [(9, true), (5, false)];
+        let out = prune_group(&versions, &[], &[MAX], true);
+        assert!(out.keep.is_empty());
+        assert_eq!(out.tombstones_dropped, 1);
+        assert_eq!(out.shadowed, 1);
+        // Not at the bottom the tombstone must survive to shadow deeper data.
+        let out = prune_group(&versions, &[], &[MAX], false);
+        assert_eq!(out.keep, vec![0]);
+    }
+
+    #[test]
+    fn mid_stack_tombstone_kept_when_snapshot_needs_older() {
+        // Snapshot at 4 sees the live v2; latest sees the tombstone. At the
+        // bottom the tombstone still drops (trailing after the kept live
+        // version? no — tombstone is newest). keep = [tomb, live]; trailing
+        // entry is the live version, so nothing drops.
+        let versions = [(9, true), (2, false)];
+        let out = prune_group(&versions, &[], &[4, MAX], true);
+        assert_eq!(out.keep, vec![0, 1]);
+        assert_eq!(out.tombstones_dropped, 0);
+    }
+
+    #[test]
+    fn range_tombstone_hides_versions_from_boundaries() {
+        // rt seq 7 covers the key; latest reader sees nothing (v5 < 7),
+        // snapshot at 6 sees v5 (rt not yet visible? 7 > 6 so rt hidden).
+        let versions = [(5, false), (1, false)];
+        let out = prune_group(&versions, &[7], &[MAX], false);
+        assert!(out.keep.is_empty());
+        assert_eq!(out.shadowed, 2);
+        let out = prune_group(&versions, &[7], &[6, MAX], false);
+        assert_eq!(out.keep, vec![0]);
+    }
+
+    #[test]
+    fn version_newer_than_rt_survives() {
+        let versions = [(9, false)];
+        let out = prune_group(&versions, &[7], &[MAX], true);
+        assert_eq!(out.keep, vec![0]);
+    }
 }

@@ -6,19 +6,28 @@
 //! clocks, which is how flush/compaction interference shows up in client
 //! latency (Figures 5 and 6).
 //!
+//! Every write carries a monotonically increasing sequence number;
+//! [`Db::snapshot`] pins a read view at the current sequence, and
+//! [`Db::scan_range`] iterates the merged key space under such a view.
+//! Range deletes land as range tombstones and flow through flushes and
+//! compactions until no older overlapping data survives below them.
+//!
 //! Rate limiting follows RocksDB: L0 buildup first *slows* writes (an added
 //! delay per put), then *stalls* them (the put must be retried later). The
 //! resulting sawtooth is the throughput oscillation of Figure 6.
 
-use crate::compaction::{CompactionJob, CompactionStats, Entry, MergeIter, TableStream};
-use crate::memtable::Memtable;
+use crate::block::{BlockIter, FindVisible};
+use crate::compaction::{
+    prune_group, CompactionJob, CompactionStats, Entry, MergeIter, TableStream,
+};
+use crate::memtable::{Memtable, RangeTombstone};
 use crate::sstable::{TableBuilder, TableHandle};
 use crate::store::{StoreError, TableStore};
 use crate::version::{LevelMeta, Version};
 use ox_sim::sync::Mutex;
 use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Database tuning knobs (RocksDB-flavoured).
@@ -90,6 +99,8 @@ pub enum DbError {
     Store(StoreError),
     /// Empty key.
     EmptyKey,
+    /// Invalid range (start ≥ end).
+    BadRange,
 }
 
 impl std::fmt::Display for DbError {
@@ -97,6 +108,7 @@ impl std::fmt::Display for DbError {
         match self {
             DbError::Store(e) => write!(f, "store: {e}"),
             DbError::EmptyKey => write!(f, "empty key"),
+            DbError::BadRange => write!(f, "bad range"),
         }
     }
 }
@@ -118,6 +130,22 @@ pub enum PutOutcome {
     Stalled(SimTime),
 }
 
+/// A pinned read view: every read through it sees exactly the writes with
+/// sequence numbers ≤ its own, no matter what lands afterwards. Obtained
+/// from [`Db::snapshot`]; must be handed back via [`Db::release_snapshot`]
+/// so compaction can reclaim the versions it was pinning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    seq: u64,
+}
+
+impl Snapshot {
+    /// The sequence number this view is pinned at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// Operation counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DbStats {
@@ -127,6 +155,8 @@ pub struct DbStats {
     pub gets: u64,
     /// Gets that found a value.
     pub hits: u64,
+    /// Range deletes applied.
+    pub range_deletes: u64,
     /// Puts delayed by the slowdown trigger.
     pub slowdowns: u64,
     /// Puts rejected with a stall.
@@ -142,9 +172,18 @@ pub struct Db {
     store: Arc<dyn TableStore>,
     config: DbConfig,
     mem: Memtable,
-    /// Sealed memtables awaiting flush, oldest first, with flush sequence.
+    /// Sealed memtables awaiting flush, oldest first, with flush generation.
     immutables: VecDeque<(u64, Memtable)>,
     next_mem_seq: u64,
+    /// Next write sequence number (starts at 1; 0 = "sees nothing").
+    next_seq: u64,
+    /// Open snapshot sequence numbers → refcount.
+    snapshots: BTreeMap<u64, u64>,
+    /// Table id → live iterator pin count. Pinned tables removed by a
+    /// compaction are parked in `deferred` instead of being deleted.
+    pins: BTreeMap<u64, u32>,
+    /// Tables removed from the version but still pinned by iterators.
+    deferred: BTreeSet<u64>,
     /// Completion times of flushes still in flight (virtual time): sealed
     /// memtables being written count against the write-pressure gate until
     /// their flush completes.
@@ -179,8 +218,22 @@ struct ActiveCompaction {
     outputs: Vec<TableHandle>,
     frontier: SimTime,
     started: SimTime,
+    /// Input range tombstones (deduplicated); carried to the final output
+    /// unless provably dead at the bottom level.
+    input_rts: Vec<RangeTombstone>,
+    /// Whether a surviving output entry still needs the tombstone at the
+    /// same index in `input_rts` to stay hidden.
+    rt_covered: Vec<bool>,
+    /// Snapshot boundaries captured when the compaction started. Snapshots
+    /// released later only allow *more* pruning; snapshots taken later sit
+    /// above every sequence and always see the newest kept version.
+    boundaries: Vec<u64>,
+    /// Version group of the key currently being merged (seq desc).
+    group_key: Option<Vec<u8>>,
+    group: Vec<(u64, Option<Vec<u8>>)>,
     entries_out: u64,
     tombstones_dropped: u64,
+    rts_dropped: u64,
     shadowed: u64,
     blocks_written: u64,
 }
@@ -195,6 +248,10 @@ impl Db {
             mem: Memtable::new(),
             immutables: VecDeque::new(),
             next_mem_seq: 1,
+            next_seq: 1,
+            snapshots: BTreeMap::new(),
+            pins: BTreeMap::new(),
+            deferred: BTreeSet::new(),
             inflight_flushes: Vec::new(),
             throttle: ox_sim::Timeline::new(),
             drain_rate: config.delayed_write_rate,
@@ -221,9 +278,10 @@ impl Db {
     /// Reopens a database from tables surviving in the backend after a
     /// crash (see `LightLsmStore::surviving_tables`). Each table's meta
     /// region is read back from media (charging virtual time) to rebuild
-    /// its index and bloom filter; recovered tables enter L0 newest-first
-    /// and compaction re-forms the levels. Returns the database and the
-    /// recovery completion time.
+    /// its index, bloom filter and range tombstones; recovered tables enter
+    /// L0 newest-first and compaction re-forms the levels. The write
+    /// sequence restarts *above* every recovered sequence number. Returns
+    /// the database and the recovery completion time.
     pub fn open_with_tables(
         store: Arc<dyn TableStore>,
         config: DbConfig,
@@ -254,6 +312,8 @@ impl Db {
                 }
             }
         }
+        db.next_seq = db.version.max_seq() + 1;
+        db.next_mem_seq = db.next_seq;
         Ok((db, t))
     }
 
@@ -277,10 +337,44 @@ impl Db {
         self.version.level_metas()
     }
 
-    /// Whether background work is pending (immutables to flush or a
-    /// compaction-worthy level).
+    /// Sequence number the next write will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Pins a read view at the current sequence number. Must be paired with
+    /// [`Db::release_snapshot`] — open snapshots stop compaction from
+    /// pruning the versions they can see.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let seq = self.next_seq - 1;
+        *self.snapshots.entry(seq).or_insert(0) += 1;
+        Snapshot { seq }
+    }
+
+    /// Releases a snapshot taken with [`Db::snapshot`].
+    pub fn release_snapshot(&mut self, snap: Snapshot) {
+        if let Some(c) = self.snapshots.get_mut(&snap.seq) {
+            *c -= 1;
+            if *c == 0 {
+                self.snapshots.remove(&snap.seq);
+            }
+        }
+    }
+
+    /// Open snapshot boundaries (ascending) plus the "latest" reader.
+    fn boundaries(&self) -> Vec<u64> {
+        let mut b: Vec<u64> = self.snapshots.keys().copied().collect();
+        b.push(u64::MAX);
+        b
+    }
+
+    /// Whether background work is pending (immutables to flush, a
+    /// compaction-worthy level, or unpinned deferred tables to reclaim).
     pub fn has_background_work(&self) -> bool {
-        !self.immutables.is_empty() || !self.actives.is_empty() || self.pick_compaction().is_some()
+        !self.immutables.is_empty()
+            || !self.actives.is_empty()
+            || self.deferred.iter().any(|id| !self.pins.contains_key(id))
+            || self.pick_compaction().is_some()
     }
 
     fn write_pressure(&mut self, now: SimTime) -> Option<PutOutcome> {
@@ -292,12 +386,35 @@ impl Db {
         None
     }
 
+    /// Charges the RocksDB-style delayed-write admission for `bytes` when
+    /// L0 is over the slowdown trigger.
+    fn admit(&mut self, mut t: SimTime, bytes: usize) -> SimTime {
+        if self.version.l0_count() >= self.config.l0_slowdown {
+            let bytes = bytes.max(1);
+            let aggregate = self.drain_rate * self.actives.len().max(1) as f64;
+            let service = SimDuration::from_nanos((bytes as f64 * 1e9 / aggregate.max(1.0)) as u64);
+            t = self.throttle.acquire(t, service).end;
+            self.stats.slowdowns += 1;
+            self.obs.metrics.record("lsm.slowdown", bytes as u64);
+        }
+        t
+    }
+
+    fn maybe_rotate(&mut self) {
+        if self.mem.approximate_bytes() >= self.config.memtable_bytes {
+            let full = std::mem::take(&mut self.mem);
+            let seq = self.next_mem_seq;
+            self.next_mem_seq += 1;
+            self.immutables.push_back((seq, full));
+        }
+    }
+
     /// Inserts a key/value pair.
     pub fn put(&mut self, now: SimTime, key: &[u8], value: &[u8]) -> Result<PutOutcome, DbError> {
         self.write_internal(now, key, Some(value))
     }
 
-    /// Deletes a key (tombstone).
+    /// Deletes a key (point tombstone).
     pub fn delete(&mut self, now: SimTime, key: &[u8]) -> Result<PutOutcome, DbError> {
         self.write_internal(now, key, None)
     }
@@ -317,89 +434,183 @@ impl Db {
             self.obs.tracer.instant(now, "lsm", "stall", 0);
             return Ok(stall);
         }
-        let mut t = now + self.config.put_cpu;
-        if self.version.l0_count() >= self.config.l0_slowdown {
-            // Delayed writes: admit bytes at the adaptive drain rate,
-            // shared across all writers (RocksDB's write controller). The
-            // aggregate drain scales with the compactions in flight.
-            let bytes = (key.len() + value.map_or(0, <[u8]>::len)).max(1);
-            let aggregate = self.drain_rate * self.actives.len().max(1) as f64;
-            let service = SimDuration::from_nanos((bytes as f64 * 1e9 / aggregate.max(1.0)) as u64);
-            t = self.throttle.acquire(t, service).end;
-            self.stats.slowdowns += 1;
-            self.obs.metrics.record("lsm.slowdown", bytes as u64);
-        }
+        let t = now + self.config.put_cpu;
+        let t = self.admit(t, key.len() + value.map_or(0, <[u8]>::len));
+        let seq = self.next_seq;
+        self.next_seq += 1;
         match value {
-            Some(v) => self.mem.put(key, v),
-            None => self.mem.delete(key),
+            Some(v) => self.mem.put(key, seq, v),
+            None => self.mem.delete(key, seq),
         }
         self.stats.puts += 1;
-        if self.mem.approximate_bytes() >= self.config.memtable_bytes {
-            let full = std::mem::take(&mut self.mem);
-            let seq = self.next_mem_seq;
-            self.next_mem_seq += 1;
-            self.immutables.push_back((seq, full));
-        }
+        self.maybe_rotate();
         Ok(PutOutcome::Done(t))
     }
 
-    /// Looks up a key. Returns the value (if any) and the completion time.
+    /// Deletes every key in `[start, end)` with one range tombstone.
+    pub fn delete_range(
+        &mut self,
+        now: SimTime,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<PutOutcome, DbError> {
+        if start.is_empty() || end.is_empty() {
+            return Err(DbError::EmptyKey);
+        }
+        if start >= end {
+            return Err(DbError::BadRange);
+        }
+        if let Some(stall) = self.write_pressure(now) {
+            self.stats.stalls += 1;
+            self.obs.metrics.record("lsm.stall", 0);
+            self.obs.tracer.instant(now, "lsm", "stall", 0);
+            return Ok(stall);
+        }
+        let t = now + self.config.put_cpu;
+        let t = self.admit(t, start.len() + end.len());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.mem.delete_range(start, end, seq);
+        self.stats.range_deletes += 1;
+        self.obs
+            .metrics
+            .record("lsm.range_delete", (start.len() + end.len()) as u64);
+        self.maybe_rotate();
+        Ok(PutOutcome::Done(t))
+    }
+
+    /// Looks up a key at the latest sequence. Returns the value (if any)
+    /// and the completion time.
     pub fn get(&mut self, now: SimTime, key: &[u8]) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
+        self.get_visible(now, key, u64::MAX)
+    }
+
+    /// Looks up a key under a pinned snapshot.
+    pub fn get_at(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+        snap: Snapshot,
+    ) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
+        self.get_visible(now, key, snap.seq)
+    }
+
+    fn get_visible(
+        &mut self,
+        now: SimTime,
+        key: &[u8],
+        snap: u64,
+    ) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
         if key.is_empty() {
             return Err(DbError::EmptyKey);
         }
         self.stats.gets += 1;
         let mut t = now + self.config.get_cpu;
 
-        // Memory first: active memtable, then immutables newest-first.
-        if let Some(v) = self.mem.get(key) {
-            if v.is_some() {
-                self.stats.hits += 1;
-            }
-            return Ok((v.map(<[u8]>::to_vec), t));
+        // Highest covering range-tombstone sequence ≤ snap, across every
+        // source. All tombstones live in memory (memtables and table
+        // handles), so this costs no device time.
+        let mut rt_max = self.mem.max_covering_tombstone(key, snap);
+        for (_, imm) in &self.immutables {
+            rt_max = rt_max.max(imm.max_covering_tombstone(key, snap));
         }
-        for (_, imm) in self.immutables.iter().rev() {
-            if let Some(v) = imm.get(key) {
-                if v.is_some() {
-                    self.stats.hits += 1;
+        for h in self.version.all_tables() {
+            rt_max = rt_max.max(h.covering_tombstone(key, snap));
+        }
+
+        // Memory first: versions flow memtable → immutables → tables in
+        // per-key sequence order, so the first source holding a visible
+        // version holds the newest visible one.
+        let mut best: Option<(u64, Option<Vec<u8>>)> = None;
+        if let Some((s, v)) = self.mem.point_visible(key, snap) {
+            best = Some((s, v.map(<[u8]>::to_vec)));
+        } else {
+            for (_, imm) in self.immutables.iter().rev() {
+                if let Some((s, v)) = imm.point_visible(key, snap) {
+                    best = Some((s, v.map(<[u8]>::to_vec)));
+                    break;
                 }
-                return Ok((v.map(<[u8]>::to_vec), t));
             }
         }
 
-        // Tables: L0 newest-first, then one candidate per level. The data
-        // block is read from the device every time (no block cache, per the
-        // paper's benchmark configuration); index and bloom live in memory.
-        let candidates: Vec<(u64, Option<u32>, bool)> = self
-            .version
-            .tables_for_get(key)
-            .into_iter()
-            .map(|h| {
-                let maybe = h.bloom.maybe_contains(key);
-                (h.id, h.block_for(key), maybe)
-            })
-            .collect();
-        for (id, block, maybe) in candidates {
-            t += SimDuration::from_nanos(150); // bloom probe
-            if !maybe {
-                self.stats.bloom_skips += 1;
-                continue;
-            }
-            let Some(block) = block else { continue };
-            let done = self
-                .store
-                .read_block(t, id, block, &mut self.scratch)
-                .map_err(DbError::from)?;
-            t = done;
-            self.stats.get_blocks_read += 1;
-            if let Some(v) = crate::block::BlockIter::find(&self.scratch, key) {
-                if v.is_some() {
-                    self.stats.hits += 1;
+        if best.is_none() {
+            // Tables: the data block is read from the device every time (no
+            // block cache, per the paper's benchmark configuration); index
+            // and bloom live in memory. Probe order is irrelevant for
+            // correctness — the winner is the highest visible sequence — but
+            // `max_seq` lets stale tables be skipped without device reads.
+            let candidates: Vec<(u64, Option<u32>, u32, u64, bool)> = self
+                .version
+                .tables_for_get(key)
+                .into_iter()
+                .map(|h| {
+                    (
+                        h.id,
+                        h.block_for(key),
+                        h.data_blocks,
+                        h.max_seq,
+                        h.bloom.maybe_contains(key),
+                    )
+                })
+                .collect();
+            for (id, block, data_blocks, max_seq, maybe) in candidates {
+                if let Some((bs, _)) = &best {
+                    if *bs >= max_seq {
+                        continue;
+                    }
                 }
-                return Ok((v.map(<[u8]>::to_vec), t));
+                if rt_max.is_some_and(|r| r >= max_seq) {
+                    continue; // every version in the table is hidden
+                }
+                t += SimDuration::from_nanos(150); // bloom probe
+                if !maybe {
+                    self.stats.bloom_skips += 1;
+                    continue;
+                }
+                let Some(mut b) = block else { continue };
+                loop {
+                    let done = self
+                        .store
+                        .read_block(t, id, b, &mut self.scratch)
+                        .map_err(DbError::from)?;
+                    t = done;
+                    self.stats.get_blocks_read += 1;
+                    match BlockIter::find_visible(&self.scratch, key, snap) {
+                        FindVisible::Found(s, v) => {
+                            if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
+                                best = Some((s, v.map(<[u8]>::to_vec)));
+                            }
+                            break;
+                        }
+                        FindVisible::Absent => break,
+                        FindVisible::Continue => {
+                            // The key's version run spills into the next
+                            // block.
+                            b += 1;
+                            if b >= data_blocks {
+                                break;
+                            }
+                        }
+                    }
+                }
             }
         }
-        Ok((None, t))
+
+        let visible = match (best, rt_max) {
+            (Some((s, v)), Some(r)) => {
+                if s > r {
+                    v
+                } else {
+                    None // the range tombstone hides the newest version
+                }
+            }
+            (Some((_, v)), None) => v,
+            (None, _) => None,
+        };
+        if visible.is_some() {
+            self.stats.hits += 1;
+        }
+        Ok((visible, t))
     }
 
     /// Rotates the active memtable into the immutable queue (e.g. before a
@@ -413,23 +624,82 @@ impl Db {
         }
     }
 
-    /// Flushes the oldest immutable memtable into an L0 table. Returns the
-    /// completion time, or `None` when there is nothing to flush. Called by
-    /// the background flusher actor.
+    /// Deletes deferred tables whose last iterator pin is gone. Returns the
+    /// advanced clock and whether anything was reclaimed.
+    fn reap_deferred(&mut self, mut t: SimTime) -> Result<(SimTime, bool), DbError> {
+        let ready: Vec<u64> = self
+            .deferred
+            .iter()
+            .copied()
+            .filter(|id| !self.pins.contains_key(id))
+            .collect();
+        let did = !ready.is_empty();
+        for id in ready {
+            self.deferred.remove(&id);
+            t = self.store.delete_table(t, id)?;
+        }
+        Ok((t, did))
+    }
+
+    /// Flushes the oldest immutable memtable into an L0 table. Versions no
+    /// open snapshot can see are pruned as they stream out (the memtable's
+    /// own range tombstones count as covering); the tombstones themselves
+    /// are persisted in the table's meta region. Returns the completion
+    /// time, or `None` when there is nothing to flush.
     pub fn flush_once(&mut self, now: SimTime) -> Result<Option<SimTime>, DbError> {
-        let Some((seq, imm)) = self.immutables.pop_front() else {
-            return Ok(None);
+        let (now, reaped) = self.reap_deferred(now)?;
+        let Some((gen, imm)) = self.immutables.pop_front() else {
+            return Ok(if reaped { Some(now) } else { None });
         };
         let mut t = now + self.config.build_cpu_per_entry * imm.len() as u64;
+        let boundaries = self.boundaries();
         let mut builder = TableBuilder::new(self.store.block_bytes(), self.config.bits_per_key);
-        for (k, v) in imm.iter() {
-            builder.add(k, v);
+        let rts = imm.range_dels();
+        let flush_group = |key: &[u8],
+                           group: &[(u64, Option<&[u8]>)],
+                           builder: &mut TableBuilder| {
+            let versions: Vec<(u64, bool)> = group.iter().map(|(s, v)| (*s, v.is_none())).collect();
+            let covering: Vec<u64> = rts
+                .iter()
+                .filter(|rt| rt.covers(key))
+                .map(|rt| rt.seq)
+                .collect();
+            let out = prune_group(&versions, &covering, &boundaries, false);
+            for &i in &out.keep {
+                let (s, v) = group[i];
+                builder.add(key, s, v);
+            }
+        };
+        let mut pending_key: Option<Vec<u8>> = None;
+        let mut pending: Vec<(u64, Option<&[u8]>)> = Vec::new();
+        for (k, s, v) in imm.iter_versions() {
+            if pending_key.as_deref() == Some(k) {
+                pending.push((s, v));
+            } else {
+                if let Some(pk) = pending_key.take() {
+                    flush_group(&pk, &pending, &mut builder);
+                }
+                pending_key = Some(k.to_vec());
+                pending.clear();
+                pending.push((s, v));
+            }
+        }
+        if let Some(pk) = pending_key.take() {
+            flush_group(&pk, &pending, &mut builder);
+        }
+        for rt in rts {
+            builder.add_range_del(rt.clone());
+        }
+        if builder.is_empty() {
+            // Unreachable for sealed memtables (they always hold data), but
+            // cheap to guard: nothing survived pruning, nothing to write.
+            return Ok(Some(t));
         }
         let (bytes, mut handle) = builder.finish();
         let (id, done) = self.store.flush_table(t, &bytes)?;
         t = done;
         handle.id = id;
-        handle.seq = seq;
+        handle.seq = gen;
         self.cstats.flushes += 1;
         self.cstats.flush_nanos += t.saturating_since(now).as_nanos();
         self.cstats.blocks_written += handle.data_blocks as u64;
@@ -512,6 +782,58 @@ impl Db {
         (level + 1..self.version.max_levels()).all(|l| self.version.level(l).is_empty())
     }
 
+    /// Prunes and emits the finished version group of one key into the
+    /// active compaction's builder, cutting output tables between groups.
+    fn emit_group(
+        ac: &mut ActiveCompaction,
+        store: &Arc<dyn TableStore>,
+        config: &DbConfig,
+        block_bytes: usize,
+        t: &mut SimTime,
+    ) -> Result<(), DbError> {
+        let Some(key) = ac.group_key.take() else {
+            return Ok(());
+        };
+        let group = std::mem::take(&mut ac.group);
+        let versions: Vec<(u64, bool)> = group.iter().map(|(s, v)| (*s, v.is_none())).collect();
+        let covering: Vec<u64> = ac
+            .input_rts
+            .iter()
+            .filter(|rt| rt.covers(&key))
+            .map(|rt| rt.seq)
+            .collect();
+        let out = prune_group(&versions, &covering, &ac.boundaries, ac.drop_tombstones);
+        ac.shadowed += out.shadowed;
+        ac.tombstones_dropped += out.tombstones_dropped;
+        if out.keep.is_empty() {
+            return Ok(());
+        }
+        // Cut between groups only, so a key's version run never splits
+        // across output tables.
+        if ac.builder.projected_total_bytes() + block_bytes > config.table_bytes
+            && !ac.builder.is_empty()
+        {
+            let b = std::mem::replace(
+                &mut ac.builder,
+                TableBuilder::new(block_bytes, config.bits_per_key),
+            );
+            let h = Self::flush_output(store, b, t)?;
+            ac.blocks_written += h.data_blocks as u64;
+            ac.outputs.push(h);
+        }
+        for &i in &out.keep {
+            let (seq, v) = &group[i];
+            ac.builder.add(&key, *seq, v.as_deref());
+            ac.entries_out += 1;
+            for (ri, rt) in ac.input_rts.iter().enumerate() {
+                if *seq < rt.seq && rt.covers(&key) {
+                    ac.rt_covered[ri] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Advances background compaction by one bounded step and returns the
     /// virtual time reached, or `None` when no compaction work exists.
     ///
@@ -520,8 +842,10 @@ impl Db {
     /// virtual-time block, which would starve concurrent flushes of device
     /// resources), and several compactions can be in flight at once — one
     /// per background worker, as in RocksDB. Input tables stay readable
-    /// until their compaction completes.
+    /// until their compaction completes — and longer, if a pinned iterator
+    /// still streams from them (deletion is deferred to the last unpin).
     pub fn compact_once(&mut self, now: SimTime) -> Result<Option<SimTime>, DbError> {
+        let (now, reaped) = self.reap_deferred(now)?;
         // Start a new compaction if a trigger fires on conflict-free inputs.
         if self.actives.len() < self.config.max_parallel_compactions {
             if let Some(job) = self.pick_compaction() {
@@ -539,6 +863,14 @@ impl Db {
                     .enumerate()
                     .map(|(rank, h)| TableStream::new(h.clone(), rank, block_bytes))
                     .collect();
+                let mut input_rts: Vec<RangeTombstone> = job
+                    .inputs
+                    .iter()
+                    .flat_map(|h| h.range_dels.iter().cloned())
+                    .collect();
+                input_rts.sort();
+                input_rts.dedup();
+                let rt_covered = vec![false; input_rts.len()];
                 self.actives.push(ActiveCompaction {
                     from: job.from_level,
                     to: job.to_level,
@@ -549,15 +881,21 @@ impl Db {
                     outputs: Vec::new(),
                     frontier: now,
                     started: now,
+                    input_rts,
+                    rt_covered,
+                    boundaries: self.boundaries(),
+                    group_key: None,
+                    group: Vec::new(),
                     entries_out: 0,
                     tombstones_dropped: 0,
+                    rts_dropped: 0,
                     shadowed: 0,
                     blocks_written: 0,
                 });
             }
         }
         if self.actives.is_empty() {
-            return Ok(None);
+            return Ok(if reaped { Some(now) } else { None });
         }
 
         // Advance one active compaction (round-robin across workers).
@@ -573,33 +911,20 @@ impl Db {
             if processed >= budget_entries {
                 break;
             }
-            match ac
-                .merge
-                .next(&mut t, &mut ac.shadowed)
-                .map_err(DbError::from)?
-            {
-                Some((key, value)) => {
+            match ac.merge.next(&mut t).map_err(DbError::from)? {
+                Some((key, seq, value)) => {
                     processed += 1;
                     t += self.config.build_cpu_per_entry;
-                    if value.is_none() && ac.drop_tombstones {
-                        ac.tombstones_dropped += 1;
-                        continue;
+                    if ac.group_key.as_deref() == Some(key.as_slice()) {
+                        ac.group.push((seq, value));
+                    } else {
+                        Self::emit_group(&mut ac, &self.store, &self.config, block_bytes, &mut t)?;
+                        ac.group_key = Some(key);
+                        ac.group.push((seq, value));
                     }
-                    if ac.builder.projected_total_bytes() + block_bytes > self.config.table_bytes
-                        && !ac.builder.is_empty()
-                    {
-                        let b = std::mem::replace(
-                            &mut ac.builder,
-                            TableBuilder::new(block_bytes, self.config.bits_per_key),
-                        );
-                        let h = Self::flush_output(&self.store, b, &mut t)?;
-                        ac.blocks_written += h.data_blocks as u64;
-                        ac.outputs.push(h);
-                    }
-                    ac.builder.add(&key, value.as_deref());
-                    ac.entries_out += 1;
                 }
                 None => {
+                    Self::emit_group(&mut ac, &self.store, &self.config, block_bytes, &mut t)?;
                     finished = true;
                     break;
                 }
@@ -607,6 +932,27 @@ impl Db {
         }
 
         if finished {
+            // Range tombstones ride along to the final output unless this is
+            // the bottom level and nothing they could hide survives: no kept
+            // output entry under them, and no live non-input table holding
+            // older overlapping data.
+            for ri in 0..ac.input_rts.len() {
+                let rt = &ac.input_rts[ri];
+                let keep = !ac.drop_tombstones
+                    || ac.rt_covered[ri]
+                    || self.version.all_tables().into_iter().any(|h| {
+                        !ac.removed.contains(&h.id)
+                            && h.entries > 0
+                            && h.min_seq < rt.seq
+                            && rt.overlaps(&h.min_key, &h.max_key)
+                    });
+                if keep {
+                    let rt = rt.clone();
+                    ac.builder.add_range_del(rt);
+                } else {
+                    ac.rts_dropped += 1;
+                }
+            }
             if !ac.builder.is_empty() {
                 let b = std::mem::replace(
                     &mut ac.builder,
@@ -617,8 +963,14 @@ impl Db {
                 ac.outputs.push(h);
             }
             for id in &ac.removed {
-                t = self.store.delete_table(t, *id)?;
                 self.compacting.remove(id);
+                if self.pins.contains_key(id) {
+                    // A live iterator still streams from this table; delete
+                    // it when the last pin is released.
+                    self.deferred.insert(*id);
+                } else {
+                    t = self.store.delete_table(t, *id)?;
+                }
             }
             self.version
                 .apply_edit(ac.from, ac.to, &ac.removed, std::mem::take(&mut ac.outputs));
@@ -634,6 +986,7 @@ impl Db {
             self.cstats.blocks_written += ac.blocks_written;
             self.cstats.entries_out += ac.entries_out;
             self.cstats.tombstones_dropped += ac.tombstones_dropped;
+            self.cstats.range_tombstones_dropped += ac.rts_dropped;
             self.cstats.entries_shadowed += ac.shadowed;
             let out_bytes = ac.blocks_written * block_bytes as u64;
             self.obs.metrics.record("lsm.compaction", out_bytes);
@@ -663,102 +1016,246 @@ impl Db {
         Ok(handle)
     }
 
-    /// Creates a snapshot iterator over the whole database starting at
-    /// `start` (inclusive). Block reads charge time to the iterator's clock.
-    pub fn scan_from(&self, start: &[u8]) -> DbIter {
+    /// Iterates `[start, end)` (or to the end of the key space when `end`
+    /// is `None`) under a pinned snapshot. The snapshot must stay
+    /// registered for the iterator's lifetime; every table the iterator
+    /// streams from is pinned against deletion until the iterator is
+    /// released via [`Db::release_iter`] (or automatically, for iterators
+    /// obtained through [`SharedDb`]).
+    pub fn scan_range(&mut self, snap: Snapshot, start: &[u8], end: Option<&[u8]>) -> DbIter {
         let block_bytes = self.store.block_bytes();
-        let mut mem: Vec<Entry> = Vec::new();
-        for (k, v) in self.mem.range_from(start) {
-            mem.push((k.to_vec(), v.map(<[u8]>::to_vec)));
-        }
-        for (_, imm) in &self.immutables {
-            for (k, v) in imm.range_from(start) {
-                mem.push((k.to_vec(), v.map(<[u8]>::to_vec)));
+        let snap_seq = snap.seq;
+        let mut entries: Vec<Entry> = Vec::new();
+        for (k, s, v) in self.mem.versions_from(start) {
+            if s <= snap_seq && end.is_none_or(|e| k < e) {
+                entries.push((k.to_vec(), s, v.map(<[u8]>::to_vec)));
             }
         }
-        mem.sort_by(|a, b| a.0.cmp(&b.0));
-        mem.dedup_by(|a, b| a.0 == b.0); // keep first = newest? see note below
+        for (_, imm) in &self.immutables {
+            for (k, s, v) in imm.versions_from(start) {
+                if s <= snap_seq && end.is_none_or(|e| k < e) {
+                    entries.push((k.to_vec(), s, v.map(<[u8]>::to_vec)));
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut rts: Vec<RangeTombstone> = Vec::new();
+        for rt in self.mem.range_dels() {
+            if rt.seq <= snap_seq {
+                rts.push(rt.clone());
+            }
+        }
+        for (_, imm) in &self.immutables {
+            for rt in imm.range_dels() {
+                if rt.seq <= snap_seq {
+                    rts.push(rt.clone());
+                }
+            }
+        }
         let mut streams = Vec::new();
-        // Rank 0 is freshest; memory entries are handled separately and win
-        // ties outright.
+        let mut pinned = Vec::new();
         for (rank, h) in self.version.all_tables().into_iter().enumerate() {
+            for rt in &h.range_dels {
+                if rt.seq <= snap_seq {
+                    rts.push(rt.clone());
+                }
+            }
+            if h.entries == 0 {
+                continue; // rt-only table: its tombstones are copied above
+            }
+            let in_window =
+                h.max_key.as_slice() >= start && end.is_none_or(|e| h.min_key.as_slice() < e);
+            if !in_window {
+                continue;
+            }
             let mut s = TableStream::new(h.clone(), rank, block_bytes);
             s.seek(start);
             streams.push(s);
+            pinned.push(h.id);
+        }
+        for id in &pinned {
+            *self.pins.entry(*id).or_insert(0) += 1;
         }
         DbIter {
             merge: MergeIter::new(streams, self.store.clone()),
-            mem: mem.into(),
+            mem: entries.into(),
+            rts,
+            snap: snap_seq,
+            owns_snapshot: false,
+            pinned,
             start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
             last_key: None,
             table_pending: None,
+            done: false,
+            owner: None,
         }
+    }
+
+    /// Iterates the whole database from `start` under a freshly pinned
+    /// snapshot owned by the iterator — later writes never leak into the
+    /// scan. Release with [`Db::release_iter`] (automatic for iterators
+    /// obtained through [`SharedDb`]).
+    pub fn scan_from(&mut self, start: &[u8]) -> DbIter {
+        let snap = self.snapshot();
+        let mut it = self.scan_range(snap, start, None);
+        it.owns_snapshot = true;
+        it
+    }
+
+    fn release_scan(&mut self, pinned: &[u64], snapshot: Option<Snapshot>) {
+        for id in pinned {
+            if let Some(c) = self.pins.get_mut(id) {
+                *c -= 1;
+                if *c == 0 {
+                    self.pins.remove(id);
+                }
+            }
+        }
+        if let Some(s) = snapshot {
+            self.release_snapshot(s);
+        }
+    }
+
+    /// Unpins an iterator's tables (and its snapshot, for
+    /// [`Db::scan_from`] iterators), letting compaction reclaim them.
+    pub fn release_iter(&mut self, iter: &mut DbIter) {
+        let pinned = std::mem::take(&mut iter.pinned);
+        let snap = if iter.owns_snapshot {
+            iter.owns_snapshot = false;
+            Some(Snapshot { seq: iter.snap })
+        } else {
+            None
+        };
+        iter.owner = None;
+        self.release_scan(&pinned, snap);
     }
 }
 
 /// A key/value pair returned by iteration.
 pub type KvPair = (Vec<u8>, Vec<u8>);
 
-/// A merged snapshot iterator (read-sequential workloads).
+/// A merged snapshot iterator (range scans and read-sequential workloads).
+///
+/// The iterator sees exactly the database state at its snapshot: memtable
+/// versions are copied out at creation, table streams are pinned against
+/// deletion, and newer writes are filtered by sequence number. Obtained via
+/// [`Db::scan_range`] / [`Db::scan_from`] (caller releases) or through
+/// [`SharedDb`] (released automatically on drop).
 pub struct DbIter {
     merge: MergeIter,
     mem: VecDeque<Entry>,
+    rts: Vec<RangeTombstone>,
+    snap: u64,
+    owns_snapshot: bool,
+    pinned: Vec<u64>,
     start: Vec<u8>,
+    end: Option<Vec<u8>>,
     last_key: Option<Vec<u8>>,
     table_pending: Option<Entry>,
+    done: bool,
+    owner: Option<SharedDb>,
 }
 
 impl DbIter {
+    /// The sequence number this iterator reads at.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snap
+    }
+
     fn next_table(&mut self, t: &mut SimTime) -> Result<Option<Entry>, DbError> {
-        if let Some(kv) = self.table_pending.take() {
-            return Ok(Some(kv));
+        if let Some(e) = self.table_pending.take() {
+            return Ok(Some(e));
         }
-        let mut shadowed = 0u64;
         loop {
-            match self.merge.next(t, &mut shadowed)? {
-                Some((k, _)) if k.as_slice() < self.start.as_slice() => continue,
-                other => return Ok(other),
+            match self.merge.next(t)? {
+                Some((k, s, v)) => {
+                    if k.as_slice() < self.start.as_slice() || s > self.snap {
+                        continue;
+                    }
+                    return Ok(Some((k, s, v)));
+                }
+                None => return Ok(None),
             }
         }
     }
 
     /// Next live entry in key order; advances `t` for block reads. Returns
-    /// `None` at the end of the keyspace.
+    /// `None` at the end of the range.
     pub fn next(&mut self, t: &mut SimTime) -> Result<Option<KvPair>, DbError> {
+        if self.done {
+            return Ok(None);
+        }
         loop {
             let table_next = self.next_table(t)?;
-            // Memory wins ties (it is always newer than any table).
+            // Merge memory and tables in (key asc, seq desc) order; equal
+            // sequence numbers cannot collide across the two sides.
             let use_mem = match (self.mem.front(), &table_next) {
-                (Some((mk, _)), Some((tk, _))) => mk <= tk,
+                (Some((mk, ms, _)), Some((tk, ts, _))) => match mk.as_slice().cmp(tk.as_slice()) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => ms >= ts,
+                },
                 (Some(_), None) => true,
-                _ => false,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    self.done = true;
+                    return Ok(None);
+                }
             };
-            let (key, value) = if use_mem {
-                let Some((mk, mv)) = self.mem.pop_front() else {
-                    return Ok(None); // unreachable: use_mem requires a front entry
+            let (key, seq, value) = if use_mem {
+                if let Some(e) = table_next {
+                    self.table_pending = Some(e);
+                }
+                let Some(e) = self.mem.pop_front() else {
+                    self.done = true;
+                    return Ok(None); // unreachable: use_mem requires a front
                 };
-                if let Some((tk, tv)) = table_next {
-                    if tk != mk {
-                        self.table_pending = Some((tk, tv));
-                    }
-                    // tk == mk: the table's version is shadowed; drop it.
-                }
-                (mk, mv)
+                e
             } else {
-                match table_next {
-                    Some(kv) => kv,
-                    None => return Ok(None),
-                }
+                let Some(e) = table_next else {
+                    self.done = true;
+                    return Ok(None); // unreachable: covered by (None, None)
+                };
+                e
             };
-            // Skip shadowed repeats and tombstones.
+            if self.end.as_deref().is_some_and(|e| key.as_slice() >= e) {
+                self.done = true;
+                return Ok(None);
+            }
+            // Only the newest visible version of a key counts; older ones
+            // arrive right after it and are skipped here.
             if self.last_key.as_deref() == Some(key.as_slice()) {
                 continue;
             }
             self.last_key = Some(key.clone());
+            let rt_max = self
+                .rts
+                .iter()
+                .filter(|rt| rt.covers(&key))
+                .map(|rt| rt.seq)
+                .max();
+            if rt_max.is_some_and(|r| seq < r) {
+                continue; // range-deleted under this snapshot
+            }
             match value {
                 Some(v) => return Ok(Some((key, v))),
-                None => continue,
+                None => continue, // point tombstone
             }
+        }
+    }
+}
+
+impl Drop for DbIter {
+    fn drop(&mut self) {
+        if let Some(owner) = self.owner.take() {
+            let pinned = std::mem::take(&mut self.pinned);
+            let snap = if self.owns_snapshot {
+                Some(Snapshot { seq: self.snap })
+            } else {
+                None
+            };
+            owner.with(move |db| db.release_scan(&pinned, snap));
         }
     }
 }
@@ -793,9 +1290,39 @@ impl SharedDb {
         self.0.lock().get(now, key)
     }
 
+    /// See [`Db::get_at`].
+    pub fn get_at(
+        &self,
+        now: SimTime,
+        key: &[u8],
+        snap: Snapshot,
+    ) -> Result<(Option<Vec<u8>>, SimTime), DbError> {
+        self.0.lock().get_at(now, key, snap)
+    }
+
     /// See [`Db::delete`].
     pub fn delete(&self, now: SimTime, key: &[u8]) -> Result<PutOutcome, DbError> {
         self.0.lock().delete(now, key)
+    }
+
+    /// See [`Db::delete_range`].
+    pub fn delete_range(
+        &self,
+        now: SimTime,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<PutOutcome, DbError> {
+        self.0.lock().delete_range(now, start, end)
+    }
+
+    /// See [`Db::snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        self.0.lock().snapshot()
+    }
+
+    /// See [`Db::release_snapshot`].
+    pub fn release_snapshot(&self, snap: Snapshot) {
+        self.0.lock().release_snapshot(snap)
     }
 
     /// See [`Db::flush_once`].
@@ -813,9 +1340,21 @@ impl SharedDb {
         self.0.lock().seal_memtable()
     }
 
-    /// See [`Db::scan_from`].
+    /// See [`Db::scan_from`]. The iterator releases its pins and snapshot
+    /// automatically when dropped — but must not be dropped while the
+    /// database lock is held (e.g. inside [`SharedDb::with`]).
     pub fn scan_from(&self, start: &[u8]) -> DbIter {
-        self.0.lock().scan_from(start)
+        let mut it = self.0.lock().scan_from(start);
+        it.owner = Some(self.clone());
+        it
+    }
+
+    /// See [`Db::scan_range`]. The iterator releases its table pins
+    /// automatically when dropped; the snapshot stays with the caller.
+    pub fn scan_range(&self, snap: Snapshot, start: &[u8], end: Option<&[u8]>) -> DbIter {
+        let mut it = self.0.lock().scan_range(snap, start, end);
+        it.owner = Some(self.clone());
+        it
     }
 
     /// See [`Db::has_background_work`].

@@ -34,11 +34,11 @@ mod sstable;
 mod store;
 mod version;
 
-pub use block::{BlockBuilder, BlockIter};
+pub use block::{BlockBuilder, BlockIter, FindVisible};
 pub use bloom::BloomFilter;
 pub use compaction::CompactionStats;
-pub use db::{Db, DbConfig, DbError, DbIter, KvPair, PutOutcome, SharedDb};
-pub use memtable::Memtable;
+pub use db::{Db, DbConfig, DbError, DbIter, DbStats, KvPair, PutOutcome, SharedDb, Snapshot};
+pub use memtable::{Memtable, RangeTombstone};
 pub use sstable::{TableBuilder, TableHandle};
 pub use store::{BlockStore, LightLsmStore, StoreError, TableStore};
 pub use version::{LevelMeta, Version};

@@ -1,13 +1,53 @@
-//! In-memory write buffer (memtable).
+//! In-memory write buffer (memtable) with multi-version entries and range
+//! tombstones.
+//!
+//! Every write carries a database-wide sequence number; the memtable keeps
+//! *all* versions of a key (newest first) so snapshot reads pinned at an
+//! older sequence number stay stable while later writes land. Range deletes
+//! are recorded as [`RangeTombstone`]s — half-open `[start, end)` intervals
+//! stamped with the deleting write's sequence number — and flow into the
+//! SSTables at flush.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-/// A sorted in-memory buffer; `None` values are tombstones.
+/// A range delete: hides every version of every key in `[start, end)` whose
+/// sequence number is below `seq`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RangeTombstone {
+    /// First key covered (inclusive).
+    pub start: Vec<u8>,
+    /// First key *not* covered (exclusive).
+    pub end: Vec<u8>,
+    /// Sequence number of the range delete.
+    pub seq: u64,
+}
+
+impl RangeTombstone {
+    /// Whether `key` falls inside `[start, end)`.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        self.start.as_slice() <= key && key < self.end.as_slice()
+    }
+
+    /// Whether the tombstone's span intersects the closed key range
+    /// `[min, max]`.
+    pub fn overlaps(&self, min: &[u8], max: &[u8]) -> bool {
+        self.start.as_slice() <= max && min < self.end.as_slice()
+    }
+}
+
+/// A key's version chain, newest-first: `(seq, value)` entries where `None`
+/// values are point tombstones.
+type VersionChain = Vec<(u64, Option<Vec<u8>>)>;
+
+/// A sorted in-memory buffer. Per key, a list of `(seq, value)` versions is
+/// kept newest-first; `None` values are point tombstones.
 #[derive(Default)]
 pub struct Memtable {
-    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    map: BTreeMap<Vec<u8>, VersionChain>,
+    range_dels: Vec<RangeTombstone>,
     bytes: usize,
+    versions: usize,
 }
 
 impl Memtable {
@@ -16,28 +56,54 @@ impl Memtable {
         Self::default()
     }
 
-    /// Inserts or overwrites a key.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) {
-        self.insert(key, Some(value.to_vec()));
+    /// Inserts a new version of a key.
+    pub fn put(&mut self, key: &[u8], seq: u64, value: &[u8]) {
+        self.insert(key, seq, Some(value.to_vec()));
     }
 
-    /// Records a deletion.
-    pub fn delete(&mut self, key: &[u8]) {
-        self.insert(key, None);
+    /// Records a point deletion.
+    pub fn delete(&mut self, key: &[u8], seq: u64) {
+        self.insert(key, seq, None);
     }
 
-    fn insert(&mut self, key: &[u8], value: Option<Vec<u8>>) {
-        let add = key.len() + value.as_ref().map_or(0, Vec::len) + 32;
-        if let Some(old) = self.map.insert(key.to_vec(), value) {
-            self.bytes -= key.len() + old.map_or(0, |v| v.len()) + 32;
-        }
-        self.bytes += add;
+    fn insert(&mut self, key: &[u8], seq: u64, value: Option<Vec<u8>>) {
+        self.bytes += key.len() + value.as_ref().map_or(0, Vec::len) + 40;
+        self.versions += 1;
+        let versions = self.map.entry(key.to_vec()).or_default();
+        // Sequence numbers are assigned monotonically, so the new version
+        // belongs at the front.
+        versions.insert(0, (seq, value));
     }
 
-    /// Looks a key up: `Some(Some(v))` live, `Some(None)` tombstone, `None`
-    /// not present.
-    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
-        self.map.get(key).map(|v| v.as_deref())
+    /// Records a range delete over `[start, end)`.
+    pub fn delete_range(&mut self, start: &[u8], end: &[u8], seq: u64) {
+        self.bytes += start.len() + end.len() + 48;
+        self.range_dels.push(RangeTombstone {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            seq,
+        });
+    }
+
+    /// Newest point version of `key` with sequence number ≤ `snap`, if the
+    /// memtable holds one. Range tombstones are *not* applied here — the
+    /// caller combines the result with [`Memtable::max_covering_tombstone`]
+    /// across every source.
+    pub fn point_visible(&self, key: &[u8], snap: u64) -> Option<(u64, Option<&[u8]>)> {
+        let versions = self.map.get(key)?;
+        versions
+            .iter()
+            .find(|(seq, _)| *seq <= snap)
+            .map(|(seq, v)| (*seq, v.as_deref()))
+    }
+
+    /// Highest range-tombstone sequence number ≤ `snap` covering `key`.
+    pub fn max_covering_tombstone(&self, key: &[u8], snap: u64) -> Option<u64> {
+        self.range_dels
+            .iter()
+            .filter(|rt| rt.seq <= snap && rt.covers(key))
+            .map(|rt| rt.seq)
+            .max()
     }
 
     /// Approximate memory footprint in bytes.
@@ -45,29 +111,44 @@ impl Memtable {
         self.bytes
     }
 
-    /// Number of entries (tombstones included).
+    /// Number of point versions (tombstones included).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.versions
     }
 
-    /// True if no entries.
+    /// True if the memtable holds neither point versions nor range
+    /// tombstones.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.range_dels.is_empty()
     }
 
-    /// Iterates entries in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
-        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    /// The range tombstones recorded so far, in insertion order.
+    pub fn range_dels(&self) -> &[RangeTombstone] {
+        &self.range_dels
     }
 
-    /// Iterates entries with keys ≥ `start`.
-    pub fn range_from<'a>(
+    /// Iterates all versions in `(key asc, seq desc)` order.
+    pub fn iter_versions(&self) -> impl Iterator<Item = (&[u8], u64, Option<&[u8]>)> {
+        self.map.iter().flat_map(|(k, versions)| {
+            versions
+                .iter()
+                .map(move |(seq, v)| (k.as_slice(), *seq, v.as_deref()))
+        })
+    }
+
+    /// Iterates all versions with keys ≥ `start`, in `(key asc, seq desc)`
+    /// order.
+    pub fn versions_from<'a>(
         &'a self,
         start: &[u8],
-    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> {
+    ) -> impl Iterator<Item = (&'a [u8], u64, Option<&'a [u8]>)> {
         self.map
             .range::<[u8], _>((Bound::Included(start), Bound::Unbounded))
-            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+            .flat_map(|(k, versions)| {
+                versions
+                    .iter()
+                    .map(move |(seq, v)| (k.as_slice(), *seq, v.as_deref()))
+            })
     }
 }
 
@@ -76,46 +157,81 @@ mod tests {
     use super::*;
 
     #[test]
-    fn put_get_overwrite() {
+    fn put_get_overwrite_keeps_versions() {
         let mut m = Memtable::new();
-        assert_eq!(m.get(b"a"), None);
-        m.put(b"a", b"1");
-        assert_eq!(m.get(b"a"), Some(Some(&b"1"[..])));
-        m.put(b"a", b"2");
-        assert_eq!(m.get(b"a"), Some(Some(&b"2"[..])));
-        assert_eq!(m.len(), 1);
+        assert_eq!(m.point_visible(b"a", u64::MAX), None);
+        m.put(b"a", 1, b"1");
+        assert_eq!(m.point_visible(b"a", u64::MAX), Some((1, Some(&b"1"[..]))));
+        m.put(b"a", 2, b"2");
+        assert_eq!(m.point_visible(b"a", u64::MAX), Some((2, Some(&b"2"[..]))));
+        // The old version is still reachable under a pinned snapshot.
+        assert_eq!(m.point_visible(b"a", 1), Some((1, Some(&b"1"[..]))));
+        assert_eq!(m.len(), 2);
     }
 
     #[test]
     fn tombstones_shadow() {
         let mut m = Memtable::new();
-        m.put(b"k", b"v");
-        m.delete(b"k");
-        assert_eq!(m.get(b"k"), Some(None));
-        assert_eq!(m.len(), 1);
+        m.put(b"k", 1, b"v");
+        m.delete(b"k", 2);
+        assert_eq!(m.point_visible(b"k", u64::MAX), Some((2, None)));
+        assert_eq!(m.point_visible(b"k", 1), Some((1, Some(&b"v"[..]))));
     }
 
     #[test]
-    fn byte_accounting_tracks_overwrites() {
+    fn range_tombstones_cover_by_seq() {
         let mut m = Memtable::new();
-        m.put(b"key", &[0u8; 100]);
+        m.put(b"b", 1, b"v");
+        m.delete_range(b"a", b"c", 2);
+        m.put(b"b", 3, b"w");
+        assert_eq!(m.max_covering_tombstone(b"b", u64::MAX), Some(2));
+        assert_eq!(m.max_covering_tombstone(b"b", 1), None);
+        assert_eq!(m.max_covering_tombstone(b"c", u64::MAX), None); // end exclusive
+        assert_eq!(m.max_covering_tombstone(b"a", u64::MAX), Some(2));
+        // Version written after the range delete is newer than the tombstone.
+        let (seq, _) = m.point_visible(b"b", u64::MAX).unwrap();
+        assert!(seq > 2);
+    }
+
+    #[test]
+    fn byte_accounting_grows_with_versions() {
+        let mut m = Memtable::new();
+        m.put(b"key", 1, &[0u8; 100]);
         let b1 = m.approximate_bytes();
-        m.put(b"key", &[0u8; 10]);
+        m.put(b"key", 2, &[0u8; 10]);
         let b2 = m.approximate_bytes();
-        assert!(b2 < b1);
-        m.put(b"key2", &[0u8; 100]);
+        assert!(b2 > b1, "versions accumulate");
+        m.delete_range(b"a", b"z", 3);
         assert!(m.approximate_bytes() > b2);
     }
 
     #[test]
-    fn iteration_is_sorted() {
+    fn iteration_is_sorted_with_versions_newest_first() {
         let mut m = Memtable::new();
-        for k in ["c", "a", "b"] {
-            m.put(k.as_bytes(), b"v");
-        }
-        let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec![&b"a"[..], b"b", b"c"]);
-        let from_b: Vec<&[u8]> = m.range_from(b"b").map(|(k, _)| k).collect();
+        m.put(b"c", 1, b"v");
+        m.put(b"a", 2, b"v");
+        m.put(b"b", 3, b"v");
+        m.put(b"a", 4, b"w");
+        let all: Vec<(&[u8], u64)> = m.iter_versions().map(|(k, s, _)| (k, s)).collect();
+        assert_eq!(
+            all,
+            vec![
+                (&b"a"[..], 4),
+                (&b"a"[..], 2),
+                (&b"b"[..], 3),
+                (&b"c"[..], 1)
+            ]
+        );
+        let from_b: Vec<&[u8]> = m.versions_from(b"b").map(|(k, _, _)| k).collect();
         assert_eq!(from_b, vec![&b"b"[..], b"c"]);
+    }
+
+    #[test]
+    fn empty_accounts_for_range_dels() {
+        let mut m = Memtable::new();
+        assert!(m.is_empty());
+        m.delete_range(b"a", b"b", 1);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 0);
     }
 }

@@ -1,19 +1,26 @@
-//! SSTable format: data blocks + an embedded meta region (index + bloom).
+//! SSTable format: data blocks + an embedded meta region (index + bloom +
+//! range tombstones).
 //!
 //! ```text
 //! table := data_block*  meta_block+
-//! meta  := index(count, [last_key, block_idx]*) bloom stats
+//! meta  := index(count, [last_key, block_idx]*) bloom min_key max_key
+//!          range_dels(count, [start, end, seq]*) min_seq:u64 max_seq:u64
 //! trailer (last 20 bytes of the final block):
 //!         meta_first_block:u32 | meta_len:u32 | entries:u64 | crc:u32
 //! ```
 //!
-//! Every block is one LightLSM block (96 KB on the paper drive). The index
-//! and bloom are kept in memory by the version set after a flush or
+//! Data blocks hold `(key, seq, value)` versions in `(key asc, seq desc)`
+//! order; a key's version run may span adjacent blocks. Every block is one
+//! LightLSM block (96 KB on the paper drive). The index, bloom and range
+//! tombstones are kept in memory by the version set after a flush or
 //! compaction builds them; [`TableHandle::from_bytes`] re-parses them when a
-//! table is reopened after recovery.
+//! table is reopened after recovery. A table may hold *only* range
+//! tombstones (zero point entries) — then its key span is the tombstones'
+//! span and it has no data blocks.
 
 use crate::block::BlockBuilder;
 use crate::bloom::BloomFilter;
+use crate::memtable::RangeTombstone;
 use ox_core::codec::{crc32c, Decoder, Encoder};
 
 const TRAILER_BYTES: usize = 20;
@@ -24,7 +31,8 @@ pub struct TableHandle {
     /// Backend table id (assigned at flush).
     pub id: u64,
     /// Flush sequence (newer memtables have higher seq); 0 for compaction
-    /// outputs, which never sit in L0.
+    /// outputs, which never sit in L0. After recovery this is re-seeded from
+    /// `max_seq` so L0 ordering tracks data recency.
     pub seq: u64,
     /// Number of data blocks.
     pub data_blocks: u32,
@@ -32,18 +40,24 @@ pub struct TableHandle {
     pub index: Vec<(Vec<u8>, u32)>,
     /// Bloom filter over all keys.
     pub bloom: BloomFilter,
-    /// Entry count (tombstones included).
+    /// Point-version count (tombstones included).
     pub entries: u64,
-    /// Smallest key.
+    /// Smallest key (spans the range-tombstone start for rt-only tables).
     pub min_key: Vec<u8>,
-    /// Largest key.
+    /// Largest key (spans the range-tombstone end for rt-only tables).
     pub max_key: Vec<u8>,
+    /// Range tombstones carried by this table, in `(start, end, seq)` order.
+    pub range_dels: Vec<RangeTombstone>,
+    /// Smallest point-version sequence number (`u64::MAX` when no points).
+    pub min_seq: u64,
+    /// Largest sequence number of any point version or range tombstone.
+    pub max_seq: u64,
 }
 
 impl TableHandle {
     /// Data block that may contain `key`, or `None` if out of range.
     pub fn block_for(&self, key: &[u8]) -> Option<u32> {
-        if self.index.is_empty() || key < self.min_key.as_slice() || key > self.max_key.as_slice() {
+        if self.index.is_empty() {
             return None;
         }
         let i = self
@@ -52,9 +66,22 @@ impl TableHandle {
         self.index.get(i).map(|&(_, b)| b)
     }
 
-    /// Whether `key` overlaps this table's key range.
+    /// Whether `key` overlaps this table's key range (point span plus
+    /// range-tombstone span).
     pub fn overlaps(&self, min: &[u8], max: &[u8]) -> bool {
+        if self.min_key.is_empty() && self.index.is_empty() && self.range_dels.is_empty() {
+            return false;
+        }
         !(self.max_key.as_slice() < min || self.min_key.as_slice() > max)
+    }
+
+    /// Highest range-tombstone sequence number ≤ `snap` covering `key`.
+    pub fn covering_tombstone(&self, key: &[u8], snap: u64) -> Option<u64> {
+        self.range_dels
+            .iter()
+            .filter(|rt| rt.seq <= snap && rt.covers(key))
+            .map(|rt| rt.seq)
+            .max()
     }
 
     /// Rebuilds a handle from full table bytes (recovery path).
@@ -87,20 +114,33 @@ impl TableHandle {
         let bloom = BloomFilter::decode(&mut d)?;
         let min_key = d.var_bytes().ok()?.to_vec();
         let max_key = d.var_bytes().ok()?.to_vec();
+        let rt_count = d.u32().ok()? as usize;
+        let mut range_dels = Vec::with_capacity(rt_count);
+        for _ in 0..rt_count {
+            let start = d.var_bytes().ok()?.to_vec();
+            let end = d.var_bytes().ok()?.to_vec();
+            let seq = d.u64().ok()?;
+            range_dels.push(RangeTombstone { start, end, seq });
+        }
+        let min_seq = d.u64().ok()?;
+        let max_seq = d.u64().ok()?;
         Some(TableHandle {
             id,
-            seq: 0,
+            seq: max_seq,
             data_blocks: meta_first as u32,
             index,
             bloom,
             entries,
             min_key,
             max_key,
+            range_dels,
+            min_seq,
+            max_seq,
         })
     }
 }
 
-/// Streams sorted entries into SSTable bytes.
+/// Streams sorted versions into SSTable bytes.
 pub struct TableBuilder {
     block_bytes: usize,
     bits_per_key: u32,
@@ -110,7 +150,11 @@ pub struct TableBuilder {
     keys: Vec<Vec<u8>>,
     min_key: Vec<u8>,
     last_key: Vec<u8>,
+    last_seq: u64,
     entries: u64,
+    range_dels: Vec<RangeTombstone>,
+    min_seq: u64,
+    max_seq: u64,
 }
 
 impl TableBuilder {
@@ -125,15 +169,22 @@ impl TableBuilder {
             keys: Vec::new(),
             min_key: Vec::new(),
             last_key: Vec::new(),
+            last_seq: 0,
             entries: 0,
+            range_dels: Vec::new(),
+            min_seq: u64::MAX,
+            max_seq: 0,
         }
     }
 
-    /// Appends an entry; keys must arrive in strictly increasing order.
-    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+    /// Appends a version; entries must arrive in `(key asc, seq desc)`
+    /// order.
+    pub fn add(&mut self, key: &[u8], seq: u64, value: Option<&[u8]>) {
         debug_assert!(
-            self.entries == 0 || key > self.last_key.as_slice(),
-            "keys must be strictly increasing"
+            self.entries == 0
+                || key > self.last_key.as_slice()
+                || (key == self.last_key.as_slice() && seq < self.last_seq),
+            "entries must be (key asc, seq desc)"
         );
         if !self.current.fits(key, value) {
             self.cut_block();
@@ -141,10 +192,22 @@ impl TableBuilder {
         if self.entries == 0 {
             self.min_key = key.to_vec();
         }
-        self.current.add(key, value);
+        self.current.add(key, seq, value);
         self.last_key = key.to_vec();
-        self.keys.push(key.to_vec());
+        self.last_seq = seq;
+        // Bloom keys are deduplicated across versions.
+        if self.keys.last().map(Vec::as_slice) != Some(key) {
+            self.keys.push(key.to_vec());
+        }
         self.entries += 1;
+        self.min_seq = self.min_seq.min(seq);
+        self.max_seq = self.max_seq.max(seq);
+    }
+
+    /// Attaches a range tombstone to the table's meta region.
+    pub fn add_range_del(&mut self, rt: RangeTombstone) {
+        self.max_seq = self.max_seq.max(rt.seq);
+        self.range_dels.push(rt);
     }
 
     fn cut_block(&mut self) {
@@ -155,7 +218,7 @@ impl TableBuilder {
         self.blocks.push(finished.finish());
     }
 
-    /// Entries added so far.
+    /// Point versions added so far.
     pub fn entries(&self) -> u64 {
         self.entries
     }
@@ -166,8 +229,8 @@ impl TableBuilder {
     }
 
     /// Conservative estimate of the finished table size *including* the
-    /// meta region (index, bloom, trailer). Used to cut output tables so
-    /// they never exceed a backend's capacity.
+    /// meta region (index, bloom, range tombstones, trailer). Used to cut
+    /// output tables so they never exceed a backend's capacity.
     pub fn projected_total_bytes(&self) -> usize {
         let key_len = self.last_key.len().max(16);
         let meta_bytes = 4
@@ -175,24 +238,65 @@ impl TableBuilder {
             + self.keys.len() * (self.bits_per_key as usize) / 8
             + 64 // bloom header + slack
             + 2 * (4 + key_len) // min/max keys
+            + 4
+            + self
+                .range_dels
+                .iter()
+                .map(|rt| 16 + rt.start.len() + rt.end.len())
+                .sum::<usize>()
+            + 16 // min/max seq
             + TRAILER_BYTES;
         let meta_blocks = meta_bytes.div_ceil(self.block_bytes).max(1);
         (self.blocks.len() + 1 + meta_blocks) * self.block_bytes
     }
 
-    /// True if nothing was added.
+    /// True if neither point versions nor range tombstones were added.
     pub fn is_empty(&self) -> bool {
-        self.entries == 0
+        self.entries == 0 && self.range_dels.is_empty()
     }
 
     /// Finishes the table: returns the full table bytes and the in-memory
     /// handle (with `id` = 0, to be set after the flush).
     pub fn finish(mut self) -> (Vec<u8>, TableHandle) {
-        assert!(self.entries > 0, "empty table");
+        assert!(!self.is_empty(), "empty table");
         if !self.current.is_empty() {
             self.cut_block();
         }
         let data_blocks = self.blocks.len() as u32;
+
+        // Deterministic tombstone order in the meta region.
+        self.range_dels.sort();
+        self.range_dels.dedup();
+
+        // An rt-only table's key span is the span of its tombstones so
+        // overlap checks and level ordering still work.
+        let (min_key, max_key) = if self.entries > 0 {
+            let mut min_key = self.min_key;
+            let mut max_key = self.last_key.clone();
+            for rt in &self.range_dels {
+                if rt.start < min_key {
+                    min_key = rt.start.clone();
+                }
+                if rt.end > max_key {
+                    max_key = rt.end.clone();
+                }
+            }
+            (min_key, max_key)
+        } else {
+            let min_key = self
+                .range_dels
+                .iter()
+                .map(|rt| rt.start.clone())
+                .min()
+                .unwrap_or_default();
+            let max_key = self
+                .range_dels
+                .iter()
+                .map(|rt| rt.end.clone())
+                .max()
+                .unwrap_or_default();
+            (min_key, max_key)
+        };
 
         let mut bloom = BloomFilter::new(self.keys.len(), self.bits_per_key);
         for k in &self.keys {
@@ -205,8 +309,13 @@ impl TableBuilder {
             meta.var_bytes(key).u32(*block);
         }
         bloom.encode(&mut meta);
-        meta.var_bytes(&self.min_key);
-        meta.var_bytes(&self.last_key);
+        meta.var_bytes(&min_key);
+        meta.var_bytes(&max_key);
+        meta.u32(self.range_dels.len() as u32);
+        for rt in &self.range_dels {
+            meta.var_bytes(&rt.start).var_bytes(&rt.end).u64(rt.seq);
+        }
+        meta.u64(self.min_seq).u64(self.max_seq);
         let meta = meta.finish();
         let crc = crc32c(&meta);
 
@@ -235,8 +344,11 @@ impl TableBuilder {
             index: self.index,
             bloom,
             entries: self.entries,
-            min_key: self.min_key,
-            max_key: self.last_key,
+            min_key,
+            max_key,
+            range_dels: self.range_dels,
+            min_seq: self.min_seq,
+            max_seq: self.max_seq,
         };
         (out, handle)
     }
@@ -245,7 +357,7 @@ impl TableBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::BlockIter;
+    use crate::block::{BlockIter, FindVisible};
 
     const BLOCK: usize = 8192;
 
@@ -257,7 +369,7 @@ mod tests {
         let mut b = TableBuilder::new(BLOCK, 10);
         for i in 0..n {
             let v = vec![(i % 251) as u8; vlen];
-            b.add(&key(i), Some(&v));
+            b.add(&key(i), i + 1, Some(&v));
         }
         b.finish()
     }
@@ -271,6 +383,8 @@ mod tests {
         assert_eq!(h.min_key, key(0));
         assert_eq!(h.max_key, key(99));
         assert_eq!(h.index.len(), h.data_blocks as usize);
+        assert_eq!(h.min_seq, 1);
+        assert_eq!(h.max_seq, 100);
     }
 
     #[test]
@@ -290,12 +404,31 @@ mod tests {
     }
 
     #[test]
+    fn version_runs_span_blocks() {
+        // Many versions of one key force the run across multiple blocks.
+        let mut b = TableBuilder::new(512, 10);
+        let payload = vec![7u8; 100];
+        for seq in (1..=20u64).rev() {
+            b.add(b"hot-key", seq, Some(&payload));
+        }
+        b.add(b"zz", 21, Some(b"z"));
+        let (bytes, h) = b.finish();
+        assert!(h.data_blocks > 1);
+        // A snapshot older than every version in block 0 must Continue.
+        let first = h.block_for(b"hot-key").unwrap() as usize;
+        let block = &bytes[first * 512..(first + 1) * 512];
+        match BlockIter::find_visible(block, b"hot-key", 3) {
+            FindVisible::Found(seq, _) => assert!(seq <= 3),
+            FindVisible::Continue => {}
+            FindVisible::Absent => panic!("visible version lost"),
+        }
+    }
+
+    #[test]
     fn out_of_range_keys_skip_table() {
         let (_, h) = build(10, 10);
         assert_eq!(h.block_for(b"0000000000000100"), None); // beyond max
         assert!(h.block_for(&key(5)).is_some());
-        // A key below min is out of range too (all keys are 16 digits).
-        assert_eq!(h.block_for(b"!"), None);
     }
 
     #[test]
@@ -312,7 +445,16 @@ mod tests {
 
     #[test]
     fn handle_round_trips_through_bytes() {
-        let (bytes, h) = build(500, 100);
+        let mut b = TableBuilder::new(BLOCK, 10);
+        for i in 0..500u64 {
+            b.add(&key(i), i + 1, Some(&[(i % 251) as u8; 100]));
+        }
+        b.add_range_del(RangeTombstone {
+            start: key(100),
+            end: key(200),
+            seq: 777,
+        });
+        let (bytes, h) = b.finish();
         let back = TableHandle::from_bytes(7, BLOCK, &bytes).expect("parse");
         assert_eq!(back.id, 7);
         assert_eq!(back.data_blocks, h.data_blocks);
@@ -321,6 +463,35 @@ mod tests {
         assert_eq!(back.min_key, h.min_key);
         assert_eq!(back.max_key, h.max_key);
         assert_eq!(back.bloom, h.bloom);
+        assert_eq!(back.range_dels, h.range_dels);
+        assert_eq!(back.min_seq, 1);
+        assert_eq!(back.max_seq, 777);
+        assert_eq!(back.seq, back.max_seq, "recovered seq tracks max_seq");
+    }
+
+    #[test]
+    fn rt_only_table_round_trips() {
+        let mut b = TableBuilder::new(BLOCK, 10);
+        b.add_range_del(RangeTombstone {
+            start: key(10),
+            end: key(20),
+            seq: 5,
+        });
+        assert!(!b.is_empty());
+        let (bytes, h) = b.finish();
+        assert_eq!(h.entries, 0);
+        assert_eq!(h.data_blocks, 0);
+        assert_eq!(h.min_key, key(10));
+        assert_eq!(h.max_key, key(20));
+        assert!(h.overlaps(&key(15), &key(15)));
+        assert_eq!(h.block_for(&key(15)), None);
+        assert_eq!(h.covering_tombstone(&key(15), u64::MAX), Some(5));
+        assert_eq!(h.covering_tombstone(&key(15), 4), None);
+        assert_eq!(h.covering_tombstone(&key(20), u64::MAX), None);
+        let back = TableHandle::from_bytes(9, BLOCK, &bytes).expect("parse");
+        assert_eq!(back.range_dels, h.range_dels);
+        assert_eq!(back.min_seq, u64::MAX);
+        assert_eq!(back.max_seq, 5);
     }
 
     #[test]
@@ -350,8 +521,8 @@ mod tests {
     #[test]
     fn tombstones_survive_the_format() {
         let mut b = TableBuilder::new(BLOCK, 10);
-        b.add(b"alive", Some(b"v"));
-        b.add(b"dead", None);
+        b.add(b"alive", 2, Some(b"v"));
+        b.add(b"dead", 1, None);
         let (bytes, h) = b.finish();
         let block = &bytes[..BLOCK];
         assert_eq!(BlockIter::find(block, b"dead"), Some(None));
@@ -373,8 +544,13 @@ mod tests {
         ] {
             let mut b = TableBuilder::new(block, 10);
             for i in 0..n {
-                b.add(&key(i), Some(&vec![1u8; vlen]));
+                b.add(&key(i), i + 1, Some(&vec![1u8; vlen]));
             }
+            b.add_range_del(RangeTombstone {
+                start: key(0),
+                end: key(1),
+                seq: n + 1,
+            });
             let projected = b.projected_total_bytes();
             let (bytes, _) = b.finish();
             assert!(
@@ -390,7 +566,7 @@ mod tests {
         // Tiny blocks force a large index relative to block size.
         let mut b = TableBuilder::new(512, 10);
         for i in 0..2000u64 {
-            b.add(&key(i), Some(&[1u8; 100]));
+            b.add(&key(i), i + 1, Some(&[1u8; 100]));
         }
         let (bytes, h) = b.finish();
         let back = TableHandle::from_bytes(3, 512, &bytes).unwrap();

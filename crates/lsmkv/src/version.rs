@@ -85,24 +85,32 @@ impl Version {
         self.levels.iter().filter(|l| !l.is_empty()).count()
     }
 
-    /// Tables that may contain `key`, in the order a `get` must probe them:
-    /// L0 newest→oldest, then one candidate per deeper level.
+    /// Tables that may contain `key`, in the order a `get` probes them:
+    /// L0 newest→oldest, then deeper levels. A level may yield several
+    /// candidates — range-tombstone spans widen a table's key range past
+    /// the point-data non-overlap invariant — so the caller resolves the
+    /// winner by sequence number, not probe order.
     pub fn tables_for_get(&self, key: &[u8]) -> Vec<&TableHandle> {
         let mut out = Vec::new();
-        for t in &self.levels[0] {
-            if t.overlaps(key, key) {
-                out.push(t);
-            }
-        }
-        for level in &self.levels[1..] {
-            let i = level.partition_point(|t| t.max_key.as_slice() < key);
-            if let Some(t) = level.get(i) {
+        for level in &self.levels {
+            for t in level {
                 if t.overlaps(key, key) {
                     out.push(t);
                 }
             }
         }
         out
+    }
+
+    /// Largest sequence number recorded by any table (0 when empty). Used
+    /// at recovery to re-seed the write sequence above all durable data.
+    pub fn max_seq(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|t| t.max_seq)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Tables at `level` overlapping `[min, max]` (indices + handles).
@@ -158,6 +166,9 @@ mod tests {
             entries: 1,
             min_key: min.as_bytes().to_vec(),
             max_key: max.as_bytes().to_vec(),
+            range_dels: Vec::new(),
+            min_seq: id,
+            max_seq: id,
         }
     }
 

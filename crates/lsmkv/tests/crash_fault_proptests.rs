@@ -1,0 +1,426 @@
+//! Crash + fault proptests for the LSM store: power cuts land between
+//! operations (mid-flush-queue, mid-compaction-cascade) while range
+//! tombstones are live and snapshots are open; recovery must never
+//! resurrect a range-deleted key and never lose a key outside the range.
+//!
+//! Durability model: flushes commit whole memtable generations in FIFO
+//! order and every generation's newest sequence number survives in its
+//! table meta, so the state surviving a crash is exactly the *sequence
+//! prefix* of the write log up to the recovered store's `next_seq() - 1`.
+//! Each crash is checked by replaying that prefix into a `BTreeMap` and
+//! comparing a full scan. Fault plans come from the shared
+//! [`ox_core::faultharness`] case generator ([`FaultCase::from_seed`]) —
+//! the slot-fingerprint protocol itself does not speak key-value, so only
+//! the seeded plan half of the harness is reused here.
+
+use lightlsm::{LightLsm, LightLsmConfig};
+use lsmkv::{Db, DbConfig, LightLsmStore, PutOutcome, Snapshot, TableStore};
+use ocssd::{
+    matrix_seeds, ChunkAddr, DeviceConfig, FaultMix, Geometry, OcssdDevice, ReadFault, SharedDevice,
+};
+use ox_core::faultharness::FaultCase;
+use ox_core::{Media, OcssdMedia};
+use ox_sim::{Prng, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Small key space so range deletes and crashes collide constantly.
+const KEYS: u64 = 256;
+
+fn geometry() -> Geometry {
+    Geometry::paper_tlc_scaled(22, 16)
+}
+
+fn db_config() -> DbConfig {
+    DbConfig {
+        memtable_bytes: 8 * 1024, // tiny: every few writes cross a flush
+        level_base_blocks: 4,
+        level_multiplier: 4,
+        max_levels: 3,
+        ..DbConfig::default()
+    }
+}
+
+fn key(k: u16) -> [u8; 16] {
+    let mut out = [b'0'; 16];
+    out[11..].copy_from_slice(format!("{k:05}").as_bytes());
+    out
+}
+
+fn value(k: u16, v: u8) -> Vec<u8> {
+    let mut out = vec![0u8; 200];
+    out[..16].copy_from_slice(&key(k));
+    out[16] = v;
+    out
+}
+
+fn drain(db: &mut Db, mut t: SimTime) -> SimTime {
+    loop {
+        if let Some(done) = db.flush_once(t).unwrap() {
+            t = done;
+            continue;
+        }
+        if let Some(done) = db.compact_once(t).unwrap() {
+            t = done;
+            continue;
+        }
+        break;
+    }
+    t
+}
+
+/// One logged mutation, keyed by the sequence number the store assigned.
+#[derive(Debug, Clone)]
+enum LogOp {
+    Put(u16, u8),
+    Delete(u16),
+    RangeDelete(u16, u16),
+}
+
+/// Replays the prefix of the write log with `seq <= upto` into a model.
+fn replay(log: &[(u64, LogOp)], upto: u64) -> BTreeMap<u16, u8> {
+    let mut model = BTreeMap::new();
+    for (seq, op) in log {
+        if *seq > upto {
+            break;
+        }
+        match op {
+            LogOp::Put(k, v) => {
+                model.insert(*k, *v);
+            }
+            LogOp::Delete(k) => {
+                model.remove(k);
+            }
+            LogOp::RangeDelete(start, end) => {
+                let doomed: Vec<u16> = model.range(*start..*end).map(|(&k, _)| k).collect();
+                for k in doomed {
+                    model.remove(&k);
+                }
+            }
+        }
+    }
+    model
+}
+
+/// Full-scan the store and compare against `model`; `ctx` names the crash.
+fn check_state(db: &mut Db, model: &BTreeMap<u16, u8>, t: SimTime, ctx: &str) -> SimTime {
+    let snap = db.snapshot();
+    let mut iter = db.scan_range(snap, b"", None);
+    let mut tt = t;
+    let mut got = Vec::new();
+    while let Some((k, v)) = iter.next(&mut tt).unwrap() {
+        got.push((k, v));
+    }
+    db.release_iter(&mut iter);
+    db.release_snapshot(snap);
+    let expect: Vec<(u16, u8)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(got.len(), expect.len(), "{ctx}: state size diverged");
+    for ((gk, gv), (ek, ev)) in got.iter().zip(expect.iter()) {
+        let ek_bytes = key(*ek);
+        assert_eq!(gk.as_slice(), &ek_bytes[..], "{ctx}: key set diverged");
+        assert_eq!(gv[16], *ev, "{ctx}: value for key {ek} diverged");
+    }
+    tt
+}
+
+/// Crash the device, reopen the FTL, rebuild the store from surviving
+/// tables, and verify the recovered state equals the durable log prefix.
+/// Returns the recovered store and the recovery completion time.
+fn crash_and_verify(
+    dev: &SharedDevice,
+    log: &mut Vec<(u64, LogOp)>,
+    t: SimTime,
+    ctx: &str,
+    durable_range_deletes: &mut u64,
+) -> (Db, BTreeMap<u16, u8>, SimTime) {
+    dev.crash(t);
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    let (ftl, t_open, _) = LightLsm::open(media, LightLsmConfig::default(), t).unwrap();
+    let store = Arc::new(LightLsmStore::new(ftl));
+    let tables = store.surviving_tables();
+    let s: Arc<dyn TableStore> = store;
+    let (mut db, mut t) = Db::open_with_tables(s, db_config(), &tables, t_open).unwrap();
+
+    let durable_max = db.next_seq() - 1;
+    let model = replay(log, durable_max);
+    t = check_state(&mut db, &model, t, ctx);
+
+    // Named invariants on top of the model equality. For every range delete
+    // in the durable prefix: a key inside [start, end) whose newest durable
+    // write is older than the tombstone must be gone (never resurrected);
+    // the first key past the end is governed only by its own writes (never
+    // collateral damage).
+    for (rd_seq, op) in log.iter() {
+        let (start, end) = match op {
+            LogOp::RangeDelete(s, e) if *rd_seq <= durable_max => (*s, *e),
+            _ => continue,
+        };
+        *durable_range_deletes += 1;
+        for probe in [start, start.wrapping_add((end - start) / 2)] {
+            let rewritten = log.iter().any(|(s, o)| {
+                *s > *rd_seq && *s <= durable_max && matches!(o, LogOp::Put(k, _) if *k == probe)
+            });
+            if !rewritten {
+                let (got, done) = db.get(t, &key(probe)).unwrap();
+                t = done;
+                assert_eq!(got, None, "{ctx}: range-deleted key {probe} resurrected");
+            }
+        }
+        if u64::from(end) < KEYS {
+            let (got, done) = db.get(t, &key(end)).unwrap();
+            t = done;
+            assert_eq!(
+                got.map(|v| v[16]),
+                model.get(&end).copied(),
+                "{ctx}: key {end} outside the range diverged"
+            );
+        }
+    }
+
+    log.retain(|(seq, _)| *seq <= durable_max);
+    (db, model, t)
+}
+
+fn fresh_db(dev: &SharedDevice) -> Db {
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    let (ftl, _) = LightLsm::format(media, LightLsmConfig::default(), SimTime::ZERO).unwrap();
+    let store: Arc<dyn TableStore> = Arc::new(LightLsmStore::new(ftl));
+    Db::new(store, db_config())
+}
+
+/// The main proptest: random workloads with live range tombstones, open
+/// snapshots and seeded fault plans; crashes at scripted points plus every
+/// injected power cut the plan lands.
+#[test]
+fn recovery_honours_range_deletes_across_power_cuts() {
+    let geo = geometry();
+    let mix = FaultMix {
+        program_fails: 0, // flushes must succeed; crashes do the damage
+        transient_read_fails: 4,
+        permanent_read_fails: 0,
+        erase_fails: 0,
+        latency_spikes: 1,
+        power_cuts: 2,
+    };
+    let mut durable_range_deletes = 0u64;
+    let mut crashes = 0u64;
+
+    for seed in matrix_seeds(12) {
+        let case = FaultCase::from_seed(seed, &geo, &mix, KEYS, 64);
+        let mut plan = case.plan.clone();
+        // Extra transient read faults aimed at the low chunks the LSM fills
+        // first, so recovery's meta reads and compaction re-reads absorb
+        // bounded retries under fire.
+        let mut rng = Prng::seed_from_u64(seed ^ 0xC4A5);
+        for pu in 0..4u32 {
+            let chunk = ChunkAddr::new(pu % geo.num_groups, pu / geo.num_groups, {
+                rng.gen_range(4) as u32
+            });
+            plan.read_fails.push(ReadFault {
+                ppa: chunk.ppa(rng.gen_range(16) as u32),
+                attempts: 1 + rng.gen_range(2) as u32,
+            });
+        }
+
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geo)));
+        let mut db = fresh_db(&dev);
+        dev.set_fault_plan(plan); // armed after format: setup is fault-free
+        let mut model: BTreeMap<u16, u8> = BTreeMap::new();
+        let mut log: Vec<(u64, LogOp)> = Vec::new();
+        let mut snaps: Vec<(Snapshot, BTreeMap<u16, u8>)> = Vec::new();
+        let mut t = SimTime::ZERO;
+
+        let total_ops = rng.gen_range_in(120, 320);
+        // Two scripted crash points so every seed exercises recovery even
+        // when the plan's power cuts never come due.
+        let mut forced: Vec<u64> = (0..2).map(|_| rng.gen_range(total_ops)).collect();
+        forced.sort_unstable();
+
+        for opno in 0..total_ops {
+            let mut crash_now = forced.first().is_some_and(|&f| f == opno);
+            match rng.gen_range(17) {
+                0..=5 => {
+                    let k = rng.gen_range(KEYS) as u16;
+                    let v = rng.gen_range(256) as u8;
+                    loop {
+                        match db.put(t, &key(k), &value(k, v)).unwrap() {
+                            PutOutcome::Done(done) => {
+                                t = done;
+                                break;
+                            }
+                            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+                        }
+                    }
+                    model.insert(k, v);
+                    log.push((db.next_seq() - 1, LogOp::Put(k, v)));
+                }
+                6..=7 => {
+                    let k = rng.gen_range(KEYS) as u16;
+                    loop {
+                        match db.delete(t, &key(k)).unwrap() {
+                            PutOutcome::Done(done) => {
+                                t = done;
+                                break;
+                            }
+                            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+                        }
+                    }
+                    model.remove(&k);
+                    log.push((db.next_seq() - 1, LogOp::Delete(k)));
+                }
+                8..=9 => {
+                    let start = rng.gen_range(KEYS) as u16;
+                    let end = start.saturating_add(1 + rng.gen_range(48) as u16);
+                    loop {
+                        match db.delete_range(t, &key(start), &key(end)).unwrap() {
+                            PutOutcome::Done(done) => {
+                                t = done;
+                                break;
+                            }
+                            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+                        }
+                    }
+                    let doomed: Vec<u16> = model.range(start..end).map(|(&k, _)| k).collect();
+                    for k in doomed {
+                        model.remove(&k);
+                    }
+                    log.push((db.next_seq() - 1, LogOp::RangeDelete(start, end)));
+                }
+                10..=11 => {
+                    let k = rng.gen_range(KEYS) as u16;
+                    let (got, done) = db.get(t, &key(k)).unwrap();
+                    t = done;
+                    assert_eq!(
+                        got.map(|v| v[16]),
+                        model.get(&k).copied(),
+                        "seed {seed}: live read of key {k}"
+                    );
+                }
+                12..=13 => {
+                    db.seal_memtable();
+                    if let Some(done) = db.flush_once(t).unwrap() {
+                        t = done;
+                    }
+                }
+                14 => {
+                    if let Some(done) = db.compact_once(t).unwrap() {
+                        t = done;
+                    }
+                }
+                15 => {
+                    if snaps.len() < 2 {
+                        snaps.push((db.snapshot(), model.clone()));
+                    }
+                }
+                _ => {
+                    if let Some((snap, frozen)) = snaps.first() {
+                        let k = rng.gen_range(KEYS) as u16;
+                        let (got, done) = db.get_at(t, &key(k), *snap).unwrap();
+                        t = done;
+                        assert_eq!(
+                            got.map(|v| v[16]),
+                            frozen.get(&k).copied(),
+                            "seed {seed}: snapshot read of key {k}"
+                        );
+                    }
+                }
+            }
+            crash_now |= dev.take_power_cut(t);
+            if crash_now {
+                forced.retain(|&f| f != opno);
+                crashes += 1;
+                let ctx = format!("seed {seed} crash at op {opno}");
+                // Open snapshots die with the process: drop, don't release.
+                snaps.clear();
+                let (db2, model2, t2) =
+                    crash_and_verify(&dev, &mut log, t, &ctx, &mut durable_range_deletes);
+                db = db2;
+                model = model2;
+                t = t2;
+            }
+        }
+
+        // Final crash with whatever is in flight, then a clean drain check.
+        crashes += 1;
+        snaps.clear();
+        let ctx = format!("seed {seed} final crash");
+        let (mut db, model, t) =
+            crash_and_verify(&dev, &mut log, t, &ctx, &mut durable_range_deletes);
+        let t = drain(&mut db, t);
+        check_state(&mut db, &model, t, &format!("seed {seed} after drain"));
+    }
+
+    assert!(crashes >= 24, "every seed must crash at least twice");
+    assert!(
+        durable_range_deletes > 0,
+        "some crash must land with a durable range tombstone live"
+    );
+}
+
+/// Deterministic regression: a crash with sealed-but-unflushed generations
+/// pending loses only the tail — a durable range tombstone keeps its keys
+/// dead even though newer (lost) writes had re-populated part of the range.
+#[test]
+fn crash_with_pending_immutables_loses_only_the_tail() {
+    let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geometry())));
+    let mut db = fresh_db(&dev);
+    let mut t = SimTime::ZERO;
+
+    for k in 0..100u16 {
+        loop {
+            match db.put(t, &key(k), &value(k, 1)).unwrap() {
+                PutOutcome::Done(done) => {
+                    t = done;
+                    break;
+                }
+                PutOutcome::Stalled(r) => t = drain(&mut db, r),
+            }
+        }
+    }
+    t = drain(&mut db, t);
+
+    // Durable range tombstone over [20, 40).
+    match db.delete_range(t, &key(20), &key(40)).unwrap() {
+        PutOutcome::Done(done) => t = done,
+        PutOutcome::Stalled(r) => t = drain(&mut db, r),
+    }
+    db.seal_memtable();
+    while let Some(done) = db.flush_once(t).unwrap() {
+        t = done;
+    }
+
+    // Re-populate part of the range, but only in volatile state: one sealed
+    // (unflushed) generation and one live memtable.
+    for k in 25..30u16 {
+        match db.put(t, &key(k), &value(k, 2)).unwrap() {
+            PutOutcome::Done(done) => t = done,
+            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+        }
+    }
+    db.seal_memtable();
+    for k in 30..33u16 {
+        match db.put(t, &key(k), &value(k, 3)).unwrap() {
+            PutOutcome::Done(done) => t = done,
+            PutOutcome::Stalled(r) => t = drain(&mut db, r),
+        }
+    }
+
+    dev.crash(t);
+    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    let (ftl, t_open, _) = LightLsm::open(media, LightLsmConfig::default(), t).unwrap();
+    let store = Arc::new(LightLsmStore::new(ftl));
+    let tables = store.surviving_tables();
+    let s: Arc<dyn TableStore> = store;
+    let (mut db, mut t) = Db::open_with_tables(s, db_config(), &tables, t_open).unwrap();
+
+    for k in 0..100u16 {
+        let (got, done) = db.get(t, &key(k)).unwrap();
+        t = done;
+        if (20..40).contains(&k) {
+            assert_eq!(got, None, "key {k}: range-deleted key resurrected");
+        } else {
+            let got = got.unwrap_or_else(|| panic!("key {k}: lost outside the range"));
+            assert_eq!(got[16], 1, "key {k}: wrong surviving version");
+        }
+    }
+}

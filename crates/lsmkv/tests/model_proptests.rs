@@ -146,6 +146,7 @@ fn db_matches_btreemap_model() {
                     while let Some((k, v)) = iter.next(&mut tt).unwrap() {
                         got.push((k, v));
                     }
+                    db.release_iter(&mut iter);
                     assert_eq!(got.len(), expect.len(), "seed {seed}: scan length");
                     for ((gk, gv), (ek, ev)) in got.iter().zip(expect.iter()) {
                         let ek_bytes = key(*ek);

@@ -27,6 +27,11 @@ pub struct WorkloadConfig {
     pub value_bytes: usize,
     /// Fraction of operations that are point reads (the rest are upserts).
     pub read_fraction: f64,
+    /// Fraction of operations that are ordered scans (carved out of the
+    /// non-read remainder before upserts).
+    pub scan_fraction: f64,
+    /// Maximum scan length; each scan draws uniformly from `1..=max`.
+    pub max_scan_len: usize,
     /// Number of distinct keys addressed by the workload.
     pub key_space: u64,
     /// Seed for key choice and read/write mix.
@@ -43,6 +48,8 @@ impl WorkloadConfig {
             ops_per_client,
             value_bytes: 128,
             read_fraction: 0.5,
+            scan_fraction: 0.0,
+            max_scan_len: 16,
             key_space: 4096,
             seed: 0x0C55D,
             maintain_every: SimDuration::from_millis(10),
@@ -64,6 +71,12 @@ pub struct DriveReport {
     pub end: SimTime,
     /// Completed-op latencies in nanoseconds, sorted ascending, per shard.
     pub per_shard_latencies_ns: Vec<Vec<u64>>,
+    /// Scans completed (scatter-gather: not attributed to one shard).
+    pub scan_ops: u64,
+    /// Entries returned across all scans.
+    pub scanned_entries: u64,
+    /// Scan latencies in nanoseconds, sorted ascending.
+    pub scan_latencies_ns: Vec<u64>,
 }
 
 impl DriveReport {
@@ -74,6 +87,16 @@ impl DriveReport {
             return 0.0;
         }
         self.total_ops as f64 * 1e9 / span_ns as f64
+    }
+
+    /// The `q`-quantile (0..=1) of scan latency in nanoseconds; 0 when no
+    /// scans completed.
+    pub fn scan_quantile_ns(&self, q: f64) -> u64 {
+        if self.scan_latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.scan_latencies_ns.len() - 1) as f64 * q).round() as usize;
+        self.scan_latencies_ns[idx.min(self.scan_latencies_ns.len() - 1)]
     }
 
     /// The `q`-quantile (0..=1) of one shard's latency distribution, in
@@ -93,8 +116,11 @@ impl DriveReport {
 /// Measurement sink shared by all client actors.
 struct Sink {
     per_shard_latencies_ns: Vec<Vec<u64>>,
+    scan_latencies_ns: Vec<u64>,
     total_ops: u64,
     failed_ops: u64,
+    scan_ops: u64,
+    scanned_entries: u64,
     end: SimTime,
     clients_done: usize,
 }
@@ -106,6 +132,8 @@ struct ClientActor {
     remaining: usize,
     value_bytes: usize,
     read_fraction: f64,
+    scan_fraction: f64,
+    max_scan_len: usize,
     key_space: u64,
 }
 
@@ -130,7 +158,30 @@ impl Actor for ClientActor {
         }
         self.remaining -= 1;
         let key = workload_key(self.rng.gen_range(self.key_space));
-        let read = self.rng.gen_bool(self.read_fraction);
+        let dice = self.rng.gen_f64();
+        let read = dice < self.read_fraction;
+        if !read && dice < self.read_fraction + self.scan_fraction {
+            // Ordered scatter-gather scan; latency is cluster-wide, not
+            // attributable to a single shard.
+            let limit = 1 + self.rng.gen_range(self.max_scan_len.max(1) as u64) as usize;
+            let outcome = self.cluster.lock().scan(now, &key, limit);
+            return match outcome {
+                Ok((entries, done)) => {
+                    let mut sink = self.sink.lock();
+                    sink.total_ops += 1;
+                    sink.scan_ops += 1;
+                    sink.scanned_entries += entries.len() as u64;
+                    sink.end = sink.end.max(done);
+                    sink.scan_latencies_ns
+                        .push(done.saturating_since(now).as_nanos());
+                    Step::RunAt(done)
+                }
+                Err(_) => {
+                    self.sink.lock().failed_ops += 1;
+                    Step::RunAt(now + SimDuration::from_micros(100))
+                }
+            };
+        }
         let outcome = {
             let mut c = self.cluster.lock();
             if read {
@@ -189,8 +240,11 @@ pub fn drive(cluster: &SharedCluster, cfg: &WorkloadConfig, start: SimTime) -> D
     let shards = cluster.lock().shard_count() as usize;
     let sink = Arc::new(Mutex::new(Sink {
         per_shard_latencies_ns: vec![Vec::new(); shards],
+        scan_latencies_ns: Vec::new(),
         total_ops: 0,
         failed_ops: 0,
+        scan_ops: 0,
+        scanned_entries: 0,
         end: start,
         clients_done: 0,
     }));
@@ -204,6 +258,8 @@ pub fn drive(cluster: &SharedCluster, cfg: &WorkloadConfig, start: SimTime) -> D
             remaining: cfg.ops_per_client,
             value_bytes: cfg.value_bytes,
             read_fraction: cfg.read_fraction,
+            scan_fraction: cfg.scan_fraction,
+            max_scan_len: cfg.max_scan_len,
             key_space: cfg.key_space,
         };
         let jitter = SimDuration::from_nanos(rng.gen_range(1000));
@@ -223,12 +279,16 @@ pub fn drive(cluster: &SharedCluster, cfg: &WorkloadConfig, start: SimTime) -> D
     for lat in &mut sink.per_shard_latencies_ns {
         lat.sort_unstable();
     }
+    sink.scan_latencies_ns.sort_unstable();
     DriveReport {
         total_ops: sink.total_ops,
         failed_ops: sink.failed_ops,
         start,
         end: sink.end,
         per_shard_latencies_ns: std::mem::take(&mut sink.per_shard_latencies_ns),
+        scan_ops: sink.scan_ops,
+        scanned_entries: sink.scanned_entries,
+        scan_latencies_ns: std::mem::take(&mut sink.scan_latencies_ns),
     }
 }
 
@@ -254,6 +314,24 @@ mod tests {
         for s in 0..2 {
             assert!(report.shard_quantile_ns(s, 0.99) > 0, "shard {s} idle");
         }
+    }
+
+    #[test]
+    fn driver_serves_scans_when_configured() {
+        let (cluster, t0) =
+            ShardCluster::new(ClusterConfig::new(2), Obs::new(4096), SimTime::ZERO).unwrap();
+        let shared: SharedCluster = Arc::new(Mutex::new(cluster));
+        let mut cfg = WorkloadConfig::new(16, 16);
+        cfg.read_fraction = 0.25;
+        cfg.scan_fraction = 0.25;
+        cfg.max_scan_len = 8;
+        let report = drive(&shared, &cfg, t0);
+        assert_eq!(report.total_ops, 16 * 16);
+        assert_eq!(report.failed_ops, 0);
+        assert!(report.scan_ops > 0, "scan fraction must produce scans");
+        assert!(report.scanned_entries > 0, "scans must return entries");
+        assert!(report.scan_quantile_ns(0.99) > 0);
+        assert_eq!(report.scan_latencies_ns.len() as u64, report.scan_ops);
     }
 
     #[test]
