@@ -70,6 +70,7 @@ fn main() {
             sum_us += c.latency().as_nanos() as f64 / 1000.0;
         }
         dev.publish_pu_metrics(settle);
+        dev.publish_health_metrics(settle);
         rows.push(Row {
             name: "raw open-channel",
             write_secs: write_done.as_secs_f64(),
@@ -108,6 +109,7 @@ fn main() {
             sum_us += done.saturating_since(settle).as_nanos() as f64 / 1000.0;
         }
         dev.publish_pu_metrics(settle);
+        dev.publish_health_metrics(settle);
         rows.push(Row {
             name: "OX-ZNS",
             write_secs: write_done.saturating_since(t0).as_secs_f64(),
@@ -146,6 +148,7 @@ fn main() {
             sum_us += c.latency().as_nanos() as f64 / 1000.0;
         }
         dev.publish_pu_metrics(settle);
+        dev.publish_health_metrics(settle);
         rows.push(Row {
             name: "OX-Block",
             write_secs: write_done.saturating_since(t0).as_secs_f64(),

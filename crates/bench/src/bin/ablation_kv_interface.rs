@@ -74,6 +74,7 @@ fn main() {
             tg = done;
         }
         dev.publish_pu_metrics(tg);
+        dev.publish_health_metrics(tg);
         let stats = dev.with(|d| d.stats().clone());
         rows.push(Row {
             name: "KV-SSD (hash + value log)",
@@ -147,6 +148,7 @@ fn main() {
             tg = done;
         }
         dev.publish_pu_metrics(tg);
+        dev.publish_health_metrics(tg);
         let stats = dev.with(|d| d.stats().clone());
         rows.push(Row {
             name: "LightLSM + LSM (flush/probe)",

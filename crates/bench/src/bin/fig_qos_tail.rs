@@ -4,12 +4,34 @@
 //!
 //! Usage: `cargo run --release -p ox-bench --bin fig_qos_tail [--quick]`
 
-use ox_bench::qos_tail::run_with_obs;
-use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
+use ox_bench::qos_tail::{run_with_obs, PhaseResult};
+use ox_bench::{export_bench_json, export_obs, figure_obs, print_row, print_sep, quick_mode};
 use ox_sim::SimDuration;
 
 fn us(ns: u64) -> String {
     format!("{:.1}", ns as f64 / 1000.0)
+}
+
+fn phase_json(phase: &PhaseResult) -> String {
+    let neighbor = phase.neighbor();
+    let victim = phase.victim();
+    format!(
+        concat!(
+            "{{\"contended\": {}, \"gc_dispatched\": {}, ",
+            "\"neighbor\": {{\"samples\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}, ",
+            "\"victim\": {{\"samples\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}}}"
+        ),
+        phase.contended,
+        phase.gc_dispatched,
+        neighbor.samples,
+        neighbor.p50_ns,
+        neighbor.p99_ns,
+        neighbor.p999_ns,
+        victim.samples,
+        victim.p50_ns,
+        victim.p99_ns,
+        victim.p999_ns,
+    )
 }
 
 fn main() {
@@ -20,7 +42,9 @@ fn main() {
     };
     println!("§4.3 — multi-tenant QoS tail (iosched over the paper drive, closed-loop tenants)\n");
     let obs = figure_obs();
+    let wall_start = std::time::Instant::now();
     let result = run_with_obs(duration, &obs);
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
 
     let widths = [24usize, 14, 9, 10, 10, 10];
     print_row(
@@ -72,5 +96,30 @@ fn main() {
         " the reader outside the marked group within 2× of its uncontended tail; the class-blind"
     );
     println!(" QD-1 FIFO baseline drags it through program times and relocation copies)");
+
+    let total_samples: usize = result
+        .phases
+        .iter()
+        .flat_map(|p| p.rows.iter().map(|r| r.samples))
+        .sum();
+    let phase_objects: Vec<String> = result
+        .phases
+        .iter()
+        .map(|p| format!("\"{}\": {}", p.name, phase_json(p)))
+        .collect();
+    export_bench_json(
+        "qos",
+        &format!(
+            concat!(
+                "{{\"virtual_duration_ns\": {}, \"neighbor_p99_slowdown_fifo\": {:.2}, ",
+                "\"neighbor_p99_slowdown_deadline\": {:.2}, \"wall_ns_per_op\": {}, {}}}\n"
+            ),
+            duration.as_nanos(),
+            fifo as f64 / baseline as f64,
+            deadline as f64 / baseline as f64,
+            wall_ns / total_samples.max(1) as u64,
+            phase_objects.join(", ")
+        ),
+    );
     export_obs("fig_qos_tail", &obs);
 }

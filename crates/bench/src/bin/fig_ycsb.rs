@@ -113,6 +113,7 @@ fn main() {
         eprintln!("[{}] lsmkv run...", wl.letter());
         let (report, t_done) = run_ycsb(&lsm, &cfg, &obs, t0);
         dev.publish_pu_metrics(t_done);
+        dev.publish_health_metrics(t_done);
         row(&mut out, &report_cells(&report), &widths);
 
         // Sharded stack: same workload fanned over SHARDS devices. The

@@ -78,5 +78,6 @@ fn main() {
         println!("total PU queueing delay: {total} ms across {} PUs", delays.len());
     });
     dev.publish_pu_metrics(t_end);
+    dev.publish_health_metrics(t_end);
     export_obs("probe_fill", &obs);
 }

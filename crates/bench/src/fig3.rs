@@ -136,6 +136,7 @@ fn one_run(
     // granularity).
     dev.crash(t);
     dev.publish_pu_metrics(t);
+    dev.publish_health_metrics(t);
     let media2: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
     let mut ftl_cfg2 = BlockFtlConfig::with_capacity(cfg.logical_bytes);
     ftl_cfg2.checkpoint_interval = interval;

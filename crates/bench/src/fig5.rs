@@ -181,6 +181,7 @@ pub fn run_cell_with_obs(
     rr_cfg.window = cfg.window;
     let (read_random, t3) = run_workload(&db, rr_cfg, t2);
     dev.publish_pu_metrics(t3);
+    dev.publish_health_metrics(t3);
 
     Fig5Cell {
         placement,

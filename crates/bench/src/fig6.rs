@@ -58,6 +58,7 @@ pub fn run_with_obs(cfg: &Fig5Config, obs: &Obs) -> Fig6Result {
             fill_cfg.window = cfg.window;
             let (report, t_end) = run_workload(&db, fill_cfg, SimTime::ZERO);
             dev.publish_pu_metrics(t_end);
+            dev.publish_health_metrics(t_end);
             lines.push(Fig6Line {
                 placement,
                 clients,

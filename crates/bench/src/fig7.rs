@@ -164,6 +164,7 @@ fn run_point(cfg: &Fig7Config, threads: usize, copies: u32, obs: &Obs) -> Fig7Po
     ex.run();
 
     dev.publish_pu_metrics(deadline);
+    dev.publish_health_metrics(deadline);
     let ftl = ftl.lock();
     let horizon = deadline;
     let util = ftl.cpu().utilization(horizon) * 100.0;

@@ -134,6 +134,7 @@ fn run_point(
     ex.run();
 
     dev.publish_pu_metrics(deadline);
+    dev.publish_health_metrics(deadline);
     let ftl = ftl.lock();
     let stats = ftl.stats();
     let classified = stats.ios_gc_clean + stats.ios_gc_interfered;

@@ -10,6 +10,7 @@
 //! | [`fig6`] | Figure 6 — fill-sequential throughput over time |
 //! | [`fig7`] | Figure 7 — controller CPU vs. host write threads |
 //! | [`gc_locality`] | §4.3 — GC interference locality (93.75 % / 87.5 %) |
+//! | [`lifetime`] | ROADMAP — wear-coupled aging, scrub vs. no scrub |
 //! | [`qos_tail`] | §4.3 — isolation as per-tenant read-latency percentiles |
 //! | [`shard_scale`] | ROADMAP — aggregate throughput, 1→32 sharded devices |
 //! | [`ycsb`] | ROADMAP — YCSB A–F over lsmkv and the oxshard layer |
@@ -28,6 +29,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod gc_locality;
+pub mod lifetime;
 pub mod qos_tail;
 pub mod shard_scale;
 pub mod ycsb;
@@ -52,6 +54,19 @@ pub fn export_obs(name: &str, obs: &Obs) {
     match outcome {
         Ok(()) => println!("\nobservability: wrote {}", path.display()),
         Err(e) => eprintln!("\nobservability: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Writes a compact machine-readable summary to `results/BENCH_<name>.json`
+/// (hand-built JSON — the workspace carries no serde). Failures are
+/// reported but not fatal, like [`export_obs`].
+pub fn export_bench_json(name: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let outcome = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json));
+    match outcome {
+        Ok(()) => println!("bench summary: wrote {}", path.display()),
+        Err(e) => eprintln!("bench summary: could not write {}: {e}", path.display()),
     }
 }
 

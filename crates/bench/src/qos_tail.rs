@@ -332,6 +332,7 @@ fn run_phase(
         })
         .collect();
     dev.publish_pu_metrics(deadline);
+    dev.publish_health_metrics(deadline);
     PhaseResult {
         name,
         arbiter,

@@ -101,6 +101,11 @@ impl BadBlockTable {
     ) -> Vec<Orphan> {
         let mut orphans = Vec::new();
         for ev in events {
+            if !ev.kind.retires_chunk() {
+                // Advisory events (refresh-due) do not retire the chunk;
+                // scrub-aware FTLs consume them before ingest.
+                continue;
+            }
             self.events_seen += 1;
             let addr = ev.chunk;
             if !self.retired.insert((addr.group, addr.pu, addr.chunk)) {

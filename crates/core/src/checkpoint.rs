@@ -229,15 +229,16 @@ impl CheckpointStore {
         let unit_bytes = geo.ws_min_bytes();
         let mut head = vec![0u8; unit_bytes];
         let mut t = now;
-        match crate::media::read_with_retry(
+        match crate::retry::read_with_policy(
             self.media.as_ref(),
             t,
             first.ppa(0),
             geo.ws_min,
             &mut head,
-            3,
+            crate::retry::RetryPolicy::default(),
+            Some(&self.obs.metrics),
         ) {
-            Ok(c) => t = c.done,
+            Ok(o) => t = o.completion.done,
             Err(_) => return (None, now),
         }
         let mut d = Decoder::new(&head);
@@ -264,15 +265,16 @@ impl CheckpointStore {
             if info.write_ptr < sectors {
                 return (None, t); // torn
             }
-            match crate::media::read_with_retry(
+            match crate::retry::read_with_policy(
                 self.media.as_ref(),
                 t,
                 chunk.ppa(0),
                 sectors,
                 &mut blob[off..off + want],
-                3,
+                crate::retry::RetryPolicy::default(),
+                Some(&self.obs.metrics),
             ) {
-                Ok(c) => t = c.done,
+                Ok(o) => t = o.completion.done,
                 Err(_) => return (None, t),
             }
             off += want;

@@ -29,6 +29,12 @@ pub struct GcConfig {
     pub low_watermark: u32,
     /// Victims to recycle per collection pass.
     pub chunks_per_pass: u32,
+    /// Wear-leveling bias in victim selection: the greedy score becomes
+    /// `valid_sectors + wear_bias × wear`, steering collection toward
+    /// low-wear chunks so erase cycles spread instead of piling onto the
+    /// emptiest chunks. Zero (the default) is pure greedy — byte-identical
+    /// to the collector before the knob existed.
+    pub wear_bias: u32,
 }
 
 impl Default for GcConfig {
@@ -36,6 +42,7 @@ impl Default for GcConfig {
         GcConfig {
             low_watermark: 8,
             chunks_per_pass: 2,
+            wear_bias: 0,
         }
     }
 }
@@ -51,6 +58,16 @@ pub struct GcPass {
     pub padded_sectors: u64,
     /// Completion time of the pass.
     pub done: SimTime,
+}
+
+impl GcPass {
+    /// Folds one recycled victim's sub-pass into this pass.
+    fn absorb(&mut self, sub: GcPass) {
+        self.victims += sub.victims;
+        self.moved_sectors += sub.moved_sectors;
+        self.padded_sectors += sub.padded_sectors;
+        self.done = sub.done;
+    }
 }
 
 /// Cumulative GC statistics.
@@ -136,14 +153,15 @@ impl GarbageCollector {
         prov.free_chunks() < self.config.low_watermark
     }
 
-    /// Picks the emptiest closed data chunk in the marked group. Marks the
-    /// next group if the current one has no victims (rotating the GC focus,
-    /// as OX does between passes).
-    fn select_victim(&mut self, media: &Arc<dyn Media>, map: &PageMap) -> Option<(ChunkAddr, u32)> {
+    /// Picks the lowest-scoring closed data chunk in the marked group
+    /// (score = valid sectors, plus `wear_bias × wear` when wear leveling is
+    /// on). Marks the next group if the current one has no victims (rotating
+    /// the GC focus, as OX does between passes).
+    fn select_victim(&mut self, media: &Arc<dyn Media>, map: &PageMap) -> Option<(ChunkAddr, u64)> {
         let geo = media.geometry();
         for _ in 0..geo.num_groups {
             let group = self.marked_group;
-            let mut best: Option<(ChunkAddr, u32)> = None;
+            let mut best: Option<(ChunkAddr, u64)> = None;
             for pu in 0..geo.pus_per_group {
                 for chunk in 0..geo.chunks_per_pu {
                     let addr = ChunkAddr::new(group, pu, chunk);
@@ -151,15 +169,17 @@ impl GarbageCollector {
                     if self.reserved.contains(&lin) {
                         continue;
                     }
-                    if media.chunk_info(addr).state != ChunkState::Closed {
+                    let info = media.chunk_info(addr);
+                    if info.state != ChunkState::Closed {
                         continue;
                     }
                     let valid = map.valid_count(lin);
                     if valid == geo.sectors_per_chunk {
                         continue; // nothing to reclaim
                     }
-                    if best.is_none_or(|(_, v)| valid < v) {
-                        best = Some((addr, valid));
+                    let score = valid as u64 + self.config.wear_bias as u64 * info.wear as u64;
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some((addr, score));
                     }
                 }
             }
@@ -170,6 +190,125 @@ impl GarbageCollector {
             self.marked_group = (self.marked_group + 1) % geo.num_groups;
         }
         None
+    }
+
+    /// Relocates `victim`'s live sectors, journals the remap, and erases the
+    /// chunk: the shared machinery behind both collection passes and
+    /// scrub-driven refresh. Map changes commit to the WAL *before* the
+    /// reset, so a crash in between cannot resurrect stale mappings. Returns
+    /// the victim's sub-pass (reclaim/copy volume + completion time) for the
+    /// caller to absorb.
+    fn recycle_victim(
+        &mut self,
+        now: SimTime,
+        victim: ChunkAddr,
+        io: &Arc<dyn Media>,
+        map: &mut PageMap,
+        prov: &mut Provisioner,
+        wal: &mut Wal,
+    ) -> Result<GcPass, WalError> {
+        let mut pass = GcPass {
+            done: now,
+            ..Default::default()
+        };
+        let geo = io.geometry();
+        let group = victim.group;
+        let victim_lin = victim.linear(&geo);
+        let live = map.valid_sectors(victim_lin);
+        let txid = self.next_txid;
+        self.next_txid += 1;
+
+        let mut t = now;
+        if !live.is_empty() {
+            wal.append(WalRecord::TxBegin { txid });
+            let mut cursor = 0usize;
+            while cursor < live.len() {
+                // One ws_min batch: pad with repeats of the last live
+                // sector if the tail is short.
+                let mut batch: Vec<Ppa> = Vec::with_capacity(geo.ws_min as usize);
+                let mut lpns: Vec<Option<u64>> = Vec::with_capacity(geo.ws_min as usize);
+                for k in 0..geo.ws_min as usize {
+                    if let Some(&(ppa, lpn)) = live.get(cursor + k) {
+                        batch.push(ppa);
+                        lpns.push(Some(lpn));
+                    } else {
+                        batch.push(live[live.len() - 1].0);
+                        lpns.push(None);
+                        pass.padded_sectors += 1;
+                    }
+                }
+                cursor += geo.ws_min as usize;
+
+                // Destination in the same group, never the victim chunk.
+                // A program failure on the destination freezes it; the
+                // write point is retired and the batch retries on a
+                // fresh chunk. Every retry permanently consumes a chunk
+                // from provisioning, so the loop is bounded by the
+                // healthy-chunk supply.
+                let (slot, comp) = loop {
+                    let slot = loop {
+                        let Some(slot) = prov.allocate_in_group(group) else {
+                            // Group out of space: fall back to any group.
+                            match prov.allocate_horizontal() {
+                                Some(s) => break s,
+                                None => return Err(WalError::LogFull),
+                            }
+                        };
+                        if slot.chunk != victim {
+                            break slot;
+                        }
+                    };
+                    match io.copy(t, &batch, slot.chunk) {
+                        Ok(comp) => break (slot, comp),
+                        Err(
+                            ocssd::DeviceError::MediaFailure(_)
+                            | ocssd::DeviceError::ChunkOffline(_)
+                            | ocssd::DeviceError::InvalidChunkState { .. },
+                        ) => {
+                            prov.mark_offline(slot.chunk);
+                            self.stats.copy_failovers += 1;
+                            self.obs.metrics.record("gc.copy_failover", 0);
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                };
+                t = comp.done;
+                for (k, lpn) in lpns.iter().enumerate() {
+                    if let Some(lpn) = lpn {
+                        let dst = slot.chunk.ppa(slot.sector + k as u32);
+                        map.map(*lpn, dst);
+                        wal.append(WalRecord::MapUpdate {
+                            txid,
+                            lpn: *lpn,
+                            ppa_linear: dst.linear(&geo),
+                        });
+                        pass.moved_sectors += 1;
+                    }
+                }
+            }
+            wal.append(WalRecord::TxCommit { txid });
+            t = wal.commit(t)?;
+        }
+
+        // Victim is now dead; erase and recycle. An erase failure
+        // retires the victim as a grown bad block (the device already
+        // queued the media event). Its live data is relocated and
+        // journaled, so the pass just forfeits the chunk rather than
+        // failing the collection.
+        match io.reset(t, victim) {
+            Ok(comp) => {
+                t = comp.done;
+                prov.release_chunk(victim);
+                pass.victims += 1;
+            }
+            Err(_) => {
+                prov.mark_offline(victim);
+                self.stats.reset_failures += 1;
+                self.obs.metrics.record("gc.reset_failure", 0);
+            }
+        }
+        pass.done = t;
+        Ok(pass)
     }
 
     /// Runs one collection pass at `now`. Relocations stay inside the marked
@@ -183,7 +322,6 @@ impl GarbageCollector {
         prov: &mut Provisioner,
         wal: &mut Wal,
     ) -> Result<GcPass, WalError> {
-        let geo = media.geometry();
         let io = self.io_media.clone();
         let io: &Arc<dyn Media> = io.as_ref().unwrap_or(media);
         let mut pass = GcPass {
@@ -191,105 +329,11 @@ impl GarbageCollector {
             ..Default::default()
         };
         for _ in 0..self.config.chunks_per_pass {
-            let Some((victim, _valid)) = self.select_victim(media, map) else {
+            let Some((victim, _score)) = self.select_victim(media, map) else {
                 break;
             };
-            let group = victim.group;
-            let victim_lin = victim.linear(&geo);
-            let live = map.valid_sectors(victim_lin);
-            let txid = self.next_txid;
-            self.next_txid += 1;
-
-            let mut t = pass.done;
-            if !live.is_empty() {
-                wal.append(WalRecord::TxBegin { txid });
-                let mut cursor = 0usize;
-                while cursor < live.len() {
-                    // One ws_min batch: pad with repeats of the last live
-                    // sector if the tail is short.
-                    let mut batch: Vec<Ppa> = Vec::with_capacity(geo.ws_min as usize);
-                    let mut lpns: Vec<Option<u64>> = Vec::with_capacity(geo.ws_min as usize);
-                    for k in 0..geo.ws_min as usize {
-                        if let Some(&(ppa, lpn)) = live.get(cursor + k) {
-                            batch.push(ppa);
-                            lpns.push(Some(lpn));
-                        } else {
-                            batch.push(live[live.len() - 1].0);
-                            lpns.push(None);
-                            pass.padded_sectors += 1;
-                        }
-                    }
-                    cursor += geo.ws_min as usize;
-
-                    // Destination in the same group, never the victim chunk.
-                    // A program failure on the destination freezes it; the
-                    // write point is retired and the batch retries on a
-                    // fresh chunk. Every retry permanently consumes a chunk
-                    // from provisioning, so the loop is bounded by the
-                    // healthy-chunk supply.
-                    let (slot, comp) = loop {
-                        let slot = loop {
-                            let Some(slot) = prov.allocate_in_group(group) else {
-                                // Group out of space: fall back to any group.
-                                match prov.allocate_horizontal() {
-                                    Some(s) => break s,
-                                    None => return Err(WalError::LogFull),
-                                }
-                            };
-                            if slot.chunk != victim {
-                                break slot;
-                            }
-                        };
-                        match io.copy(t, &batch, slot.chunk) {
-                            Ok(comp) => break (slot, comp),
-                            Err(
-                                ocssd::DeviceError::MediaFailure(_)
-                                | ocssd::DeviceError::ChunkOffline(_)
-                                | ocssd::DeviceError::InvalidChunkState { .. },
-                            ) => {
-                                prov.mark_offline(slot.chunk);
-                                self.stats.copy_failovers += 1;
-                                self.obs.metrics.record("gc.copy_failover", 0);
-                            }
-                            Err(e) => return Err(e.into()),
-                        }
-                    };
-                    t = comp.done;
-                    for (k, lpn) in lpns.iter().enumerate() {
-                        if let Some(lpn) = lpn {
-                            let dst = slot.chunk.ppa(slot.sector + k as u32);
-                            map.map(*lpn, dst);
-                            wal.append(WalRecord::MapUpdate {
-                                txid,
-                                lpn: *lpn,
-                                ppa_linear: dst.linear(&geo),
-                            });
-                            pass.moved_sectors += 1;
-                        }
-                    }
-                }
-                wal.append(WalRecord::TxCommit { txid });
-                t = wal.commit(t)?;
-            }
-
-            // Victim is now dead; erase and recycle. An erase failure
-            // retires the victim as a grown bad block (the device already
-            // queued the media event). Its live data is relocated and
-            // journaled, so the pass just forfeits the chunk rather than
-            // failing the collection.
-            match io.reset(t, victim) {
-                Ok(comp) => {
-                    t = comp.done;
-                    prov.release_chunk(victim);
-                    pass.victims += 1;
-                }
-                Err(_) => {
-                    prov.mark_offline(victim);
-                    self.stats.reset_failures += 1;
-                    self.obs.metrics.record("gc.reset_failure", 0);
-                }
-            }
-            pass.done = t;
+            let sub = self.recycle_victim(pass.done, victim, io, map, prov, wal)?;
+            pass.absorb(sub);
         }
         self.stats.passes += 1;
         self.stats.victims += pass.victims as u64;
@@ -312,6 +356,48 @@ impl GarbageCollector {
         self.obs
             .tracer
             .span(now, pass.done, "gc", "pass", moved_bytes);
+        Ok(pass)
+    }
+
+    /// Refresh-relocates one caller-chosen chunk: moves its live data to
+    /// fresh chunks, journals the remap, and erases the victim. This is the
+    /// scrubber's entry point for chunks the device flags as refresh-due —
+    /// unlike [`GarbageCollector::collect`] the victim may be fully valid
+    /// (a retention refresh rewrites everything). Reserved chunks and chunks
+    /// that are not `Closed` are skipped with an empty pass: the caller reads
+    /// `victims == 0` as "not refreshed, try again later". Volume lands in
+    /// `gc.refresh` rather than `gc.pass` metrics.
+    pub fn relocate_chunk(
+        &mut self,
+        now: SimTime,
+        victim: ChunkAddr,
+        media: &Arc<dyn Media>,
+        map: &mut PageMap,
+        prov: &mut Provisioner,
+        wal: &mut Wal,
+    ) -> Result<GcPass, WalError> {
+        let geo = media.geometry();
+        let mut pass = GcPass {
+            done: now,
+            ..Default::default()
+        };
+        if self.reserved.contains(&victim.linear(&geo))
+            || media.chunk_info(victim).state != ChunkState::Closed
+        {
+            return Ok(pass);
+        }
+        let io = self.io_media.clone();
+        let io: &Arc<dyn Media> = io.as_ref().unwrap_or(media);
+        let sub = self.recycle_victim(now, victim, io, map, prov, wal)?;
+        pass.absorb(sub);
+        self.stats.victims += pass.victims as u64;
+        self.stats.moved_sectors += pass.moved_sectors;
+        self.stats.padded_sectors += pass.padded_sectors;
+        let moved_bytes = pass.moved_sectors * ocssd::SECTOR_BYTES as u64;
+        self.obs.metrics.record("gc.refresh", moved_bytes);
+        self.obs
+            .tracer
+            .span(now, pass.done, "gc", "refresh", moved_bytes);
         Ok(pass)
     }
 }
@@ -493,6 +579,121 @@ mod tests {
                 .unwrap();
         assert!(pass.victims >= 1, "collector rotated to the busy group");
         assert_eq!(r.gc.marked_group(), 2);
+    }
+
+    /// Claims and fully writes one chunk on `pu` without mapping any lpns,
+    /// so every sector is invalid from GC's point of view. Returns the
+    /// chunk's address.
+    fn write_unmapped_chunk(r: &mut Rig, pu: u32) -> ChunkAddr {
+        let data = vec![0xA5u8; r.geo.ws_min_bytes()];
+        let mut addr = None;
+        for _ in 0..(r.geo.sectors_per_chunk / r.geo.ws_min) {
+            let slot = r.prov.allocate_on_pu(pu).expect("out of space");
+            let comp = r
+                .media
+                .write(r.t, slot.chunk.ppa(slot.sector), &data)
+                .unwrap();
+            r.t = comp.done;
+            addr = Some(slot.chunk);
+        }
+        let f = r.media.flush(r.t);
+        r.t = f.done;
+        addr.unwrap()
+    }
+
+    #[test]
+    fn wear_bias_steers_victim_selection_to_low_wear_chunks() {
+        let mut r = rig();
+        r.gc = GarbageCollector::new(
+            GcConfig {
+                chunks_per_pass: 1,
+                wear_bias: 1,
+                ..GcConfig::default()
+            },
+            &r.layout.reserved_linear(&r.geo),
+        );
+        let data = vec![0xA5u8; r.geo.ws_min_bytes()];
+        // Chunk `a`: one extra erase cycle, then refilled (still fully
+        // invalid). Chunk `b`: same occupancy, zero wear.
+        let a = write_unmapped_chunk(&mut r, 0);
+        r.t = r.media.reset(r.t, a).unwrap().done;
+        let mut s = 0;
+        while s < r.geo.sectors_per_chunk {
+            r.t = r.media.write(r.t, a.ppa(s), &data).unwrap().done;
+            s += r.geo.ws_min;
+        }
+        let b = write_unmapped_chunk(&mut r, 0);
+        assert_ne!(a, b);
+        assert_eq!(r.media.chunk_info(a).wear, 1);
+        assert_eq!(r.media.chunk_info(b).wear, 0);
+        r.gc.mark_group(0);
+        let pass =
+            r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
+        assert_eq!(pass.victims, 1);
+        assert_eq!(
+            r.media.chunk_info(b).state,
+            ChunkState::Free,
+            "low-wear chunk collected first"
+        );
+        assert_eq!(
+            r.media.chunk_info(a).state,
+            ChunkState::Closed,
+            "worn chunk spared"
+        );
+    }
+
+    #[test]
+    fn relocate_chunk_refreshes_a_fully_valid_chunk() {
+        let mut r = rig();
+        let chunk_lpns = r.geo.sectors_per_chunk as u64;
+        fill(&mut r, 0..chunk_lpns, 0);
+        let victim = r.map.lookup(0).unwrap().chunk_addr();
+        assert_eq!(r.media.chunk_info(victim).state, ChunkState::Closed);
+        // Fully valid, so normal GC refuses it...
+        r.gc.mark_group(0);
+        let gc_pass =
+            r.gc.collect(r.t, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
+        assert_eq!(gc_pass.victims, 0, "fully-valid chunk is not a GC victim");
+        // ...but a refresh relocates everything and erases it.
+        let pass =
+            r.gc.relocate_chunk(r.t, victim, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
+        assert_eq!(pass.victims, 1);
+        assert_eq!(pass.moved_sectors, r.geo.sectors_per_chunk as u64);
+        assert_eq!(r.media.chunk_info(victim).state, ChunkState::Free);
+        for l in 0..chunk_lpns {
+            let new = r.map.lookup(l).expect("still mapped");
+            assert_ne!(new.chunk_addr(), victim, "lpn {l} moved off the victim");
+            let mut out = vec![0u8; ocssd::SECTOR_BYTES];
+            r.media.read(pass.done, new, 1, &mut out).unwrap();
+            assert_eq!(out[0], 0x5A, "lpn {l} readable after refresh");
+        }
+    }
+
+    #[test]
+    fn relocate_chunk_skips_reserved_and_unclosed_chunks() {
+        let mut r = rig();
+        let reserved = r.layout.wal_chunks[0];
+        let pass =
+            r.gc.relocate_chunk(r.t, reserved, &r.media, &mut r.map, &mut r.prov, &mut r.wal)
+                .unwrap();
+        assert_eq!(pass.victims, 0);
+        assert_eq!(pass.moved_sectors, 0);
+        // A never-written data chunk is not refreshable either.
+        let slot = r.prov.allocate_on_pu(0).unwrap();
+        let pass =
+            r.gc.relocate_chunk(
+                r.t,
+                slot.chunk,
+                &r.media,
+                &mut r.map,
+                &mut r.prov,
+                &mut r.wal,
+            )
+            .unwrap();
+        assert_eq!(pass.victims, 0);
     }
 
     #[test]

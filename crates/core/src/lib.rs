@@ -45,6 +45,7 @@ pub mod mapping;
 pub mod media;
 pub mod provision;
 pub mod recovery;
+pub mod retry;
 pub mod stats;
 pub mod wal;
 

@@ -6,8 +6,8 @@
 //! implements it over the simulated Open-Channel SSD, and tests substitute
 //! fault-injecting wrappers.
 
-use ocssd::{ChunkAddr, ChunkInfo, Completion, Geometry, Ppa, Result, SharedDevice};
-use ox_sim::SimTime;
+use ocssd::{ChunkAddr, ChunkHealth, ChunkInfo, Completion, Geometry, Ppa, Result, SharedDevice};
+use ox_sim::{SimDuration, SimTime};
 
 /// A physical address space with OCSSD-style chunk discipline.
 pub trait Media: Send + Sync {
@@ -48,6 +48,22 @@ pub trait Media: Send + Sync {
     fn pu_busy_until(&self, _pu: u32) -> SimTime {
         SimTime::ZERO
     }
+
+    /// Health snapshot of one chunk at `now` (wear, reads since erase, data
+    /// age, estimated error rate). Media without a reliability model report
+    /// the *report chunk* fields and an always-healthy estimate.
+    fn chunk_health(&self, _now: SimTime, chunk: ChunkAddr) -> ChunkHealth {
+        let info = self.chunk_info(chunk);
+        ChunkHealth {
+            state: info.state,
+            write_ptr: info.write_ptr,
+            wear: info.wear,
+            reads_since_erase: 0,
+            data_age: SimDuration::ZERO,
+            error_ppm: 0,
+            refresh_due: false,
+        }
+    }
 }
 
 /// Reads with bounded retry on transient uncorrectable-read errors.
@@ -56,7 +72,8 @@ pub trait Media: Send + Sync {
 /// state over an ECC-exhaustion fluke that a second attempt would clear —
 /// the data-path read retries already do this, recovery gets the same
 /// defense. Other errors (and a read that stays uncorrectable past the
-/// retry budget) propagate.
+/// retry budget) propagate. Thin wrapper over [`crate::retry`], for call
+/// sites with no metrics registry in scope.
 pub fn read_with_retry(
     media: &dyn Media,
     now: SimTime,
@@ -65,16 +82,16 @@ pub fn read_with_retry(
     out: &mut [u8],
     max_retries: u32,
 ) -> Result<Completion> {
-    let mut attempts = 0u32;
-    loop {
-        match media.read(now, ppa, sectors, out) {
-            Ok(c) => return Ok(c),
-            Err(ocssd::DeviceError::UncorrectableRead(_)) if attempts < max_retries => {
-                attempts += 1;
-            }
-            Err(e) => return Err(e),
-        }
-    }
+    crate::retry::read_with_policy(
+        media,
+        now,
+        ppa,
+        sectors,
+        out,
+        crate::retry::RetryPolicy::with_retries(max_retries),
+        None,
+    )
+    .map(|o| o.completion)
 }
 
 /// [`Media`] over the simulated Open-Channel SSD.
@@ -138,6 +155,10 @@ impl Media for OcssdMedia {
 
     fn pu_busy_until(&self, pu: u32) -> SimTime {
         self.device.pu_busy_until(pu)
+    }
+
+    fn chunk_health(&self, now: SimTime, chunk: ChunkAddr) -> ChunkHealth {
+        self.device.chunk_health(now, chunk)
     }
 }
 

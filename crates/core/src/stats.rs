@@ -33,6 +33,14 @@ pub struct FtlStats {
     pub orphans_salvaged: u64,
     /// Orphaned pages whose media was gone (data lost at this layer).
     pub orphans_lost: u64,
+    /// Background scrub steps run.
+    pub scrub_steps: u64,
+    /// Chunks patrol-read by the scrubber.
+    pub scrub_chunks_scanned: u64,
+    /// Patrol reads that came back uncorrectable (chunk queued for refresh).
+    pub scrub_read_errors: u64,
+    /// Chunks refresh-relocated (data moved, chunk erased) by the scrubber.
+    pub scrub_refreshes: u64,
 }
 
 impl FtlStats {

@@ -152,4 +152,8 @@ impl Media for SchedMedia {
     fn pu_busy_until(&self, pu: u32) -> SimTime {
         self.inner.pu_busy_until(pu)
     }
+
+    fn chunk_health(&self, now: SimTime, chunk: ChunkAddr) -> ocssd::ChunkHealth {
+        self.inner.chunk_health(now, chunk)
+    }
 }

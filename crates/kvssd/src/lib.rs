@@ -378,6 +378,7 @@ impl KvSsd {
             ox_core::gc::GcConfig {
                 low_watermark: self.config.gc_watermark,
                 chunks_per_pass: 4,
+                ..ox_core::gc::GcConfig::default()
             },
             &self.reserved,
         );

@@ -621,16 +621,20 @@ impl LightLsm {
             .end;
         // Bounded read-retry: uncorrectable reads are often transient.
         let media = self.read_media.as_ref().unwrap_or(&self.media);
-        let mut attempts = 0u32;
-        let comp = loop {
-            match media.read(submit, chunk.ppa(sector), self.geo.ws_min, out) {
-                Ok(comp) => break comp,
-                Err(DeviceError::UncorrectableRead(_)) if attempts < 3 => {
-                    attempts += 1;
-                    self.stats.read_retries += 1;
-                }
-                Err(e) => return Err(e.into()),
+        let comp = match ox_core::retry::read_with_policy(
+            media.as_ref(),
+            submit,
+            chunk.ppa(sector),
+            self.geo.ws_min,
+            out,
+            ox_core::retry::RetryPolicy::default(),
+            Some(&self.obs.metrics),
+        ) {
+            Ok(o) => {
+                self.stats.read_retries += o.retries as u64;
+                o.completion
             }
+            Err(e) => return Err(e.into()),
         };
         self.stats.blocks_read += 1;
         self.obs.metrics.record("lightlsm.read", out.len() as u64);

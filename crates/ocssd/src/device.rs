@@ -27,6 +27,9 @@ use crate::chunk::{Chunk, ChunkInfo, ChunkState};
 use crate::error::{DeviceError, Result};
 use crate::fault::{FaultInjector, FaultLedger, FaultPlan};
 use crate::geometry::Geometry;
+use crate::health::{
+    ChunkHealth, HealthLedger, ReadErrorKind, ReliabilityConfig, ReliabilityState,
+};
 use crate::media::MediaStore;
 use crate::stats::DeviceStats;
 use crate::SECTOR_BYTES;
@@ -61,6 +64,20 @@ pub enum MediaEventKind {
     EraseFail,
     /// The chunk exceeded its rated endurance and was retired.
     WearOut,
+    /// The reliability model estimates the chunk's error rate has crossed
+    /// the refresh threshold: the data is still readable, but the host
+    /// should relocate it before it becomes uncorrectable. Advisory — the
+    /// chunk stays in service and this does *not* count as a grown bad
+    /// block.
+    RefreshDue,
+}
+
+impl MediaEventKind {
+    /// Whether this event retires the chunk from service (everything except
+    /// the advisory refresh notification).
+    pub fn retires_chunk(self) -> bool {
+        !matches!(self, MediaEventKind::RefreshDue)
+    }
 }
 
 /// Asynchronous media event (OCSSD 2.0 asynchronous error reporting).
@@ -97,6 +114,10 @@ pub struct DeviceConfig {
     /// Deterministic fault schedule (empty by default: no injected faults,
     /// byte-identical behaviour to a plan-less device). See [`crate::fault`].
     pub fault: FaultPlan,
+    /// Wear-coupled reliability model (disabled by default: no tracking, no
+    /// draws, byte-identical behaviour to a model-less device). See
+    /// [`crate::health`].
+    pub reliability: ReliabilityConfig,
 }
 
 impl DeviceConfig {
@@ -113,6 +134,7 @@ impl DeviceConfig {
             program_fail_prob: 0.0,
             erase_fail_prob: 0.0,
             fault: FaultPlan::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -140,6 +162,7 @@ pub struct OcssdDevice {
     host_link: Timeline,
     rng: Prng,
     fault: FaultInjector,
+    health: ReliabilityState,
     stats: DeviceStats,
     events: Vec<MediaEvent>,
     grown_bad_blocks: u64,
@@ -171,6 +194,7 @@ impl OcssdDevice {
             }
         }
         let fault = FaultInjector::new(config.fault.clone(), geo.total_pus());
+        let health = ReliabilityState::new(config.reliability.clone(), geo.total_chunks());
         let cache = WriteCache::new(config.cache);
         Ok(OcssdDevice {
             geo,
@@ -184,6 +208,7 @@ impl OcssdDevice {
             host_link: Timeline::new(),
             rng,
             fault,
+            health,
             stats: DeviceStats::default(),
             events: Vec::new(),
             grown_bad_blocks: 0,
@@ -243,10 +268,12 @@ impl OcssdDevice {
         self.grown_bad_blocks
     }
 
-    /// Records an asynchronous media event and bumps the grown-bad-block
-    /// counter (every event kind names a chunk retired from service).
+    /// Records an asynchronous media event; retiring kinds (everything but
+    /// the advisory `RefreshDue`) also bump the grown-bad-block counter.
     fn note_media_event(&mut self, ev: MediaEvent) {
-        self.grown_bad_blocks += 1;
+        if ev.kind.retires_chunk() {
+            self.grown_bad_blocks += 1;
+        }
         self.events.push(ev);
     }
 
@@ -259,6 +286,55 @@ impl OcssdDevice {
     /// Injected faults that have actually fired so far.
     pub fn fault_ledger(&self) -> &FaultLedger {
         self.fault.ledger()
+    }
+
+    /// Reliability-model events that have actually fired so far.
+    pub fn health_ledger(&self) -> &HealthLedger {
+        self.health.ledger()
+    }
+
+    /// Health snapshot of one chunk at `now`: wear, reads since erase, data
+    /// age, estimated error rate and refresh-due flag. With the reliability
+    /// model disabled only the *report chunk* fields are meaningful.
+    pub fn chunk_health(&self, now: SimTime, addr: ChunkAddr) -> ChunkHealth {
+        let idx = self.chunk_index(addr);
+        let info = self.chunks[idx].info();
+        self.health.chunk_health(
+            idx,
+            info.state,
+            info.write_ptr,
+            info.wear,
+            self.geo.endurance,
+            now,
+        )
+    }
+
+    /// Number of in-service chunks whose estimated error rate is past the
+    /// refresh threshold at `now` — the scrubber's backlog. Zero when the
+    /// reliability model is disabled.
+    pub fn refresh_backlog(&self, now: SimTime) -> u64 {
+        if !self.health.is_active() {
+            return 0;
+        }
+        let mut backlog = 0;
+        for i in 0..self.chunks.len() {
+            let info = self.chunks[i].info();
+            if info.state == ChunkState::Offline || info.write_ptr == 0 {
+                continue;
+            }
+            let h = self.health.chunk_health(
+                i,
+                info.state,
+                info.write_ptr,
+                info.wear,
+                self.geo.endurance,
+                now,
+            );
+            if h.refresh_due {
+                backlog += 1;
+            }
+        }
+        backlog
     }
 
     /// Consumes one scheduled power-loss cut point that is due at `now`
@@ -347,6 +423,53 @@ impl OcssdDevice {
         self.obs.metrics.gauge_set(
             &format!("{prefix}.cache.stalls"),
             self.cache.stalls() as i64,
+        );
+    }
+
+    /// Publishes device-health metrics: a per-PU wear histogram
+    /// (`device.health.pu.<i>.wear`, one sample per chunk) plus device-age
+    /// and backlog gauges. See [`OcssdDevice::publish_health_metrics_as`].
+    pub fn publish_health_metrics(&self, now: SimTime) {
+        self.publish_health_metrics_as("", now)
+    }
+
+    /// [`OcssdDevice::publish_health_metrics`] with a device scope label
+    /// (`device.<scope>.health.…`), for sharded layers. Exporters should
+    /// call this once per run, before snapshotting: each call appends one
+    /// full wear-distribution snapshot to the histograms.
+    pub fn publish_health_metrics_as(&self, scope: &str, now: SimTime) {
+        let prefix = if scope.is_empty() {
+            "device".to_string()
+        } else {
+            format!("device.{scope}")
+        };
+        let mut wear_sum = 0u64;
+        let mut wear_max = 0u32;
+        for i in 0..self.chunks.len() {
+            let info = self.chunks[i].info();
+            let pu = ChunkAddr::from_linear(&self.geo, i as u64).pu_linear(&self.geo);
+            self.obs
+                .metrics
+                .observe(&format!("{prefix}.health.pu.{pu}.wear"), info.wear as u64);
+            wear_sum += info.wear as u64;
+            wear_max = wear_max.max(info.wear);
+        }
+        // Device age: mean wear as a fraction of rated endurance, in ppm.
+        let age_ppm = wear_sum * 1_000_000
+            / (self.chunks.len().max(1) as u64 * self.geo.endurance.max(1) as u64);
+        self.obs
+            .metrics
+            .gauge_set(&format!("{prefix}.health.age_ppm"), age_ppm as i64);
+        self.obs
+            .metrics
+            .gauge_set(&format!("{prefix}.health.wear_max"), wear_max as i64);
+        self.obs.metrics.gauge_set(
+            &format!("{prefix}.health.grown_bad_blocks"),
+            self.grown_bad_blocks as i64,
+        );
+        self.obs.metrics.gauge_set(
+            &format!("{prefix}.health.refresh_backlog"),
+            self.refresh_backlog(now) as i64,
         );
     }
 
@@ -455,6 +578,7 @@ impl OcssdDevice {
 
         let idx = self.chunk_index(addr);
         self.chunks[idx].accept_write(ppa.sector, sectors, self.geo.sectors_per_chunk, durable_at);
+        self.health.note_program(idx, durable_at);
         let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
         for (i, sector_data) in data.chunks_exact(SECTOR_BYTES).enumerate() {
             self.media
@@ -588,6 +712,39 @@ impl OcssdDevice {
             ppa.sector >= durable
         };
 
+        // Wear/retention/read-disturb reliability model: media reads of a
+        // stressed chunk can exhaust ECC. Like injected read faults, the
+        // error returns at submission without touching the timelines;
+        // retries re-arbitrate. Cache-resident reads never disturb NAND.
+        if !all_cached {
+            let wear = self.chunks[idx].info().wear;
+            let check = self
+                .health
+                .take_read_check(idx, wear, self.geo.endurance, now);
+            if check.refresh_flagged {
+                self.stats.refresh_flags += 1;
+                self.obs.metrics.record("device.health.refresh_due", 0);
+                self.obs.tracer.instant(now, "device", "health.refresh", 0);
+                self.note_media_event(MediaEvent {
+                    at: now,
+                    chunk: addr,
+                    kind: MediaEventKind::RefreshDue,
+                });
+            }
+            if let Some(kind) = check.error {
+                match kind {
+                    ReadErrorKind::Retention => self.stats.retention_read_errors += 1,
+                    ReadErrorKind::Disturb => self.stats.disturb_read_errors += 1,
+                    ReadErrorKind::Wear => self.stats.wear_read_errors += 1,
+                }
+                self.obs.metrics.record("device.health.read_error", 0);
+                self.obs
+                    .tracer
+                    .instant(now, "device", "health.read_error", 0);
+                return Err(DeviceError::UncorrectableRead(ppa));
+            }
+        }
+
         let bytes = sectors as u64 * SECTOR_BYTES as u64;
         let done = if all_cached {
             let t = self.profile.cache_hit + self.host_link_time(sectors);
@@ -709,6 +866,7 @@ impl OcssdDevice {
 
         let pre_wear = self.chunks[idx].info().wear;
         let wear = self.chunks[idx].reset();
+        self.health.note_erase(idx);
         let base = addr.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
         self.media
             .discard_range(base, base + self.geo.sectors_per_chunk as u64);
@@ -747,6 +905,23 @@ impl OcssdDevice {
                 at: done,
                 chunk: addr,
                 kind: MediaEventKind::WearOut,
+            });
+            return Err(DeviceError::MediaFailure(addr));
+        }
+        // Reliability model: grown bad blocks concentrate near end of life,
+        // before the hard endurance cliff.
+        if self.health.take_eol_erase_fail(wear, self.geo.endurance) {
+            self.chunks[idx].set_offline();
+            self.stats.media_failures += 1;
+            self.stats.eol_erase_fails += 1;
+            self.obs.metrics.record("device.health.erase_fail", 0);
+            self.obs
+                .tracer
+                .instant(done, "device", "health.erase_fail", 0);
+            self.note_media_event(MediaEvent {
+                at: done,
+                chunk: addr,
+                kind: MediaEventKind::EraseFail,
             });
             return Err(DeviceError::MediaFailure(addr));
         }
@@ -815,6 +990,7 @@ impl OcssdDevice {
 
         let idx = self.chunk_index(dst);
         self.chunks[idx].accept_write(dst_wp, sectors, self.geo.sectors_per_chunk, done);
+        self.health.note_program(idx, done);
         let dst_base = dst.linear(&self.geo) * self.geo.sectors_per_chunk as u64;
         for (i, &src) in srcs.iter().enumerate() {
             let src_idx = src.linear(&self.geo);
@@ -992,6 +1168,31 @@ impl SharedDevice {
     /// See [`OcssdDevice::grown_bad_blocks`].
     pub fn grown_bad_blocks(&self) -> u64 {
         self.0.lock().grown_bad_blocks()
+    }
+
+    /// See [`OcssdDevice::chunk_health`].
+    pub fn chunk_health(&self, now: SimTime, addr: ChunkAddr) -> ChunkHealth {
+        self.0.lock().chunk_health(now, addr)
+    }
+
+    /// Copy of the reliability-model ledger ([`OcssdDevice::health_ledger`]).
+    pub fn health_ledger(&self) -> HealthLedger {
+        *self.0.lock().health_ledger()
+    }
+
+    /// See [`OcssdDevice::refresh_backlog`].
+    pub fn refresh_backlog(&self, now: SimTime) -> u64 {
+        self.0.lock().refresh_backlog(now)
+    }
+
+    /// See [`OcssdDevice::publish_health_metrics`].
+    pub fn publish_health_metrics(&self, now: SimTime) {
+        self.0.lock().publish_health_metrics(now)
+    }
+
+    /// See [`OcssdDevice::publish_health_metrics_as`].
+    pub fn publish_health_metrics_as(&self, scope: &str, now: SimTime) {
+        self.0.lock().publish_health_metrics_as(scope, now)
     }
 }
 

@@ -38,6 +38,7 @@ mod device;
 mod error;
 pub mod fault;
 mod geometry;
+pub mod health;
 mod media;
 mod stats;
 
@@ -52,6 +53,9 @@ pub use fault::{
     LatencySpike, PowerCut, ProgramFault, ReadFault,
 };
 pub use geometry::Geometry;
+pub use health::{
+    matrix_age_fill, ChunkHealth, HealthLedger, ReadErrorKind, ReliabilityConfig, ReliabilityState,
+};
 pub use ox_sim::trace::{Obs, TraceEvent, TracePhase};
 pub use stats::DeviceStats;
 

@@ -33,6 +33,16 @@ pub struct DeviceStats {
     pub injected_latency_spikes: u64,
     /// Power-loss cut points consumed from the fault plan.
     pub injected_power_cuts: u64,
+    /// Uncorrectable reads attributed to retention by the reliability model.
+    pub retention_read_errors: u64,
+    /// Uncorrectable reads attributed to read disturb by the model.
+    pub disturb_read_errors: u64,
+    /// Uncorrectable reads attributed to wear by the model.
+    pub wear_read_errors: u64,
+    /// Chunks flagged refresh-due by the model (once per erase cycle).
+    pub refresh_flags: u64,
+    /// End-of-life erase failures drawn by the model (grown bad blocks).
+    pub eol_erase_fails: u64,
 }
 
 impl DeviceStats {

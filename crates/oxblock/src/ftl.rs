@@ -1,6 +1,6 @@
 //! The OX-Block FTL proper.
 
-use ocssd::{ChunkAddr, Completion, DeviceError, Geometry, SECTOR_BYTES};
+use ocssd::{ChunkAddr, ChunkState, Completion, DeviceError, Geometry, MediaEvent, SECTOR_BYTES};
 use ox_core::checkpoint::CheckpointStore;
 use ox_core::gc::{GarbageCollector, GcConfig, GcPass};
 use ox_core::layout::{Layout, LayoutConfig};
@@ -15,6 +15,7 @@ use ox_core::{
 };
 use ox_sim::trace::Obs;
 use ox_sim::{SimDuration, SimTime};
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// OX-Block configuration.
@@ -29,6 +30,8 @@ pub struct BlockFtlConfig {
     pub checkpoint_interval: Option<SimDuration>,
     /// GC policy.
     pub gc: GcConfig,
+    /// Background scrub (patrol read + refresh relocation) policy.
+    pub scrub: ScrubConfig,
 }
 
 impl BlockFtlConfig {
@@ -40,8 +43,55 @@ impl BlockFtlConfig {
             layout: LayoutConfig::default(),
             checkpoint_interval: Some(SimDuration::from_secs(10)),
             gc: GcConfig::default(),
+            scrub: ScrubConfig::default(),
         }
     }
+}
+
+/// Background-scrubber policy. The scrubber patrol-reads closed chunks in
+/// linear order through the GC-class I/O tenant (when wired), flags chunks
+/// whose device-estimated error rate crosses the threshold — or that the
+/// device itself marked refresh-due — and refresh-relocates a bounded number
+/// of flagged chunks per step. Disabled by default: a disabled scrubber
+/// leaves the I/O stream byte-identical to an FTL without one.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrubConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Chunks patrol-read per [`BlockFtl::scrub_step`].
+    pub chunks_per_step: u32,
+    /// Refresh relocations allowed per step (bounds the write cost of a
+    /// step so patrol stays background work).
+    pub refreshes_per_step: u32,
+    /// Device-estimated raw bit error rate (parts per million) at which a
+    /// chunk is refreshed even before the device flags it.
+    pub error_ppm_threshold: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            enabled: false,
+            chunks_per_step: 16,
+            refreshes_per_step: 2,
+            error_ppm_threshold: 2_000,
+        }
+    }
+}
+
+/// What one scrub step did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScrubReport {
+    /// Closed chunks patrol-read this step.
+    pub scanned: u64,
+    /// Patrol reads that came back uncorrectable (chunk queued for refresh).
+    pub read_errors: u64,
+    /// Refresh-queue depth after the patrol pass.
+    pub queued: u64,
+    /// Chunks refresh-relocated this step.
+    pub refreshed: u64,
+    /// Completion time of the step.
+    pub done: SimTime,
 }
 
 /// OX-Block failure modes.
@@ -58,6 +108,10 @@ pub enum BlockFtlError {
     BadBuffer(usize),
     /// The device is out of space even after garbage collection.
     OutOfSpace,
+    /// Spare chunks are exhausted: the store has degraded to read-only.
+    /// Reads keep working; writes and trims are refused with this error
+    /// until the device is replaced (end-of-life, not a transient).
+    ReadOnly,
     /// Log/metadata failure.
     Wal(WalError),
     /// Device command failure.
@@ -72,6 +126,9 @@ impl std::fmt::Display for BlockFtlError {
             }
             BlockFtlError::BadBuffer(n) => write!(f, "buffer of {n} bytes is not 4 KB-aligned"),
             BlockFtlError::OutOfSpace => write!(f, "device out of space"),
+            BlockFtlError::ReadOnly => {
+                write!(f, "spare chunks exhausted: store degraded to read-only")
+            }
             BlockFtlError::Wal(e) => write!(f, "log error: {e}"),
             BlockFtlError::Device(e) => write!(f, "device error: {e}"),
         }
@@ -120,6 +177,17 @@ pub struct BlockFtl {
     /// Per-group instant until which GC activity occupies the group
     /// (interference accounting for the §4.3 locality numbers).
     gc_busy_until: Vec<SimTime>,
+    /// Patrol cursor (linear chunk index) for the background scrubber.
+    scrub_cursor: u64,
+    /// Chunks awaiting refresh relocation: advisory media flags, patrol-read
+    /// failures and error-rate threshold crossings all land here.
+    refresh_queue: VecDeque<ChunkAddr>,
+    /// Media the patrol reads issue through (the GC-class tenant when the
+    /// scheduler is wired; the FTL's own media otherwise).
+    scrub_io: Option<Arc<dyn Media>>,
+    /// Sticky spare-exhaustion flag: once allocation fails outright, the
+    /// store serves reads only.
+    degraded: bool,
     obs: Obs,
 }
 
@@ -162,6 +230,10 @@ impl BlockFtl {
             next_txid: 1,
             last_checkpoint: now,
             gc_busy_until: vec![SimTime::ZERO; geo.num_groups as usize],
+            scrub_cursor: 0,
+            refresh_queue: VecDeque::new(),
+            scrub_io: None,
+            degraded: false,
             obs: Obs::default(),
             layout,
             wal,
@@ -243,6 +315,10 @@ impl BlockFtl {
             next_txid: 1,
             last_checkpoint: t,
             gc_busy_until: vec![SimTime::ZERO; geo.num_groups as usize],
+            scrub_cursor: 0,
+            refresh_queue: VecDeque::new(),
+            scrub_io: None,
+            degraded: false,
             obs: Obs::default(),
             layout,
             wal,
@@ -290,14 +366,25 @@ impl BlockFtl {
         let pages = (data.len() / SECTOR_BYTES) as u64;
         self.check_lpn(lpn)?;
         self.check_lpn(lpn + pages - 1)?;
+        if self.degraded {
+            return Err(BlockFtlError::ReadOnly);
+        }
 
         // Make room first so GC time is not billed inside the transaction.
         let mut gc_ran = false;
         let mut t = self.ensure_log_space(now)?;
         while self.gc.needs_gc(&self.prov) {
             let pass =
-                self.gc
-                    .collect(t, &self.media, &mut self.map, &mut self.prov, &mut self.wal)?;
+                match self
+                    .gc
+                    .collect(t, &self.media, &mut self.map, &mut self.prov, &mut self.wal)
+                {
+                    Ok(p) => p,
+                    // GC ran out of destination chunks mid-relocation: the
+                    // spare pool is gone. Degrade instead of wedging.
+                    Err(WalError::LogFull) => return Err(self.enter_degraded()),
+                    Err(e) => return Err(e.into()),
+                };
             gc_ran = true;
             self.stats.gc_passes += 1;
             self.stats
@@ -338,7 +425,10 @@ impl BlockFtl {
             let (slot, comp) = loop {
                 let slot = match self.prov.allocate_horizontal() {
                     Some(s) => s,
-                    None => return Err(BlockFtlError::OutOfSpace),
+                    // No free chunk anywhere, even after the GC attempt
+                    // above: end of life. The store turns read-only rather
+                    // than failing unpredictably on every later operation.
+                    None => return Err(self.enter_degraded()),
                 };
                 match self.media.write(t, slot.chunk.ppa(slot.sector), &unit_buf) {
                     Ok(c) => break (slot, c),
@@ -405,17 +495,25 @@ impl BlockFtl {
                 self.note_user_io(now, ppa.group);
                 // Transient ECC exhaustion recovers under read-retry; a
                 // page that stays unreadable surfaces the typed error.
-                let mut attempts = 0u32;
-                loop {
-                    match self.media.read(now, ppa, 1, out) {
-                        Ok(c) => break c,
-                        Err(DeviceError::UncorrectableRead(_)) if attempts < 3 => {
-                            attempts += 1;
-                            self.stats.read_retries += 1;
-                            self.obs.metrics.record("oxblock.read_retry", 0);
+                match ox_core::retry::read_with_policy(
+                    self.media.as_ref(),
+                    now,
+                    ppa,
+                    1,
+                    out,
+                    ox_core::retry::RetryPolicy::default(),
+                    Some(&self.obs.metrics),
+                ) {
+                    Ok(o) => {
+                        if o.retries > 0 {
+                            self.stats.read_retries += o.retries as u64;
+                            self.obs
+                                .metrics
+                                .add("oxblock.read_retry", o.retries as u64, 0);
                         }
-                        Err(e) => return Err(e.into()),
+                        o.completion
                     }
+                    Err(e) => return Err(e.into()),
                 }
             }
             None => {
@@ -441,6 +539,9 @@ impl BlockFtl {
         }
         self.check_lpn(lpn)?;
         self.check_lpn(lpn + pages - 1)?;
+        if self.degraded {
+            return Err(BlockFtlError::ReadOnly);
+        }
         let txid = self.next_txid;
         self.next_txid += 1;
         self.wal.append(WalRecord::TxBegin { txid });
@@ -523,10 +624,12 @@ impl BlockFtl {
         Ok(pass)
     }
 
-    /// Routes GC relocation I/O (copy + reset) through `media` — an
-    /// I/O-scheduler tenant in the GC class — so background copies are
-    /// arbitrated against user traffic instead of racing it to the device.
+    /// Routes GC relocation I/O (copy + reset) — and the scrubber's patrol
+    /// reads — through `media`, an I/O-scheduler tenant in the GC class, so
+    /// background traffic is arbitrated against user traffic instead of
+    /// racing it to the device.
     pub fn set_gc_io_media(&mut self, media: Arc<dyn Media>) {
+        self.scrub_io = Some(media.clone());
         self.gc.set_io_media(media);
     }
 
@@ -535,13 +638,19 @@ impl BlockFtl {
         if !self.gc.needs_gc(&self.prov) {
             return Ok(None);
         }
-        let pass = self.gc.collect(
+        let pass = match self.gc.collect(
             now,
             &self.media,
             &mut self.map,
             &mut self.prov,
             &mut self.wal,
-        )?;
+        ) {
+            Ok(pass) => pass,
+            // GC finding no destination chunk is spare exhaustion, same as
+            // on the write path: degrade instead of surfacing a log error.
+            Err(WalError::LogFull) => return Err(self.enter_degraded()),
+            Err(e) => return Err(e.into()),
+        };
         self.stats.gc_passes += 1;
         self.stats
             .gc_writes
@@ -551,11 +660,30 @@ impl BlockFtl {
         Ok(Some(pass))
     }
 
+    /// Drains device media events, diverting advisory `RefreshDue` flags
+    /// into the scrubber's refresh queue; retiring events (program/erase
+    /// failures, wear-out) pass through for bad-block ingestion.
+    fn drain_and_queue_refreshes(&mut self) -> Vec<MediaEvent> {
+        let events = self.media.drain_events();
+        let mut retiring = Vec::with_capacity(events.len());
+        for ev in events {
+            if ev.kind.retires_chunk() {
+                retiring.push(ev);
+            } else if !self.refresh_queue.contains(&ev.chunk) {
+                self.refresh_queue.push_back(ev.chunk);
+                self.obs.metrics.record("oxblock.scrub.flagged", 0);
+            }
+        }
+        retiring
+    }
+
     /// Ingests the device's asynchronous media events into the bad-block
     /// table. Returns the orphaned pages the caller should re-place (see
     /// [`BlockFtl::repair_media_events`] for the full salvage loop).
+    /// Advisory refresh flags are absorbed into the scrub queue, not the
+    /// bad-block table.
     pub fn poll_media_events(&mut self) -> Vec<Orphan> {
-        let events = self.media.drain_events();
+        let events = self.drain_and_queue_refreshes();
         if events.is_empty() {
             return Vec::new();
         }
@@ -573,26 +701,54 @@ impl BlockFtl {
         &mut self,
         now: SimTime,
     ) -> Result<(SimTime, usize, usize), BlockFtlError> {
-        let events = self.media.drain_events();
+        let events = self.drain_and_queue_refreshes();
+        self.repair_events(now, &events)
+    }
+
+    /// The salvage loop behind [`BlockFtl::repair_media_events`], shared
+    /// with the scrubber (whose patrol reads can surface retiring events).
+    fn repair_events(
+        &mut self,
+        now: SimTime,
+        events: &[MediaEvent],
+    ) -> Result<(SimTime, usize, usize), BlockFtlError> {
         if events.is_empty() {
             return Ok((now, 0, 0));
         }
         let orphans = self
             .bbt
-            .ingest(&self.geo, &events, &mut self.prov, &mut self.map);
+            .ingest(&self.geo, events, &mut self.prov, &mut self.map);
         let mut t = now;
         let mut salvaged = 0usize;
         let mut lost = 0usize;
         let mut buf = vec![0u8; SECTOR_BYTES];
         for o in orphans {
-            match ox_core::media::read_with_retry(self.media.as_ref(), t, o.ppa, 1, &mut buf, 3) {
-                Ok(c) => {
-                    t = c.done;
-                    let w = self.write(t, o.lpn, &buf)?;
-                    t = w.done;
-                    self.bbt.mark_replaced(o.lpn);
-                    self.stats.orphans_salvaged += 1;
-                    salvaged += 1;
+            match ox_core::retry::read_with_policy(
+                self.media.as_ref(),
+                t,
+                o.ppa,
+                1,
+                &mut buf,
+                ox_core::retry::RetryPolicy::default(),
+                Some(&self.obs.metrics),
+            ) {
+                Ok(o2) => {
+                    t = o2.completion.done;
+                    match self.write(t, o.lpn, &buf) {
+                        Ok(w) => {
+                            t = w.done;
+                            self.bbt.mark_replaced(o.lpn);
+                            self.stats.orphans_salvaged += 1;
+                            salvaged += 1;
+                        }
+                        // Nowhere left to re-place the page: it stays in the
+                        // orphan set, the salvage sweep keeps going.
+                        Err(BlockFtlError::ReadOnly) => {
+                            self.stats.orphans_lost += 1;
+                            lost += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
                 Err(_) => {
                     self.stats.orphans_lost += 1;
@@ -605,6 +761,165 @@ impl BlockFtl {
             .tracer
             .span(now, t, "oxblock", "repair", lost as u64);
         Ok((t, salvaged, lost))
+    }
+
+    /// Flips the store into degraded read-only mode (spare exhaustion) and
+    /// returns the typed error callers surface. Sticky: there is no spare
+    /// media left to recover with, so the only way out is device replacement.
+    fn enter_degraded(&mut self) -> BlockFtlError {
+        if !self.degraded {
+            self.degraded = true;
+            self.obs.metrics.record("oxblock.degraded", 0);
+            self.obs.metrics.gauge_set("oxblock.degraded.mode", 1);
+        }
+        BlockFtlError::ReadOnly
+    }
+
+    /// Administratively fences the store into the same sticky degraded
+    /// read-only state that spare exhaustion enters. Operators use this to
+    /// stop writing to a device whose health telemetry (error trend,
+    /// refresh backlog, wear spread) says it is dying, before it wedges a
+    /// write mid-transaction; reads — and migration off the device — keep
+    /// working.
+    pub fn degrade_to_read_only(&mut self) {
+        let _ = self.enter_degraded();
+    }
+
+    /// Whether the store has degraded to read-only (spare exhaustion).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Chunks currently queued for refresh relocation.
+    pub fn refresh_backlog(&self) -> usize {
+        self.refresh_queue.len()
+    }
+
+    /// Runs one background scrub step at `now`:
+    ///
+    /// 1. **Patrol.** Walks `chunks_per_step` chunks onward from the patrol
+    ///    cursor, reading the head write-unit of each closed chunk through
+    ///    the GC-class tenant (so patrol traffic yields to user I/O). A
+    ///    chunk is flagged for refresh when the device marked it
+    ///    refresh-due, its estimated error rate crosses the configured
+    ///    threshold, or the patrol read itself comes back uncorrectable.
+    /// 2. **Refresh.** Relocates up to `refreshes_per_step` flagged chunks:
+    ///    live data moves to fresh chunks (journaled exactly like GC moves),
+    ///    the worn chunk is erased and recycled.
+    ///
+    /// A disabled scrubber returns an empty report without touching the
+    /// device. In degraded mode the patrol still runs (it feeds health
+    /// telemetry) but refreshes stop: there are no spare chunks to move
+    /// data into.
+    pub fn scrub_step(&mut self, now: SimTime) -> Result<ScrubReport, BlockFtlError> {
+        let mut report = ScrubReport {
+            done: now,
+            ..Default::default()
+        };
+        if !self.config.scrub.enabled {
+            return Ok(report);
+        }
+        let scrub_media = self.scrub_io.clone().unwrap_or_else(|| self.media.clone());
+        let reserved: HashSet<u64> = self.layout.reserved_linear(&self.geo).into_iter().collect();
+        let total = self.geo.total_chunks();
+        let mut t = now;
+        let mut buf = vec![0u8; self.geo.ws_min_bytes()];
+        for _ in 0..u64::from(self.config.scrub.chunks_per_step).min(total) {
+            let lin = self.scrub_cursor % total;
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            if reserved.contains(&lin) {
+                continue;
+            }
+            let addr = ChunkAddr::from_linear(&self.geo, lin);
+            let health = self.media.chunk_health(t, addr);
+            if health.state != ChunkState::Closed {
+                continue;
+            }
+            report.scanned += 1;
+            self.stats.scrub_chunks_scanned += 1;
+            let mut suspect =
+                health.refresh_due || health.error_ppm >= self.config.scrub.error_ppm_threshold;
+            if health.write_ptr >= self.geo.ws_min {
+                match scrub_media.read(t, addr.ppa(0), self.geo.ws_min, &mut buf) {
+                    Ok(c) => t = c.done,
+                    Err(DeviceError::UncorrectableRead(_)) => {
+                        suspect = true;
+                        report.read_errors += 1;
+                        self.stats.scrub_read_errors += 1;
+                        self.obs.metrics.record("oxblock.scrub.read_error", 0);
+                    }
+                    // Offline/failed chunks belong to the bad-block path,
+                    // which the event drain below feeds.
+                    Err(_) => {}
+                }
+            }
+            if suspect && !self.refresh_queue.contains(&addr) {
+                self.refresh_queue.push_back(addr);
+                self.obs.metrics.record("oxblock.scrub.flagged", 0);
+            }
+        }
+
+        // The patrol reads may have tripped fresh device flags (or even
+        // retiring failures); absorb them before refreshing.
+        let retiring = self.drain_and_queue_refreshes();
+        let (rt, _, _) = self.repair_events(t, &retiring)?;
+        t = rt;
+
+        if !self.degraded {
+            for _ in 0..self.config.scrub.refreshes_per_step {
+                let Some(victim) = self.refresh_queue.pop_front() else {
+                    break;
+                };
+                t = self.ensure_log_space(t)?;
+                let pass = match self.gc.relocate_chunk(
+                    t,
+                    victim,
+                    &self.media,
+                    &mut self.map,
+                    &mut self.prov,
+                    &mut self.wal,
+                ) {
+                    Ok(p) => p,
+                    // No destination chunks for the refresh copies: spare
+                    // pool exhausted. Degrade; the data stays readable in
+                    // place (refresh is preventive, not corrective).
+                    Err(WalError::LogFull) => return Err(self.enter_degraded()),
+                    Err(e) => return Err(e.into()),
+                };
+                t = pass.done;
+                if pass.victims > 0 {
+                    report.refreshed += 1;
+                    self.stats.scrub_refreshes += 1;
+                    self.stats
+                        .gc_writes
+                        .record((pass.moved_sectors + pass.padded_sectors) * SECTOR_BYTES as u64);
+                    self.obs.metrics.record(
+                        "oxblock.scrub.refresh",
+                        pass.moved_sectors * SECTOR_BYTES as u64,
+                    );
+                }
+            }
+        }
+        self.stats.scrub_steps += 1;
+        report.queued = self.refresh_queue.len() as u64;
+        report.done = t;
+        self.obs
+            .metrics
+            .gauge_set("oxblock.scrub.queue", self.refresh_queue.len() as i64);
+        self.obs
+            .tracer
+            .span(now, t, "oxblock", "scrub", report.scanned);
+        Ok(report)
+    }
+
+    /// Runs one scrub step if scrubbing is enabled (the driver's background
+    /// tick, alongside [`BlockFtl::maybe_checkpoint`] and
+    /// [`BlockFtl::maybe_gc`]).
+    pub fn maybe_scrub(&mut self, now: SimTime) -> Result<Option<ScrubReport>, BlockFtlError> {
+        if !self.config.scrub.enabled {
+            return Ok(None);
+        }
+        Ok(Some(self.scrub_step(now)?))
     }
 
     /// FTL statistics.
@@ -872,6 +1187,7 @@ mod tests {
         cfg.gc = GcConfig {
             low_watermark: 2000, // scaled device has 2144 chunks
             chunks_per_pass: 4,
+            ..GcConfig::default()
         };
         let mut r = rig_with(cfg);
         let mut t = r.t;
@@ -906,6 +1222,124 @@ mod tests {
             "each 4 KB write burns one 96 KB unit"
         );
         assert!(stats.waf() >= 24.0);
+    }
+
+    #[test]
+    fn disabled_scrub_is_a_noop() {
+        let mut r = rig();
+        let w = r.ftl.write(r.t, 0, &page(3)).unwrap();
+        let rep = r.ftl.scrub_step(w.done).unwrap();
+        assert_eq!(rep.scanned, 0);
+        assert_eq!(rep.refreshed, 0);
+        assert_eq!(rep.done, w.done);
+        assert!(r.ftl.maybe_scrub(w.done).unwrap().is_none());
+        assert_eq!(r.ftl.stats().scrub_steps, 0);
+    }
+
+    #[test]
+    fn scrub_refreshes_read_disturbed_chunks() {
+        // Reliability model tuned so read disturb dominates: after a few
+        // hundred reads a chunk's error estimate crosses both the device's
+        // refresh threshold and the scrubber's.
+        let mut dc = DeviceConfig::with_geometry(ocssd::Geometry::small_slc());
+        dc.reliability = ocssd::ReliabilityConfig {
+            enabled: true,
+            seed: 11,
+            base_error_ppm: 40,
+            wear_weight: 0.0,
+            retention_age: SimDuration::from_secs(1_000_000),
+            retention_weight: 0.0,
+            disturb_limit: 200,
+            disturb_weight: 100.0,
+            refresh_threshold_ppm: 3_000,
+            eol_erase_fail_ppm: 0,
+        };
+        let dev = SharedDevice::new(OcssdDevice::new(dc));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let mut cfg = BlockFtlConfig::with_capacity(32 * 1024 * 1024);
+        cfg.scrub = ScrubConfig {
+            enabled: true,
+            chunks_per_step: 512,
+            refreshes_per_step: 4,
+            error_ppm_threshold: 2_000,
+        };
+        let (mut ftl, mut t) = BlockFtl::format(media, cfg, SimTime::ZERO).unwrap();
+
+        // Writes stripe across all 8 PUs, so eight chunk-fulls close eight
+        // chunks. Then hammer the first page.
+        let buf = vec![0xCD; 8 * 768 * SECTOR_BYTES];
+        let w = ftl.write(t, 0, &buf).unwrap();
+        t = w.done;
+        let mut out = page(0);
+        for _ in 0..400 {
+            let c = ftl.read(t, 0, &mut out).unwrap();
+            t = c.done + SimDuration::from_millis(1);
+        }
+        assert_eq!(out[0], 0xCD);
+
+        // The device's advisory refresh flag is queued, never retired as a
+        // bad block.
+        assert!(ftl.poll_media_events().is_empty());
+        assert!(ftl.bad_blocks().is_empty());
+        assert!(ftl.refresh_backlog() >= 1, "advisory flag queued");
+
+        let rep = ftl.scrub_step(t).unwrap();
+        assert!(rep.scanned >= 1);
+        assert!(rep.refreshed >= 1, "disturbed chunk refresh-relocated");
+        assert_eq!(ftl.refresh_backlog(), 0);
+        assert!(ftl.stats().scrub_refreshes >= 1);
+        t = rep.done;
+
+        // Data intact on the fresh copy.
+        for p in [0u64, 1, 767] {
+            let mut out = page(0);
+            ftl.read(t, p, &mut out).unwrap();
+            assert_eq!(out[0], 0xCD, "page {p} after refresh");
+        }
+    }
+
+    #[test]
+    fn spare_exhaustion_degrades_to_read_only_without_wedging() {
+        // GC disabled (watermark 0): churn drives the device to genuine
+        // spare exhaustion.
+        let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
+            ocssd::Geometry::small_slc(),
+        )));
+        let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev));
+        let mut cfg = BlockFtlConfig::with_capacity(16 * 1024 * 1024);
+        cfg.gc.low_watermark = 0;
+        let (mut ftl, mut t) = BlockFtl::format(media, cfg, SimTime::ZERO).unwrap();
+
+        let buf = vec![0xABu8; 768 * SECTOR_BYTES]; // one small_slc chunk per write
+        let w0 = ftl.write(t, 0, &buf).unwrap(); // acked data that must survive
+        t = w0.done;
+        let mut hit_read_only = false;
+        for _ in 0..2000 {
+            match ftl.write(t, 768, &buf) {
+                Ok(w) => t = w.done,
+                Err(BlockFtlError::ReadOnly) => {
+                    hit_read_only = true;
+                    break;
+                }
+                Err(e) => panic!("expected typed read-only degradation, got {e}"),
+            }
+        }
+        assert!(hit_read_only, "exhaustion must surface as ReadOnly");
+        assert!(ftl.is_degraded());
+
+        // Degraded, not wedged: reads serve acknowledged data; writes and
+        // trims keep returning the typed error.
+        let mut out = page(0);
+        ftl.read(t, 0, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert!(matches!(
+            ftl.write(t, 0, &page(1)),
+            Err(BlockFtlError::ReadOnly)
+        ));
+        assert!(matches!(ftl.trim(t, 0, 1), Err(BlockFtlError::ReadOnly)));
+        // A scrub step in degraded mode must not attempt refresh copies.
+        let rep = ftl.scrub_step(t).unwrap();
+        assert_eq!(rep.refreshed, 0);
     }
 
     #[test]

@@ -21,4 +21,4 @@
 
 mod ftl;
 
-pub use ftl::{BlockFtl, BlockFtlConfig, BlockFtlError, WriteOutcome};
+pub use ftl::{BlockFtl, BlockFtlConfig, BlockFtlError, ScrubConfig, ScrubReport, WriteOutcome};

@@ -17,9 +17,9 @@
 
 use ocssd::{
     matrix_geometry, matrix_seeds, ChunkAddr, DeviceConfig, FaultMix, FaultPlan, Geometry,
-    OcssdDevice, ProgramFault, ReadFault, SharedDevice, SECTOR_BYTES,
+    OcssdDevice, ProgramFault, ReadFault, ReliabilityConfig, SharedDevice, SECTOR_BYTES,
 };
-use ox_block::{BlockFtl, BlockFtlConfig};
+use ox_block::{BlockFtl, BlockFtlConfig, BlockFtlError, ScrubConfig};
 use ox_core::faultharness::{fingerprint, parse_fingerprint, run_case, FaultCase, FaultHost};
 use ox_core::{Media, OcssdMedia};
 use ox_sim::{Prng, SimTime};
@@ -35,12 +35,26 @@ struct OxBlockHost {
     config: BlockFtlConfig,
     checkpoint_every: Option<usize>,
     writes: usize,
+    /// Scrub refreshes across the whole case, surviving `crash_and_recover`
+    /// (which rebuilds the FTL and resets its stats).
+    refreshes: u64,
 }
 
 impl OxBlockHost {
     fn format(dev: SharedDevice, checkpoint_every: Option<usize>) -> (Self, SimTime) {
+        Self::format_with(
+            dev,
+            BlockFtlConfig::with_capacity(CAPACITY),
+            checkpoint_every,
+        )
+    }
+
+    fn format_with(
+        dev: SharedDevice,
+        config: BlockFtlConfig,
+        checkpoint_every: Option<usize>,
+    ) -> (Self, SimTime) {
         let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
-        let config = BlockFtlConfig::with_capacity(CAPACITY);
         let (ftl, t) = BlockFtl::format(media, config, SimTime::ZERO).unwrap();
         (
             OxBlockHost {
@@ -49,6 +63,7 @@ impl OxBlockHost {
                 config,
                 checkpoint_every,
                 writes: 0,
+                refreshes: 0,
             },
             t,
         )
@@ -93,10 +108,21 @@ impl FaultHost for OxBlockHost {
     }
 
     fn maintain(&mut self, now: SimTime) -> Result<SimTime, String> {
-        let (t, _salvaged, _lost) = self
+        let (mut t, _salvaged, _lost) = self
             .ftl
             .repair_media_events(now)
             .map_err(|e| e.to_string())?;
+        // Background patrol + refresh, like the driver's tick. A no-op when
+        // the host's config leaves scrubbing disabled; degraded mode just
+        // stops the refreshes, it is not a maintenance error.
+        match self.ftl.maybe_scrub(t) {
+            Ok(Some(report)) => {
+                self.refreshes += report.refreshed;
+                t = t.max(report.done);
+            }
+            Ok(None) | Err(BlockFtlError::ReadOnly) => {}
+            Err(e) => return Err(e.to_string()),
+        }
         Ok(t)
     }
 
@@ -186,5 +212,74 @@ fn committed_writes_survive_crash_under_seeded_fault_plans() {
     assert!(
         fired > 0,
         "across all seeds at least some injected faults must fire"
+    );
+}
+
+/// The lifetime-robustness property: with an aged reliability model and the
+/// background scrubber refreshing suspect chunks, crash/fault cases still
+/// never lose an acknowledged write — a refresh relocation interrupted by a
+/// power cut must leave either the old copy or the new copy mapped.
+///
+/// Chunks are shrunk (16 write units each) and the device prefilled so the
+/// patrol actually finds *closed* data chunks to refresh; the refresh
+/// threshold of 1 ppm flags every closed chunk, keeping relocations in
+/// flight around every crash point.
+#[test]
+fn scrub_refresh_never_loses_acked_data_across_power_cuts() {
+    let geo = Geometry {
+        sectors_per_chunk: 64,
+        ..Geometry::small_slc()
+    };
+    let mix = FaultMix {
+        program_fails: 2,
+        transient_read_fails: 3,
+        permanent_read_fails: 0,
+        erase_fails: 1,
+        latency_spikes: 1,
+        power_cuts: 2,
+    };
+    let mut refreshed = 0u64;
+    for seed in matrix_seeds(16) {
+        let case = FaultCase::from_seed(seed, &geo, &mix, SLOTS, 30);
+        let mut dc = DeviceConfig::with_geometry(geo);
+        dc.reliability = ReliabilityConfig::aged(seed ^ 0x5C2B);
+        let dev = SharedDevice::new(OcssdDevice::new(dc));
+        let mut config = BlockFtlConfig::with_capacity(CAPACITY);
+        config.scrub = ScrubConfig {
+            enabled: true,
+            chunks_per_step: 32,
+            refreshes_per_step: 2,
+            error_ppm_threshold: 1,
+        };
+        let (mut host, mut t) = OxBlockHost::format_with(dev.clone(), config, Some(3));
+
+        // Prefill every slot three times, fault-free: closes ~8 data chunks
+        // (the allocator stripes across the 8 PUs) for the patrol to chew
+        // on, before the seeded plan is armed.
+        for round in 0..3u32 {
+            for slot in 0..SLOTS {
+                t = host.write(t, slot, 900 + round).unwrap();
+            }
+        }
+        t = host.maintain(t).unwrap();
+
+        dev.set_fault_plan(case.plan.clone());
+        run_case(&case, &dev, &mut host, t).unwrap_or_else(|e| panic!("scrub case failed: {e}"));
+        refreshed += host.refreshes;
+
+        // Prefilled slots the case never rewrote were acknowledged too: a
+        // refresh relocation must never drop them, crash or no crash.
+        let now = SimTime::from_secs(1_000);
+        for slot in 0..SLOTS {
+            match host.read(now, slot) {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("seed {seed}: prefilled slot {slot} lost"),
+                Err(e) => panic!("seed {seed}: slot {slot} unreadable after recovery: {e}"),
+            }
+        }
+    }
+    assert!(
+        refreshed > 0,
+        "the patrol must have refresh-relocated chunks across the matrix"
     );
 }

@@ -15,7 +15,7 @@ use crate::router::{Router, Sharding, SLOTS};
 use crate::store::ShardStore;
 use iosched::ArbiterKind;
 use ocssd::{DeviceConfig, Geometry, Obs, OcssdDevice, SharedDevice};
-use ox_block::{BlockFtlConfig, BlockFtlError};
+use ox_block::{BlockFtlConfig, BlockFtlError, ScrubConfig};
 use ox_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -44,6 +44,13 @@ pub struct ClusterConfig {
     pub rebalance_slots: usize,
     /// Keys migrated per [`ShardCluster::maintain`] call.
     pub migrate_batch: usize,
+    /// Background scrub/refresh configuration of every shard FTL
+    /// (disabled by default, matching a bare [`BlockFtlConfig`]).
+    pub scrub: ScrubConfig,
+    /// Whether [`ShardCluster::maintain`] automatically drains a shard
+    /// whose store degraded to read-only (spare exhaustion or an
+    /// administrative fence) onto the healthy survivors.
+    pub drain_degraded: bool,
 }
 
 impl ClusterConfig {
@@ -60,6 +67,8 @@ impl ClusterConfig {
             rebalance_bad_blocks: 4,
             rebalance_slots: SLOTS / 16,
             migrate_batch: 64,
+            scrub: ScrubConfig::default(),
+            drain_degraded: true,
         }
     }
 }
@@ -103,6 +112,9 @@ pub struct ShardCluster {
     active: Option<(u32, u32)>,
     /// Grown-bad-block count already acted on, per shard.
     bad_seen: Vec<u64>,
+    /// Shards whose end-of-life drain already started (sticky, like the
+    /// degraded mode that triggers it).
+    drained: Vec<bool>,
     stats: ClusterStats,
 }
 
@@ -125,11 +137,13 @@ impl ShardCluster {
                 shard: i,
                 error: BlockFtlError::Device(e),
             })?;
+            let mut ftl_cfg = BlockFtlConfig::with_capacity(cfg.shard_capacity_bytes);
+            ftl_cfg.scrub = cfg.scrub;
             let (store, done) = ShardStore::format(
                 i,
                 SharedDevice::new(dev),
                 cfg.arbiter,
-                BlockFtlConfig::with_capacity(cfg.shard_capacity_bytes),
+                ftl_cfg,
                 obs.clone(),
                 now,
             )?;
@@ -137,6 +151,7 @@ impl ShardCluster {
             shards.push(store);
         }
         let bad_seen = vec![0; cfg.shards as usize];
+        let drained = vec![false; cfg.shards as usize];
         Ok((
             ShardCluster {
                 cfg,
@@ -146,6 +161,7 @@ impl ShardCluster {
                 pending: BTreeMap::new(),
                 active: None,
                 bad_seen,
+                drained,
                 stats: ClusterStats::default(),
             },
             end,
@@ -203,6 +219,32 @@ impl ShardCluster {
             .ok_or(ShardError::UnknownShard(shard))
     }
 
+    /// Mutable access to one shard store — fault-injection harnesses drive
+    /// per-shard aging and fencing through this.
+    pub fn store_mut(&mut self, shard: u32) -> Result<&mut ShardStore, ShardError> {
+        self.shards
+            .get_mut(shard as usize)
+            .ok_or(ShardError::UnknownShard(shard))
+    }
+
+    /// Retires the stale source copy of `key` after its new-owner copy is
+    /// durable. A degraded source cannot trim, so the key is dropped from
+    /// its directory instead (the record stays physically resident on the
+    /// dying device, unreachable).
+    fn retire_source_copy(
+        &mut self,
+        now: SimTime,
+        src: u32,
+        key: &[u8],
+    ) -> Result<SimTime, ShardError> {
+        if self.shards[src as usize].is_degraded() {
+            self.shards[src as usize].forget(key);
+            Ok(now)
+        } else {
+            self.shards[src as usize].delete(now, key)
+        }
+    }
+
     /// Upserts `key` → `value` on its owning shard. Returns the shard that
     /// served the write and the durable completion time. A stale source
     /// copy left by an in-flight rebalance is retired inline so it can
@@ -218,7 +260,7 @@ impl ShardCluster {
         self.stats.puts += 1;
         if let Some(src) = self.pending.remove(key) {
             if src != owner {
-                t = self.shards[src as usize].delete(t, key)?;
+                t = self.retire_source_copy(t, src, key)?;
             }
             if self.pending.is_empty() {
                 self.active = None;
@@ -257,7 +299,7 @@ impl ShardCluster {
         self.stats.deletes += 1;
         if let Some(src) = self.pending.remove(key) {
             if src != owner {
-                t = self.shards[src as usize].delete(t, key)?;
+                t = self.retire_source_copy(t, src, key)?;
             }
             if self.pending.is_empty() {
                 self.active = None;
@@ -295,15 +337,33 @@ impl ShardCluster {
     }
 
     /// Background pass over the whole cluster: per-shard maintenance
-    /// (media-event repair, checkpointing, GC) in parallel across shards,
-    /// then bad-block-growth inspection — a shard whose grown-bad-block
-    /// count advanced by [`ClusterConfig::rebalance_bad_blocks`] since the
-    /// last trigger donates [`ClusterConfig::rebalance_slots`] slots to the
-    /// healthiest shard — and one bounded migration batch.
+    /// (media-event repair, checkpointing, GC, scrub) in parallel across
+    /// shards, then health inspection — a shard whose store degraded to
+    /// read-only is drained outright (its whole slot share spread over the
+    /// healthy survivors), a shard whose grown-bad-block count advanced by
+    /// [`ClusterConfig::rebalance_bad_blocks`] since the last trigger
+    /// donates [`ClusterConfig::rebalance_slots`] slots to the healthiest
+    /// shard — and one bounded migration batch.
     pub fn maintain(&mut self, now: SimTime) -> Result<SimTime, ShardError> {
         let mut end = now;
         for s in &mut self.shards {
             end = end.max(s.maintain(now)?);
+        }
+        // End-of-life drain first: read-only degradation is terminal, so it
+        // outranks the incremental bad-block rebalance. Reads keep hitting
+        // the dying shard through the pending map until each key lands on
+        // its new owner.
+        if self.cfg.drain_degraded {
+            let dying =
+                (0..self.shards.len()).find(|&i| self.shards[i].is_degraded() && !self.drained[i]);
+            if let Some(src) = dying {
+                match self.drain_shard(src as u32) {
+                    // No healthy peer left to absorb the keys: nothing to
+                    // drain to — keep serving reads, retry next pass.
+                    Ok(_) | Err(ShardError::LastShard) => {}
+                    Err(e) => return Err(e),
+                }
+            }
         }
         if self.active.is_none() {
             let grown: Vec<u64> = self
@@ -317,7 +377,7 @@ impl ShardCluster {
             if let Some(src) = trigger {
                 self.bad_seen[src] = grown[src];
                 let dst = (0..self.shards.len())
-                    .filter(|&j| j != src)
+                    .filter(|&j| j != src && !self.shards[j].is_degraded())
                     .min_by_key(|&j| (grown[j], j));
                 if let Some(dst) = dst {
                     self.start_rebalance(src as u32, dst as u32, self.cfg.rebalance_slots)?;
@@ -326,6 +386,47 @@ impl ShardCluster {
         }
         let t = self.step_migration(end, self.cfg.migrate_batch)?;
         Ok(end.max(t))
+    }
+
+    /// Administratively fences `shard` to read-only — the next
+    /// [`ShardCluster::maintain`] pass drains it (when
+    /// [`ClusterConfig::drain_degraded`] is on). Reads keep working
+    /// throughout.
+    pub fn fence_shard(&mut self, shard: u32) -> Result<(), ShardError> {
+        self.shards
+            .get_mut(shard as usize)
+            .ok_or(ShardError::UnknownShard(shard))?
+            .degrade_to_read_only();
+        Ok(())
+    }
+
+    /// Drains a dying shard: donates its *entire* slot share, spread evenly
+    /// over the healthy (non-degraded) survivors, and queues every resident
+    /// key for migration. Sticky per shard — a second call is a no-op.
+    /// Fails with [`ShardError::LastShard`] when no healthy peer is left to
+    /// absorb the keys (the degraded shard then keeps serving reads, which
+    /// is all it can do anyway).
+    pub fn drain_shard(&mut self, src: u32) -> Result<usize, ShardError> {
+        if src as usize >= self.shards.len() {
+            return Err(ShardError::UnknownShard(src));
+        }
+        if self.drained[src as usize] {
+            return Ok(0);
+        }
+        let healthy: Vec<u32> = (0..self.shard_count())
+            .filter(|&j| j != src && !self.shards[j as usize].is_degraded())
+            .collect();
+        if healthy.is_empty() {
+            return Err(ShardError::LastShard);
+        }
+        self.drained[src as usize] = true;
+        let share = self.router.slots_owned(src).div_ceil(healthy.len());
+        let mut queued = 0usize;
+        for &dst in &healthy {
+            queued += self.start_rebalance(src, dst, share)?;
+        }
+        self.obs.metrics.record("oxshard.drain", queued as u64);
+        Ok(queued)
     }
 
     /// Starts a rebalance: donates up to `max_slots` routing slots from
@@ -377,7 +478,7 @@ impl ShardCluster {
                     t = self.shards[owner as usize].put(t, &key, &v)?;
                 }
             }
-            t = self.shards[src as usize].delete(t, &key)?;
+            t = self.retire_source_copy(t, src, &key)?;
             self.stats.migrated_keys += 1;
         }
         if self.pending.is_empty() {
@@ -424,17 +525,27 @@ impl ShardCluster {
     /// Publishes per-shard device gauges into the shared registry under
     /// `device.shard<i>.…` scopes (never the unscoped `device.…` names, so
     /// concurrent shards cannot clobber each other's per-PU gauges), plus
-    /// cluster-level key-placement and migration gauges.
+    /// per-shard health (wear, device age, refresh backlog, degraded flag)
+    /// and cluster-level key-placement and migration gauges.
     pub fn publish_metrics(&self, horizon: SimTime) {
         for s in &self.shards {
-            s.device()
-                .publish_pu_metrics_as(&format!("shard{}", s.id()), horizon);
+            let scope = format!("shard{}", s.id());
+            s.device().publish_pu_metrics_as(&scope, horizon);
+            s.device().publish_health_metrics_as(&scope, horizon);
             self.obs
                 .metrics
                 .gauge_set(&format!("oxshard.shard{}.keys", s.id()), s.len() as i64);
             self.obs.metrics.gauge_set(
                 &format!("oxshard.shard{}.grown_bad_blocks", s.id()),
                 s.device().grown_bad_blocks() as i64,
+            );
+            self.obs.metrics.gauge_set(
+                &format!("oxshard.shard{}.refresh_backlog", s.id()),
+                s.refresh_backlog() as i64,
+            );
+            self.obs.metrics.gauge_set(
+                &format!("oxshard.shard{}.degraded", s.id()),
+                s.is_degraded() as i64,
             );
         }
         self.obs
@@ -508,6 +619,76 @@ mod tests {
             assert_eq!(served_by, c.router().route(key.as_bytes()).unwrap());
         }
         assert!(c.stats().migrated_keys > 0);
+    }
+
+    #[test]
+    fn degraded_shard_drains_without_losing_acked_writes() {
+        let (mut c, t0) = cluster(3);
+        let mut t = t0;
+        for i in 0..60u32 {
+            let key = format!("acct{i:04}");
+            let (_, done) = c.put(t, key.as_bytes(), &i.to_le_bytes()).unwrap();
+            t = done;
+        }
+        assert!(c.shard_len(0).unwrap() > 0, "hash should land keys on 0");
+        c.fence_shard(0).unwrap();
+        // Writes routed to the dying shard fail with the typed error…
+        let victim = (0..60u32)
+            .map(|i| format!("acct{i:04}"))
+            .find(|k| c.router().route(k.as_bytes()).unwrap() == 0)
+            .unwrap();
+        assert_eq!(
+            c.put(t, victim.as_bytes(), b"new").unwrap_err(),
+            ShardError::Degraded { shard: 0 }
+        );
+        // …while every acknowledged key keeps being readable.
+        for i in 0..60u32 {
+            let key = format!("acct{i:04}");
+            let (v, _, done) = c.get(t, key.as_bytes()).unwrap();
+            t = done;
+            assert_eq!(v.as_deref(), Some(i.to_le_bytes().as_ref()), "{key}");
+        }
+        // Maintenance drains the dying shard; reads stay correct mid-drain.
+        let mut passes = 0;
+        loop {
+            t = c.maintain(t).unwrap();
+            passes += 1;
+            for i in 0..60u32 {
+                let key = format!("acct{i:04}");
+                let (v, _, done) = c.get(t, key.as_bytes()).unwrap();
+                t = done;
+                assert_eq!(v.as_deref(), Some(i.to_le_bytes().as_ref()), "{key}");
+            }
+            if c.pending_migrations() == 0 {
+                break;
+            }
+            assert!(passes < 100, "drain did not converge");
+        }
+        assert_eq!(c.router().slots_owned(0), 0, "dying shard owns no slots");
+        assert_eq!(c.shard_len(0).unwrap(), 0, "dying shard fully drained");
+        // Every key now lives on a healthy owner and is writable again.
+        for i in 0..60u32 {
+            let key = format!("acct{i:04}");
+            let (v, served_by, done) = c.get(t, key.as_bytes()).unwrap();
+            t = done;
+            assert_eq!(v.as_deref(), Some(i.to_le_bytes().as_ref()));
+            assert_ne!(served_by, 0);
+            let (owner, done) = c.put(t, key.as_bytes(), b"rewritten").unwrap();
+            t = done;
+            assert_ne!(owner, 0);
+        }
+    }
+
+    #[test]
+    fn draining_the_last_healthy_shard_is_refused() {
+        let (mut c, t0) = cluster(2);
+        let (_, t) = c.put(t0, b"solo", b"v").unwrap();
+        c.fence_shard(0).unwrap();
+        c.fence_shard(1).unwrap();
+        assert_eq!(c.drain_shard(0).unwrap_err(), ShardError::LastShard);
+        // Reads still work on a fully degraded cluster.
+        let (v, _, _) = c.get(t, b"solo").unwrap();
+        assert_eq!(v.as_deref(), Some(b"v".as_ref()));
     }
 
     #[test]

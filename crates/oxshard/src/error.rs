@@ -32,6 +32,13 @@ pub enum ShardError {
         /// Shard that ran out.
         shard: u32,
     },
+    /// The shard's device exhausted its spare chunks (or was fenced) and
+    /// the store degraded to read-only. Reads keep working; the cluster
+    /// drains the shard's keys onto healthy peers.
+    Degraded {
+        /// Shard that degraded.
+        shard: u32,
+    },
     /// An FTL/device failure on one shard, with attribution.
     Ftl {
         /// Shard whose FTL failed.
@@ -58,6 +65,9 @@ impl std::fmt::Display for ShardError {
                 write!(f, "shard {shard} lpn {lpn}: mapped page is not a record")
             }
             ShardError::OutOfSpace { shard } => write!(f, "shard {shard} is out of logical space"),
+            ShardError::Degraded { shard } => {
+                write!(f, "shard {shard} degraded to read-only (spares exhausted)")
+            }
             ShardError::Ftl { shard, error } => write!(f, "shard {shard}: {error}"),
             ShardError::BadRouterImage(why) => write!(f, "bad router image: {why}"),
         }

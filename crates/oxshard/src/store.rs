@@ -181,14 +181,36 @@ impl ShardStore {
     }
 
     fn ftl_err(&self, error: BlockFtlError) -> ShardError {
-        if error == BlockFtlError::OutOfSpace {
-            ShardError::OutOfSpace { shard: self.id }
-        } else {
-            ShardError::Ftl {
+        match error {
+            BlockFtlError::OutOfSpace => ShardError::OutOfSpace { shard: self.id },
+            BlockFtlError::ReadOnly => ShardError::Degraded { shard: self.id },
+            error => ShardError::Ftl {
                 shard: self.id,
                 error,
-            }
+            },
         }
+    }
+
+    /// Whether the shard's FTL has degraded to read-only (spare exhaustion
+    /// or an administrative fence). Degraded shards still serve reads.
+    pub fn is_degraded(&self) -> bool {
+        self.ftl.is_degraded()
+    }
+
+    /// Administratively fences the shard to read-only — see
+    /// [`ox_block::BlockFtl::degrade_to_read_only`].
+    pub fn degrade_to_read_only(&mut self) {
+        self.ftl.degrade_to_read_only();
+    }
+
+    /// Chunks the shard's scrubber has queued for refresh relocation.
+    pub fn refresh_backlog(&self) -> usize {
+        self.ftl.refresh_backlog()
+    }
+
+    /// The FTL's lifetime statistics (WAF, GC, scrub counters).
+    pub fn ftl_stats(&self) -> &ox_core::stats::FtlStats {
+        self.ftl.stats()
     }
 
     /// Upserts `key` → `value`. Transactional under crashes (the record page
@@ -257,8 +279,20 @@ impl ShardStore {
         Ok(done)
     }
 
+    /// Drops `key` from the directory without touching media. Used when
+    /// retiring the stale copy off a *degraded* (read-only) shard, where a
+    /// trim would be refused: the record stays physically resident on the
+    /// dying device but becomes unreachable, which is all migration needs.
+    pub fn forget(&mut self, key: &[u8]) {
+        self.index.remove(key);
+    }
+
     /// Background pass: ingest media events (salvaging orphaned records),
-    /// checkpoint on schedule, collect garbage under watermark pressure.
+    /// checkpoint on schedule, collect garbage under watermark pressure,
+    /// then one scrub step (when scrubbing is configured on). A shard that
+    /// degrades to read-only mid-pass is not an error here — maintenance
+    /// keeps running on it (patrol telemetry, event ingestion) so the
+    /// cluster can observe its health and drain it.
     pub fn maintain(&mut self, now: SimTime) -> Result<SimTime, ShardError> {
         let (mut t, _salvaged, _lost) = self
             .ftl
@@ -267,8 +301,15 @@ impl ShardStore {
         if let Some(done) = self.ftl.maybe_checkpoint(t).map_err(|e| self.ftl_err(e))? {
             t = done;
         }
-        if let Some(pass) = self.ftl.maybe_gc(t).map_err(|e| self.ftl_err(e))? {
-            t = t.max(pass.done);
+        match self.ftl.maybe_gc(t) {
+            Ok(Some(pass)) => t = t.max(pass.done),
+            Ok(None) | Err(BlockFtlError::ReadOnly) => {}
+            Err(e) => return Err(self.ftl_err(e)),
+        }
+        match self.ftl.maybe_scrub(t) {
+            Ok(Some(report)) => t = t.max(report.done),
+            Ok(None) | Err(BlockFtlError::ReadOnly) => {}
+            Err(e) => return Err(self.ftl_err(e)),
         }
         Ok(t)
     }
