@@ -5,6 +5,7 @@
 //! Usage: `cargo run --release -p ox-bench --bin fig5_throughput [--quick]`
 
 use lightlsm::Placement;
+use ox_bench::backend::BenchBackend;
 use ox_bench::fig5::{run_with_obs, Fig5Config};
 use ox_bench::{export_obs, figure_obs, print_row, print_sep, quick_mode};
 
@@ -14,9 +15,11 @@ fn main() {
     } else {
         Fig5Config::full()
     };
+    let backend = BenchBackend::from_env();
     println!("Figure 5 — db_bench throughput over LightLSM (16 B keys, 1 KB values, no compression/caching)");
     println!(
-        "device: paper TLC scaled (192 KB chunks, 6 MB full-width SSTables); fill {} MB/client\n",
+        "device: paper TLC scaled (192 KB chunks, 6 MB full-width SSTables); backend: {}; fill {} MB/client\n",
+        backend.label(),
         cfg.fill_bytes_per_client / (1024 * 1024)
     );
     let obs = figure_obs();
@@ -83,5 +86,5 @@ fn main() {
         "  writes >> reads: fill {:.1} kops vs read-seq {:.1} kops (1 client)",
         h1, rs1
     );
-    export_obs("fig5_throughput", &obs);
+    export_obs(&backend.artifact("fig5_throughput"), &obs);
 }

@@ -4,6 +4,7 @@
 //!
 //! Usage: `cargo run --release -p ox-bench --bin fig_qos_tail [--quick]`
 
+use ox_bench::backend::BenchBackend;
 use ox_bench::qos_tail::{run_with_obs, PhaseResult};
 use ox_bench::{export_bench_json, export_obs, figure_obs, print_row, print_sep, quick_mode};
 use ox_sim::SimDuration;
@@ -40,7 +41,11 @@ fn main() {
     } else {
         SimDuration::from_millis(1500)
     };
-    println!("§4.3 — multi-tenant QoS tail (iosched over the paper drive, closed-loop tenants)\n");
+    let backend = BenchBackend::from_env();
+    println!(
+        "§4.3 — multi-tenant QoS tail (iosched over the paper drive, closed-loop tenants; backend: {})\n",
+        backend.label()
+    );
     let obs = figure_obs();
     let wall_start = std::time::Instant::now();
     let result = run_with_obs(duration, &obs);
@@ -108,7 +113,7 @@ fn main() {
         .map(|p| format!("\"{}\": {}", p.name, phase_json(p)))
         .collect();
     export_bench_json(
-        "qos",
+        &backend.artifact("qos"),
         &format!(
             concat!(
                 "{{\"virtual_duration_ns\": {}, \"neighbor_p99_slowdown_fifo\": {:.2}, ",
@@ -121,5 +126,5 @@ fn main() {
             phase_objects.join(", ")
         ),
     );
-    export_obs("fig_qos_tail", &obs);
+    export_obs(&backend.artifact("fig_qos_tail"), &obs);
 }

@@ -13,6 +13,7 @@
 //! * read-sequential ≫ read-random (block = unit of read *and* write);
 //! * horizontal ≥ vertical for reads.
 
+use crate::backend::BenchBackend;
 use lightlsm::{LightLsm, LightLsmConfig, Placement};
 use lsmkv::bench::{run_workload, BenchConfig, BenchReport, Workload};
 use lsmkv::{Db, DbConfig, LightLsmStore, SharedDb, TableStore};
@@ -120,7 +121,11 @@ pub fn make_db_with_store_obs(
         Geometry::paper_tlc_scaled(2, 128),
     )));
     dev.set_obs(obs.clone());
-    let media: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    // `OX_BACKEND=oxztl` interposes the zone-translation layer: LightLSM's
+    // chunk writes and resets become zone appends and durable trims, the
+    // cross-interface leg of the ablation matrix.
+    let raw: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    let media = BenchBackend::from_env().wrap_media(raw, obs);
     let (mut ftl, _) = LightLsm::format(
         media,
         LightLsmConfig {

@@ -5,6 +5,8 @@
 //!
 //! | Module | Paper artifact |
 //! |---|---|
+//! | [`ablation`] | §5 — cross-interface YCSB ablation (block / ZTL / KV) |
+//! | [`backend`] | `OX_BACKEND` knob — native media vs. the `oxztl` layer |
 //! | [`fig3`] | Figure 3 — checkpoint interval vs. recovery time |
 //! | [`fig5`] | Figure 5 — db_bench throughput, horizontal vs. vertical |
 //! | [`fig6`] | Figure 6 — fill-sequential throughput over time |
@@ -24,6 +26,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod ablation;
+pub mod backend;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;

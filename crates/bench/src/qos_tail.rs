@@ -18,11 +18,12 @@
 //! baseline), while FIFO drags every tenant's tail through the writer's
 //! program times and the relocation copies.
 
+use crate::backend::BenchBackend;
 use iosched::{
     ArbiterKind, IoCmd, IoScheduler, SchedConfig, SharedScheduler, TenantConfig, TenantId,
 };
 use ocssd::{ChunkAddr, DeviceConfig, Geometry, OcssdDevice, SharedDevice, SECTOR_BYTES};
-use ox_core::OcssdMedia;
+use ox_core::{Media, OcssdMedia};
 use ox_sim::trace::Obs;
 use ox_sim::{Prng, SimDuration, SimTime};
 use std::sync::Arc;
@@ -152,10 +153,10 @@ impl Driver {
 }
 
 /// Writes every unit of `chunk` so later reads are media reads.
-fn prefill_chunk(dev: &SharedDevice, geo: &Geometry, chunk: ChunkAddr, mut t: SimTime) -> SimTime {
+fn prefill_chunk(media: &dyn Media, geo: &Geometry, chunk: ChunkAddr, mut t: SimTime) -> SimTime {
     let data = vec![0x5A; geo.ws_min as usize * SECTOR_BYTES];
     for u in 0..geo.sectors_per_chunk / geo.ws_min {
-        t = dev
+        t = media
             .write(t, chunk.ppa(u * geo.ws_min), &data)
             .expect("prefill write")
             .done;
@@ -187,9 +188,16 @@ fn run_phase(
     duration: SimDuration,
     obs: &Obs,
 ) -> PhaseResult {
-    let geo = Geometry::paper_tlc_scaled(22, 8);
-    let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(geo)));
+    let dev = SharedDevice::new(OcssdDevice::new(DeviceConfig::with_geometry(
+        Geometry::paper_tlc_scaled(22, 8),
+    )));
     dev.set_obs(obs.clone());
+    // `OX_BACKEND=oxztl` runs the tenant mix over the zone-translation
+    // layer's virtual device; chunk addressing below this point uses the
+    // backend's (possibly smaller) exported geometry.
+    let raw: Arc<dyn Media> = Arc::new(OcssdMedia::new(dev.clone()));
+    let media = BenchBackend::from_env().wrap_media(raw, obs);
+    let geo = media.geometry();
 
     // Prefill chunk 0 of every PU in the GC-marked group (0) and the
     // neighbor group (1); reads sample these uniformly.
@@ -197,14 +205,11 @@ fn run_phase(
     let neighbor_group = group_chunks(&geo, 1, 0);
     let mut t = SimTime::ZERO;
     for &c in gc_group.iter().chain(&neighbor_group) {
-        t = prefill_chunk(&dev, &geo, c, t);
+        t = prefill_chunk(media.as_ref(), &geo, c, t);
     }
-    let start = dev.flush(t).done + SimDuration::from_millis(1);
+    let start = media.flush(t).done + SimDuration::from_millis(1);
 
-    let sched = SharedScheduler::new(IoScheduler::new(
-        Arc::new(OcssdMedia::new(dev.clone())),
-        SchedConfig::with_arbiter(arbiter),
-    ));
+    let sched = SharedScheduler::new(IoScheduler::new(media, SchedConfig::with_arbiter(arbiter)));
     sched.set_obs(obs.clone());
 
     let mut drivers = vec![

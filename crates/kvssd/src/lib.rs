@@ -188,6 +188,28 @@ impl KvSsd {
         lpn % self.window_pages
     }
 
+    /// Claims `pages` consecutive log positions whose window slots are all
+    /// free. The value log wraps around `window_pages`, so the head must
+    /// skip slots still backing an indexed (or staged-but-unflushed) value —
+    /// otherwise a full lap of the log clobbers live older values.
+    fn claim_lpns(&self, pages: u64) -> Result<u64, KvError> {
+        let mut first = self.next_lpn;
+        let limit = self.next_lpn + self.window_pages; // one full lap
+        'candidate: while first < limit {
+            for p in 0..pages {
+                let slot = self.slot(first + p);
+                let live = self.map.lookup(slot).is_some()
+                    || self.staged.iter().any(|(l, _)| self.slot(*l) == slot);
+                if live {
+                    first += p + 1;
+                    continue 'candidate;
+                }
+            }
+            return Ok(first);
+        }
+        Err(KvError::OutOfSpace)
+    }
+
     /// Flushes staged sectors as `ws_min` units. With `pad_tail`, a partial
     /// final unit is zero-padded out (sync path); otherwise only full units
     /// are written (write coalescing across puts).
@@ -237,8 +259,8 @@ impl KvSsd {
         }
         let mut t = now + self.config.command_cpu;
         let pages = value.len().div_ceil(SECTOR_BYTES).max(1) as u64;
-        let first_lpn = self.next_lpn;
-        self.next_lpn += pages;
+        let first_lpn = self.claim_lpns(pages)?;
+        self.next_lpn = first_lpn + pages;
 
         let txid = self.next_txid;
         self.next_txid += 1;

@@ -159,6 +159,7 @@ impl Default for Config {
                 "crates/oxeleos/src/",
                 "crates/lightlsm/src/",
                 "crates/oxzns/src/",
+                "crates/oxztl/src/",
                 "crates/kvssd/src/",
                 "crates/iosched/src/",
                 "crates/oxshard/src/",
@@ -172,6 +173,7 @@ impl Default for Config {
                 "crates/oxeleos/src/",
                 "crates/lightlsm/src/",
                 "crates/oxzns/src/",
+                "crates/oxztl/src/",
                 "crates/kvssd/src/",
                 "crates/iosched/src/",
                 "crates/oxshard/src/",

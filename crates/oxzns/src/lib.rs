@@ -20,8 +20,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use ocssd::{ChunkAddr, ChunkState, DeviceError, Geometry, SECTOR_BYTES};
+use ocssd::{ChunkAddr, ChunkState, Completion, DeviceError, Geometry, SECTOR_BYTES};
+use ox_core::retry::{read_with_policy, RetryPolicy};
 use ox_core::Media;
+use ox_sim::trace::Obs;
 use ox_sim::SimTime;
 use std::sync::Arc;
 
@@ -128,6 +130,9 @@ pub struct ZnsFtl {
     geo: Geometry,
     zones: Vec<Zone>,
     zone_sectors: u64,
+    /// Bounded-retry policy for transient uncorrectable reads.
+    retry: RetryPolicy,
+    obs: Obs,
 }
 
 impl ZnsFtl {
@@ -184,6 +189,8 @@ impl ZnsFtl {
                 geo,
                 zones,
                 zone_sectors,
+                retry: RetryPolicy::default(),
+                obs: Obs::default(),
             },
             done,
         ))
@@ -223,6 +230,8 @@ impl ZnsFtl {
                     geo,
                     zones,
                     zone_sectors: config.chunks_per_zone as u64 * geo.sectors_per_chunk as u64,
+                    retry: RetryPolicy::default(),
+                    obs: Obs::default(),
                 },
                 now,
             )
@@ -259,6 +268,23 @@ impl ZnsFtl {
         Ok((ftl, t))
     }
 
+    /// Installs shared observability sinks (`zns.*` spans and counters,
+    /// `retry.*` read-retry counters).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Sets the bounded-retry policy for transient uncorrectable reads.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The media this FTL writes through (for barriers and event drains at
+    /// layers built on top, e.g. the zone-translation layer).
+    pub fn media(&self) -> &Arc<dyn Media> {
+        &self.media
+    }
+
     /// Number of zones.
     pub fn zone_count(&self) -> u32 {
         self.zones.len() as u32
@@ -284,6 +310,36 @@ impl ZnsFtl {
             state: z.state,
             write_pointer: z.wp,
             capacity: self.zone_sectors,
+        })
+    }
+
+    /// Highest program/erase wear across the zone's chunks (from the
+    /// *report chunk*) — the zone-aware GC's wear-leveling signal.
+    pub fn zone_wear(&self, zone: u32) -> Result<u32, ZnsError> {
+        let z = self
+            .zones
+            .get(zone as usize)
+            .ok_or(ZnsError::NoSuchZone(zone))?;
+        Ok(z.chunks
+            .iter()
+            .map(|&c| self.media.chunk_info(c).wear)
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// Barrier: all acknowledged appends *to this zone* durable.
+    pub fn flush_zone(&self, now: SimTime, zone: u32) -> Result<Completion, ZnsError> {
+        let z = self
+            .zones
+            .get(zone as usize)
+            .ok_or(ZnsError::NoSuchZone(zone))?;
+        let mut done = now;
+        for &c in &z.chunks {
+            done = done.max(self.media.flush_chunk(now, c).done);
+        }
+        Ok(Completion {
+            submitted: now,
+            done,
         })
     }
 
@@ -335,6 +391,10 @@ impl ZnsFtl {
         } else {
             ZoneState::Open
         };
+        self.obs.metrics.record("zns.append", data.len() as u64);
+        self.obs
+            .tracer
+            .span(now, t, "zns", "append", data.len() as u64);
         Ok((start, t))
     }
 
@@ -366,18 +426,34 @@ impl ZnsFtl {
             let in_chunk = (per_chunk - cur % per_chunk).min(remaining);
             let (chunk, within) = self.location(z, cur);
             let bytes = in_chunk as usize * SECTOR_BYTES;
-            let comp = self.media.read(
+            // Uncorrectable reads (ECC exhaustion under an injected fault
+            // plan) get the shared bounded-retry defense; `retry.*` counters
+            // make the retry traffic observable.
+            let outcome = read_with_policy(
+                self.media.as_ref(),
                 t,
                 chunk.ppa(within),
                 in_chunk as u32,
                 &mut out[off..off + bytes],
+                self.retry,
+                Some(&self.obs.metrics),
             )?;
-            done = done.max(comp.done);
+            done = done.max(outcome.completion.done);
             t = now; // reads of different chunks proceed in parallel
             cur += in_chunk;
             off += bytes;
             remaining -= in_chunk;
         }
+        self.obs
+            .metrics
+            .record("zns.read", sectors as u64 * SECTOR_BYTES as u64);
+        self.obs.tracer.span(
+            now,
+            done,
+            "zns",
+            "read",
+            sectors as u64 * SECTOR_BYTES as u64,
+        );
         Ok(done)
     }
 
@@ -415,12 +491,28 @@ impl ZnsFtl {
         let mut done = now;
         for &c in &z.chunks {
             if self.media.chunk_info(c).state != ChunkState::Free {
-                done = done.max(self.media.reset(now, c)?.done);
+                match self.media.reset(now, c) {
+                    Ok(comp) => done = done.max(comp.done),
+                    // An erase failure retires the whole zone: the device has
+                    // already taken the chunk offline and emitted the grown-
+                    // bad-block `MediaEvent`; the zone follows it so no later
+                    // append lands on dead media. Typed error, state usable.
+                    Err(e @ (DeviceError::MediaFailure(_) | DeviceError::ChunkOffline(_))) => {
+                        z.state = ZoneState::Offline;
+                        z.wp = 0;
+                        z.readable = 0;
+                        self.obs.metrics.record("zns.zone_offline", 0);
+                        return Err(ZnsError::Device(e));
+                    }
+                    Err(e) => return Err(ZnsError::Device(e)),
+                }
             }
         }
         z.state = ZoneState::Empty;
         z.wp = 0;
         z.readable = 0;
+        self.obs.metrics.record("zns.reset", 0);
+        self.obs.tracer.span(now, done, "zns", "reset", 0);
         Ok(done)
     }
 }

@@ -1,0 +1,113 @@
+//! [`RoutedMedia`]: the ZTL's media indirection that lets garbage-collection
+//! I/O travel a different [`Media`] than foreground I/O.
+//!
+//! The translation layer is built once over a user media (typically the raw
+//! device, or an `iosched` tenant adapter). When the host also installs a
+//! GC media — an `iosched` tenant carrying `IoClass::Gc` — the ZTL flips the
+//! route around each relocation pass, so victim scans, copy-out appends and
+//! zone resets arbitrate in the background class while foreground reads keep
+//! their latency target (paper §4.3's interference isolation, applied to the
+//! zoned backend).
+
+use ocssd::{ChunkAddr, ChunkHealth, ChunkInfo, Completion, Geometry, MediaEvent, Ppa, Result};
+use ox_sim::sync::Mutex;
+use ox_sim::SimTime;
+use std::sync::Arc;
+
+struct RouteState {
+    gc: Option<Arc<dyn Media>>,
+    gc_mode: bool,
+}
+
+use ox_core::Media;
+
+/// Routes each media command to the user path or, inside a GC pass with a
+/// GC media installed, to the background path.
+pub struct RoutedMedia {
+    user: Arc<dyn Media>,
+    state: Mutex<RouteState>,
+}
+
+impl RoutedMedia {
+    /// Wraps `user`; all traffic takes the user path until a GC media is
+    /// installed and a GC pass is in flight.
+    pub fn new(user: Arc<dyn Media>) -> Self {
+        RoutedMedia {
+            user,
+            state: Mutex::new(RouteState {
+                gc: None,
+                gc_mode: false,
+            }),
+        }
+    }
+
+    /// Installs the background-class media for GC traffic.
+    pub fn set_gc_media(&self, gc: Arc<dyn Media>) {
+        self.state.lock().gc = Some(gc);
+    }
+
+    /// Turns GC routing on or off (the ZTL brackets each relocation pass).
+    pub fn set_gc_mode(&self, on: bool) {
+        self.state.lock().gc_mode = on;
+    }
+
+    fn pick(&self) -> Arc<dyn Media> {
+        let st = self.state.lock();
+        if st.gc_mode {
+            if let Some(gc) = &st.gc {
+                return gc.clone();
+            }
+        }
+        self.user.clone()
+    }
+}
+
+impl Media for RoutedMedia {
+    fn geometry(&self) -> Geometry {
+        self.user.geometry()
+    }
+
+    fn write(&self, now: SimTime, ppa: Ppa, data: &[u8]) -> Result<Completion> {
+        self.pick().write(now, ppa, data)
+    }
+
+    fn read(&self, now: SimTime, ppa: Ppa, sectors: u32, out: &mut [u8]) -> Result<Completion> {
+        self.pick().read(now, ppa, sectors, out)
+    }
+
+    fn reset(&self, now: SimTime, chunk: ChunkAddr) -> Result<Completion> {
+        self.pick().reset(now, chunk)
+    }
+
+    fn copy(&self, now: SimTime, srcs: &[Ppa], dst: ChunkAddr) -> Result<Completion> {
+        self.pick().copy(now, srcs, dst)
+    }
+
+    fn flush(&self, now: SimTime) -> Completion {
+        self.user.flush(now)
+    }
+
+    fn flush_chunk(&self, now: SimTime, chunk: ChunkAddr) -> Completion {
+        self.user.flush_chunk(now, chunk)
+    }
+
+    fn chunk_info(&self, chunk: ChunkAddr) -> ChunkInfo {
+        self.user.chunk_info(chunk)
+    }
+
+    fn report_all(&self) -> Vec<(ChunkAddr, ChunkInfo)> {
+        self.user.report_all()
+    }
+
+    fn drain_events(&self) -> Vec<MediaEvent> {
+        self.user.drain_events()
+    }
+
+    fn pu_busy_until(&self, pu: u32) -> SimTime {
+        self.user.pu_busy_until(pu)
+    }
+
+    fn chunk_health(&self, now: SimTime, chunk: ChunkAddr) -> ChunkHealth {
+        self.user.chunk_health(now, chunk)
+    }
+}

@@ -11,6 +11,57 @@
 use ox_sim::SimDuration;
 
 #[test]
+fn ablation_same_seed_runs_are_byte_identical() {
+    let cfg = ox_bench::ablation::AblationConfig {
+        record_count: 384,
+        operations: 768,
+        warmup_operations: 768,
+        clients: 4,
+        seed: 0xD7,
+    };
+    // Wall-clock sampling stays off: `wall_ns_per_op` is the one number
+    // allowed to differ between runs, and it must never leak into the obs
+    // snapshot or the figure rows compared here.
+    let run = || {
+        let obs = ox_bench::figure_obs();
+        let result = ox_bench::ablation::run_with_obs(&cfg, &obs, false);
+        let cells: Vec<String> = result
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}:{:?}:{}:{}:{}:{}:{}:{}",
+                    c.backend,
+                    c.workload,
+                    c.report.total_ops,
+                    c.report.quantile_ns(0.50),
+                    c.report.quantile_ns(0.99),
+                    c.phys_write_bytes,
+                    c.user_write_bytes,
+                    c.wall_ns_per_op,
+                )
+            })
+            .collect();
+        (cells, obs.to_json())
+    };
+
+    let (cells_a, json_a) = run();
+    let (cells_b, json_b) = run();
+
+    assert_eq!(
+        cells_a, cells_b,
+        "ablation cells diverged between same-seed runs"
+    );
+    assert_eq!(
+        json_a,
+        json_b,
+        "observability JSON diverged between same-seed runs (lengths {} vs {})",
+        json_a.len(),
+        json_b.len()
+    );
+}
+
+#[test]
 fn gc_locality_same_seed_runs_are_byte_identical() {
     let run = || {
         let obs = ox_bench::figure_obs();
